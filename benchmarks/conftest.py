@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures from the
+measured corpora under ``data/corpora`` (built on first use; ~30-40 min
+for the full research corpus — subsequent runs load the cache instantly).
+The timed section of each benchmark is the *modelling* work (training /
+prediction), which is the paper's technique; corpus execution is data
+collection and happens once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import experiments as exp
+
+
+def _print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def research_corpus():
+    return exp.research_corpus()
+
+
+@pytest.fixture(scope="session")
+def experiment1_split(research_corpus):
+    return exp.experiment1_split(research_corpus)
+
+
+@pytest.fixture(scope="session")
+def customer_corpus():
+    return exp.customer_corpus()
+
+
+@pytest.fixture(scope="session")
+def print_header():
+    return _print_header

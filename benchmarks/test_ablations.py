@@ -1,0 +1,82 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not paper artifacts — these probe how much each design decision matters:
+kernel scale factor, KCCA regularisation, component count, feature
+conditioning, and what the KCCA projection buys over simpler models.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    ablation_components,
+    ablation_feature_encoding,
+    ablation_model_classes,
+    ablation_regularization,
+    ablation_scale_heuristic,
+)
+
+
+def test_ablation_scale_heuristic(benchmark, experiment1_split, print_header):
+    train, test = experiment1_split
+    results = benchmark.pedantic(
+        ablation_scale_heuristic, args=(train, test), rounds=1, iterations=1
+    )
+    print_header("Ablation — Gaussian kernel scale factor (elapsed risk)")
+    for label, risk in results.items():
+        print(f"  {label:<18} {risk:7.3f}")
+    assert results["paper-fractions"] > 0.4
+    # The adapted heuristic must be near the best fixed tau in the sweep.
+    best = max(v for v in results.values() if not np.isnan(v))
+    assert results["paper-fractions"] >= best - 0.25
+
+
+def test_ablation_regularization(benchmark, experiment1_split, print_header):
+    train, test = experiment1_split
+    results = benchmark.pedantic(
+        ablation_regularization, args=(train, test), rounds=1, iterations=1
+    )
+    print_header("Ablation — KCCA regularisation (elapsed risk)")
+    for reg, risk in results.items():
+        print(f"  reg={reg:<8g} {risk:7.3f}")
+    assert results[1e-3] > 0.4
+    # Accuracy must not be knife-edge sensitive around the default.
+    assert abs(results[1e-3] - results[1e-4]) < 0.4
+
+
+def test_ablation_components(benchmark, experiment1_split, print_header):
+    train, test = experiment1_split
+    results = benchmark.pedantic(
+        ablation_components, args=(train, test), rounds=1, iterations=1
+    )
+    print_header("Ablation — number of canonical components (elapsed risk)")
+    for d, risk in results.items():
+        print(f"  d={d:<4} {risk:7.3f}")
+    assert results[8] > 0.4
+    # A single component is not enough to encode six metrics well;
+    # adding components beyond ~8 is not catastrophic.
+    assert results[8] >= results[1] - 0.05
+    assert results[32] > results[8] - 0.3
+
+
+def test_ablation_feature_encoding(benchmark, experiment1_split, print_header):
+    train, test = experiment1_split
+    results = benchmark.pedantic(
+        ablation_feature_encoding, args=(train, test), rounds=1, iterations=1
+    )
+    print_header("Ablation — plan-feature conditioning (elapsed risk)")
+    for label, risk in results.items():
+        print(f"  {label:<18} {risk:7.3f}")
+    assert results["log+standardize"] > 0.4
+
+
+def test_ablation_model_classes(benchmark, experiment1_split, print_header):
+    train, test = experiment1_split
+    results = benchmark.pedantic(
+        ablation_model_classes, args=(train, test), rounds=1, iterations=1
+    )
+    print_header("Ablation — model classes (elapsed risk)")
+    for label, risk in results.items():
+        print(f"  {label:<18} {risk:7.3f}")
+    # The paper's ordering: the kernel method beats plain regression.
+    assert results["kcca+knn"] > results["regression"]
+    assert results["kcca+knn"] > 0.4

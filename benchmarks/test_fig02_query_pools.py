@@ -1,0 +1,41 @@
+"""Figure 2: query pools categorised by elapsed time on the 4-node system.
+
+Paper values (4-processor research system):
+
+    feather        767+  mean ~8s     00:00:00.8 .. 00:02:59
+    golf ball      230+  mean ~5min   00:03:00   .. 00:29:39
+    bowling ball    48   mean ~1hr    00:30:04   .. 01:54:50
+
+Reproduction target: the same three bands exist with the same ordering of
+counts (feathers >> golf balls >> bowling balls) and ranges within the
+same boundaries.
+"""
+
+from repro.experiments.experiments import fig2_query_pools
+from repro.experiments.report import format_pool_table
+
+
+def test_fig02_query_pools(benchmark, research_corpus, print_header):
+    rows = benchmark(fig2_query_pools, research_corpus)
+
+    print_header("Figure 2 — query pools by runtime category")
+    print(format_pool_table(rows))
+
+    by_name = {row.category: row for row in rows}
+    assert "feather" in by_name
+    assert "golf_ball" in by_name
+    assert "bowling_ball" in by_name
+    feather = by_name["feather"]
+    golf = by_name["golf_ball"]
+    bowling = by_name["bowling_ball"]
+
+    # Count ordering and paper-sized pools.
+    assert feather.count > golf.count > bowling.count
+    assert feather.count >= 812  # 767 train + 45 test
+    assert golf.count >= 237
+    assert bowling.count >= 39
+
+    # Band boundaries (Figure 2's hh:mm:ss ranges).
+    assert feather.max_s < 180
+    assert 180 <= golf.min_s and golf.max_s < 1800
+    assert 1800 <= bowling.min_s and bowling.max_s < 7200

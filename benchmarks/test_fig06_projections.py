@@ -1,0 +1,59 @@
+"""Figure 6: KCCA projects queries and their performance to similar places.
+
+The paper's Figure 6 plots the query projection and the performance
+projection side by side: the same query (same colour) lands in a similar
+location in both, i.e. KCCA found correlated clusters across the two
+feature spaces.
+
+Reproduction targets: the leading canonical correlations are high, the
+per-component empirical correlation between the two training projections
+matches them, and queries of the same runtime category cluster together
+(nearest neighbours in the query projection mostly share the query's
+category).
+"""
+
+import numpy as np
+
+from repro.core.neighbors import nearest_neighbors
+from repro.core.predictor import KCCAPredictor
+
+
+def test_fig06_projection_correlation(
+    benchmark, experiment1_split, print_header
+):
+    train, _test = experiment1_split
+
+    def run():
+        model = KCCAPredictor().fit(
+            train.feature_matrix(), train.performance_matrix()
+        )
+        return model
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    correlations = model.canonical_correlations
+    empirical = model._kcca.projection_correlation()
+
+    print_header("Figure 6 — query vs performance projections")
+    print("  component   canonical-corr   empirical-corr")
+    for i, (c, e) in enumerate(zip(correlations, empirical)):
+        print(f"  {i:<12}{c:14.3f} {e:16.3f}")
+
+    # The projections are strongly correlated (the point of KCCA).
+    assert correlations[0] > 0.8
+    assert abs(empirical[0]) > 0.8
+
+    # Clustering effect: a training query's neighbours in the query
+    # projection mostly share its runtime category.
+    projection = model.query_projection
+    categories = train.categories()
+    indices, _d = nearest_neighbors(projection, projection, 4)
+    agree = 0
+    total = 0
+    for row in range(len(projection)):
+        for neighbor in indices[row][1:]:  # skip self
+            total += 1
+            agree += categories[neighbor] == categories[row]
+    agreement = agree / total
+    print(f"\n  neighbour category agreement: {agreement:.0%}")
+    assert agreement > 0.8

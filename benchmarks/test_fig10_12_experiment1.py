@@ -1,0 +1,65 @@
+"""Figures 10-12 / Experiment 1: the headline KCCA results.
+
+Paper, training on 1027 mixed queries and testing on 61:
+
+* Figure 10 — elapsed time: predictive risk 0.55 (0.61 after dropping the
+  furthest outlier); and the paper's headline claim: elapsed time within
+  20% of actual for at least 85% of test queries.
+* Figure 11 — records used: predictive risk 0.98 (near perfect).
+* Figure 12 — message count: predictive risk 0.35 (visible outliers).
+
+Reproduction targets (shape): elapsed-time risk is solidly positive and
+improves when the worst outlier is removed; ≥85% of test queries within
+20% on elapsed time; records-used risk is the best of the six metrics
+(≥0.9); message metrics are learnable.
+"""
+
+from repro.engine.metrics import METRIC_NAMES
+from repro.experiments.experiments import fig10_to_12_experiment1
+from repro.experiments.report import format_risk_table
+
+
+def test_fig10_12_experiment1(benchmark, experiment1_split, print_header):
+    result = benchmark(fig10_to_12_experiment1, experiment1_split)
+
+    print_header(
+        "Figures 10-12 — Experiment 1 (train 1027 mixed / test 61)"
+    )
+    print(
+        format_risk_table(
+            {
+                "risk": result.risk,
+                "w/o worst": result.risk_without_worst,
+            }
+        )
+    )
+    print(
+        f"\nelapsed time within 20% of actual: "
+        f"{result.within_20pct_elapsed:.0%} of {result.n_test} test queries"
+        f"   (paper: >= 85%)"
+    )
+    print("paper risks: elapsed 0.55 (0.61 w/o outlier), records used 0.98, "
+          "message count 0.35")
+
+    assert result.n_train >= 1000
+    assert result.n_test >= 55
+
+    # Headline claim.
+    assert result.within_20pct_elapsed >= 0.85
+
+    # Elapsed time: positive risk, better without the worst outlier.
+    assert result.risk["elapsed_time"] > 0.4
+    assert (
+        result.risk_without_worst["elapsed_time"]
+        >= result.risk["elapsed_time"] - 1e-9
+    )
+
+    # Records used is the star metric (paper: 0.98).
+    assert result.risk["records_used"] > 0.9
+
+    # Multiple metrics predicted simultaneously and usefully.
+    learnable = [
+        m for m in METRIC_NAMES
+        if result.risk[m] == result.risk[m] and result.risk[m] > 0.3
+    ]
+    assert len(learnable) >= 4

@@ -1,0 +1,49 @@
+"""Figure 13 / Experiment 2: balanced but tiny training set.
+
+Paper: training on only 30 queries of each category (90 total) and
+predicting the same 61 test queries is noticeably less accurate than
+Experiment 1's 1027-query training set — "more data in the training set
+is always better".
+
+Reproduction target: the 90-query model's elapsed-time accuracy is worse
+than the 1027-query model's, on both predictive risk and the within-20%
+fraction.
+"""
+
+from repro.experiments.experiments import (
+    fig10_to_12_experiment1,
+    fig13_experiment2,
+)
+from repro.experiments.report import format_risk_table
+
+
+def test_fig13_experiment2(
+    benchmark, research_corpus, experiment1_split, print_header
+):
+    small = benchmark(fig13_experiment2, research_corpus)
+    big = fig10_to_12_experiment1(experiment1_split)
+
+    print_header(
+        "Figure 13 — Experiment 2 (train 30 per category / test 61)"
+    )
+    print(
+        format_risk_table(
+            {
+                "30-each (90)": small.risk,
+                "full (1027)": big.risk,
+            }
+        )
+    )
+    print(
+        f"\nwithin 20% on elapsed: {small.within_20pct_elapsed:.0%} (90) vs "
+        f"{big.within_20pct_elapsed:.0%} (1027)"
+    )
+
+    assert small.n_train == 90
+    # "More data is always better": the small model must be worse on
+    # elapsed time by at least one of the two headline measures.
+    worse_risk = small.risk["elapsed_time"] < big.risk["elapsed_time"] - 0.01
+    worse_within = (
+        small.within_20pct_elapsed < big.within_20pct_elapsed - 0.01
+    )
+    assert worse_risk or worse_within

@@ -1,0 +1,45 @@
+"""Table I: Euclidean vs cosine distance for the neighbour search.
+
+Paper (predictive risk, Euclidean / cosine):
+
+    Elapsed Time      0.55 / 0.40     Records Accessed  0.68 / 0.27
+    Records Used      0.98 / 0.95     Disk I/O          0.36 / 0.02
+    Message Count     0.35 / 0.18     Message Bytes     0.87 / 0.23
+
+Reproduction target: Euclidean distance yields predictive risk at least
+as good as cosine on most metrics (the paper's reason for choosing it).
+"""
+
+import math
+
+from repro.engine.metrics import METRIC_NAMES
+from repro.experiments.experiments import tab1_distance_metrics
+from repro.experiments.report import format_risk_table
+
+
+def test_tab1_distance_metrics(benchmark, experiment1_split, print_header):
+    results = benchmark(tab1_distance_metrics, experiment1_split)
+
+    print_header("Table I — Euclidean vs cosine neighbour distance")
+    print(
+        format_risk_table(
+            {"Euclidean": results["euclidean"], "Cosine": results["cosine"]}
+        )
+    )
+
+    euclidean_wins = 0
+    comparable = 0
+    for metric in METRIC_NAMES:
+        e = results["euclidean"][metric]
+        c = results["cosine"][metric]
+        if math.isnan(e) or math.isnan(c):
+            continue
+        comparable += 1
+        if e >= c - 0.02:
+            euclidean_wins += 1
+    assert comparable >= 4
+    assert euclidean_wins >= comparable - 1, (
+        "Euclidean should be at least as accurate as cosine on nearly "
+        "every metric"
+    )
+    assert results["euclidean"]["elapsed_time"] > 0.3

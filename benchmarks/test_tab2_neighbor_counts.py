@@ -1,0 +1,42 @@
+"""Table II: number of nearest neighbours k in 3..7.
+
+Paper: the differences between k = 3..7 are negligible for most metrics
+(elapsed time 0.51..0.61); k = 3 was chosen on the intuition that sparse
+regions favour fewer neighbours.
+
+Reproduction target: predictive risk on elapsed time is high and *flat*
+across k — the spread across k in 3..7 stays small.
+"""
+
+import numpy as np
+
+from repro.experiments.experiments import tab2_neighbor_counts
+from repro.experiments.report import format_risk_table
+
+
+def test_tab2_neighbor_counts(benchmark, experiment1_split, print_header):
+    results = benchmark(tab2_neighbor_counts, experiment1_split)
+
+    print_header("Table II — predictive risk vs neighbour count k")
+    print(format_risk_table({f"{k}NN": risks for k, risks in results.items()}))
+
+    elapsed = [results[k]["elapsed_time"] for k in (3, 4, 5, 6, 7)]
+    assert min(elapsed) > 0.3, "all k choices must remain usable"
+    assert max(elapsed) - min(elapsed) < 0.35, (
+        "the paper found negligible differences across k"
+    )
+
+    records_used = [results[k]["records_used"] for k in (3, 4, 5, 6, 7)]
+    assert min(records_used) > 0.5
+
+    # No k dominates every metric (the paper's reason k=3 is a judgement
+    # call, not a measurement): check at least two different k values win
+    # at least one metric each.
+    winners = set()
+    for metric in ("elapsed_time", "records_accessed", "records_used",
+                   "message_count", "message_bytes"):
+        per_k = {k: results[k][metric] for k in results}
+        valid = {k: v for k, v in per_k.items() if not np.isnan(v)}
+        if valid:
+            winners.add(max(valid, key=valid.get))
+    assert len(winners) >= 2

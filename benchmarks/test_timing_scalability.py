@@ -1,0 +1,34 @@
+"""Section VII-C.4: "How fast is KCCA?"
+
+Paper: predicting a single query takes under a second (practical for
+long-running queries); training takes minutes to hours because every
+training point is compared with every other and the correlation solve is
+cubic in N.
+
+Reproduction targets: per-query prediction latency well under a second;
+training time grows super-linearly with the training-set size.
+"""
+
+from repro.experiments.ablations import timing_profile
+
+
+def test_timing_scalability(benchmark, research_corpus, print_header):
+    profile = benchmark.pedantic(
+        timing_profile, args=(research_corpus,), rounds=1, iterations=1
+    )
+
+    print_header("Section VII-C.4 — KCCA training/prediction cost")
+    for size, seconds in zip(profile.train_sizes, profile.train_seconds):
+        print(f"  train N={size:<5} {seconds * 1000:9.1f} ms")
+    print(
+        f"  predict one query: "
+        f"{profile.predict_seconds_per_query * 1000:.2f} ms"
+    )
+
+    assert profile.predict_seconds_per_query < 1.0  # "under a second"
+    first, last = profile.train_seconds[0], profile.train_seconds[-1]
+    growth = profile.train_sizes[-1] / profile.train_sizes[0]
+    assert last > first * growth * 0.8, (
+        "training cost should grow super-linearly with N "
+        "(kernel matrices are N x N)"
+    )

@@ -1,0 +1,61 @@
+"""Quickstart: train a predictor and forecast a query before running it.
+
+Builds a small TPC-DS-like warehouse, trains the paper's KCCA model on a
+measured workload, then predicts all six performance metrics of unseen
+queries — and compares against what actually happens when they run.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.api import QueryPerformancePredictor
+
+
+def main() -> None:
+    print("Training on a measured TPC-DS-style workload (takes ~30s)...")
+    predictor = QueryPerformancePredictor.train_on_tpcds(
+        n_queries=250, scale_factor=0.2, seed=7
+    )
+    print(f"trained on {len(predictor.training_corpus)} executed queries\n")
+
+    queries = {
+        "monthly category report": (
+            "SELECT i.i_category, sum(ss.ss_sales_price) AS revenue, "
+            "count(*) AS cnt "
+            "FROM store_sales ss, item i, date_dim d "
+            "WHERE ss.ss_item_sk = i.i_item_sk "
+            "AND ss.ss_sold_date_sk = d.d_date_sk "
+            "AND d.d_year = 2000 AND d.d_moy = 12 "
+            "GROUP BY i.i_category ORDER BY revenue DESC"
+        ),
+        "big-spender hunt": (
+            "SELECT ss.ss_customer_sk, sum(ss.ss_net_profit) AS profit "
+            "FROM store_sales ss, date_dim d "
+            "WHERE ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2001 "
+            "GROUP BY ss.ss_customer_sk ORDER BY profit DESC LIMIT 25"
+        ),
+        "cross-channel problem query": (
+            "SELECT i.i_manufact_id, count(*) AS cnt "
+            "FROM store_sales ss, catalog_sales cs, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk "
+            "AND cs.cs_item_sk = i.i_item_sk "
+            "GROUP BY i.i_manufact_id ORDER BY cnt DESC"
+        ),
+    }
+
+    for name, sql in queries.items():
+        print(f"=== {name} ===")
+        print(predictor.explain(sql))
+        actual = predictor.measure(sql)
+        predicted = predictor.predict(sql)
+        error = abs(predicted.elapsed_time - actual.elapsed_time)
+        print(
+            f"actual elapsed time    : {actual.elapsed_time:.2f}s "
+            f"(prediction off by {error:.2f}s)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

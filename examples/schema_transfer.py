@@ -1,0 +1,86 @@
+"""Schema transfer: predict a brand-new customer's workload (Experiment 4).
+
+The paper's sales scenario: a prospective customer has their own database
+and queries, but the vendor's models were trained on TPC-DS.  Because the
+query-plan feature vector is *schema-independent* (operator counts and
+cardinality sums), a model trained on one schema can score plans from
+another.  The paper found the one-model predictor badly over-predicts in
+this setting while the two-step model fares better — this example shows
+both.
+
+Run with::
+
+    python examples/schema_transfer.py
+"""
+
+import numpy as np
+
+from repro.core.features import plan_feature_vector
+from repro.core.metrics import within_factor_fraction
+from repro.core.predictor import KCCAPredictor
+from repro.core.two_step import TwoStepPredictor
+from repro.engine import Executor
+from repro.engine.system import research_4node
+from repro.experiments.corpus import build_corpus
+from repro.optimizer import Optimizer
+from repro.workloads.customer import build_customer_catalog, customer_templates
+from repro.workloads.generator import generate_pool
+from repro.workloads.tpcds import build_tpcds_catalog
+
+
+def main() -> None:
+    config = research_4node()
+
+    print("Measuring the vendor's TPC-DS training workload...")
+    tpcds = build_tpcds_catalog(scale_factor=0.2, seed=42)
+    train_pool = generate_pool(300, seed=3, problem_fraction=0.3)
+    train = build_corpus(tpcds, config, train_pool)
+
+    print("Measuring the customer's (different-schema) workload...")
+    customer = build_customer_catalog(seed=99, scale=0.08)
+    test_pool = generate_pool(40, seed=17, templates=customer_templates())
+    test = build_corpus(customer, config, test_pool)
+
+    features_train = train.feature_matrix()
+    performance_train = train.performance_matrix()
+    features_test = test.feature_matrix()
+    actual = test.elapsed_times()
+
+    one_model = KCCAPredictor().fit(features_train, performance_train)
+    two_step = TwoStepPredictor().fit(features_train, performance_train)
+
+    one_predicted = one_model.predict(features_test)[:, 0]
+    two_predicted = two_step.predict(features_test)[:, 0]
+
+    print(f"\n{'query':<34}{'actual':>9}{'one-model':>11}{'two-step':>10}")
+    print("-" * 64)
+    for i, query in enumerate(test.queries[:15]):
+        print(
+            f"{query.template:<34}{actual[i]:>8.2f}s"
+            f"{one_predicted[i]:>10.2f}s{two_predicted[i]:>9.2f}s"
+        )
+
+    print("\nsummary over the full customer test set:")
+    for label, predicted in (
+        ("one-model", one_predicted),
+        ("two-step ", two_predicted),
+    ):
+        ratio = np.median(
+            np.maximum(predicted, 1e-9) / np.maximum(actual, 1e-9)
+        )
+        in10 = within_factor_fraction(predicted, actual, 10.0)
+        print(
+            f"  {label}: median predicted/actual ratio = {ratio:7.2f}x, "
+            f"within 10x of actual = {in10:.0%}"
+        )
+    print(
+        "\nThe paper's Experiment 4 found one-model predictions one to "
+        "three orders of magnitude too long for these mini-feathers "
+        "(every customer query gets dragged toward its longer TPC-DS "
+        "neighbours), with the two-step route noticeably closer — compare "
+        "the two median ratios above."
+    )
+
+
+if __name__ == "__main__":
+    main()

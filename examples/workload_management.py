@@ -1,0 +1,94 @@
+"""Workload management: admission control with pre-execution predictions.
+
+The paper's first motivating use case (Section I): every database vendor
+struggles with unexpectedly long-running queries.  With accurate
+pre-execution predictions, long-running queries can be rejected or
+deferred to a maintenance window *before* they start consuming resources,
+instead of being killed hours in.
+
+This example implements a simple admission controller:
+
+* queries predicted to finish within the SLA run immediately,
+* predicted golf balls are queued for the off-peak window,
+* predicted bowling balls (or low-confidence anomalies) need operator
+  approval.
+
+It then audits the decisions against the queries' actual runtimes.
+
+Run with::
+
+    python examples/workload_management.py
+"""
+
+from dataclasses import dataclass
+
+from repro.api import QueryPerformancePredictor
+from repro.workloads.categories import categorize
+from repro.workloads.generator import generate_pool
+
+SLA_SECONDS = 180.0  # run immediately if predicted under 3 minutes
+DEFER_SECONDS = 1_800.0  # defer to off-peak if under 30 minutes
+
+
+@dataclass
+class Decision:
+    query_id: str
+    action: str
+    predicted_s: float
+    actual_s: float
+
+    @property
+    def actual_action(self) -> str:
+        return _action_for(self.actual_s)
+
+
+def _action_for(elapsed_s: float) -> str:
+    if elapsed_s < SLA_SECONDS:
+        return "RUN"
+    if elapsed_s < DEFER_SECONDS:
+        return "DEFER"
+    return "ESCALATE"
+
+
+def main() -> None:
+    print("Training the admission controller's model...")
+    predictor = QueryPerformancePredictor.train_on_tpcds(
+        n_queries=300, scale_factor=0.2, seed=11, problem_fraction=0.35
+    )
+
+    print("Scoring an incoming workload of 40 queries...\n")
+    incoming = generate_pool(40, seed=99, problem_fraction=0.35)
+    decisions = []
+    for query in incoming:
+        forecast = predictor.forecast(query.sql)
+        predicted = forecast.metrics.elapsed_time
+        action = _action_for(predicted)
+        if forecast.confidence.anomalous:
+            action = "ESCALATE"  # never trust a far-from-training query
+        actual = predictor.measure(query.sql).elapsed_time
+        decisions.append(
+            Decision(query.query_id, action, predicted, actual)
+        )
+
+    print(f"{'query':<34}{'decision':>10}{'predicted':>12}{'actual':>12}")
+    print("-" * 68)
+    for decision in decisions:
+        flag = "" if decision.action == decision.actual_action else "  <-- miss"
+        print(
+            f"{decision.query_id:<34}{decision.action:>10}"
+            f"{decision.predicted_s:>11.1f}s{decision.actual_s:>11.1f}s{flag}"
+        )
+
+    correct = sum(d.action == d.actual_action for d in decisions)
+    print(f"\ncorrect admission decisions: {correct}/{len(decisions)}")
+
+    missed_long = sum(
+        1
+        for d in decisions
+        if d.action == "RUN" and categorize(d.actual_s).value != "feather"
+    )
+    print(f"long-running queries admitted by mistake: {missed_long}")
+
+
+if __name__ == "__main__":
+    main()

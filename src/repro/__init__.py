@@ -1,0 +1,42 @@
+"""repro — reproduction of "Predicting Multiple Metrics for Queries:
+Better Decisions Enabled by Machine Learning" (Ganapathi et al., ICDE
+2009).
+
+The package contains both the paper's contribution and every substrate it
+depends on:
+
+* :mod:`repro.sql` / :mod:`repro.storage` / :mod:`repro.engine` /
+  :mod:`repro.optimizer` — a from-scratch simulated shared-nothing
+  parallel DBMS (the HP Neoview stand-in) that parses, plans and actually
+  executes SQL over generated data while measuring the paper's six
+  performance metrics.
+* :mod:`repro.workloads` — TPC-DS-like database, query templates
+  (standard + "problem query"), and the separate customer schema.
+* :mod:`repro.core` — KCCA prediction plus every baseline the paper
+  evaluates (linear regression, PCA, CCA, K-means, SQL-text features).
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import QueryPerformancePredictor
+
+    predictor = QueryPerformancePredictor.train_on_tpcds(n_queries=200)
+    report = predictor.explain("SELECT count(*) FROM store_sales ss ...")
+    print(report)
+"""
+
+from repro.api import QueryPerformancePredictor
+from repro.engine.metrics import METRIC_NAMES, PerformanceMetrics
+from repro.core.predictor import KCCAPredictor
+from repro.core.two_step import TwoStepPredictor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryPerformancePredictor",
+    "METRIC_NAMES",
+    "PerformanceMetrics",
+    "KCCAPredictor",
+    "TwoStepPredictor",
+    "__version__",
+]

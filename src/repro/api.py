@@ -1,0 +1,194 @@
+"""High-level public API: train a predictor, predict SQL performance.
+
+This is the façade a downstream user (a workload manager, a capacity
+planner) would embed: give it a catalog + system configuration and a
+training workload, then ask it what any new SQL statement will cost —
+before running it.
+
+Example::
+
+    from repro.api import QueryPerformancePredictor
+
+    predictor = QueryPerformancePredictor.train_on_tpcds(n_queries=300)
+    forecast = predictor.predict(
+        "SELECT count(*) AS c FROM store_sales ss WHERE ss.ss_quantity > 30"
+    )
+    print(forecast.elapsed_time, forecast.disk_ios)
+    print(predictor.explain("SELECT ..."))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.confidence import ConfidenceModel, ConfidenceReport
+from repro.core.features import plan_feature_vector
+from repro.core.predictor import KCCAPredictor
+from repro.core.two_step import TwoStepPredictor
+from repro.engine import Executor, PerformanceMetrics, SystemConfig
+from repro.engine.system import research_4node
+from repro.errors import ModelError
+from repro.experiments.corpus import Corpus, build_corpus
+from repro.experiments.report import hms
+from repro.optimizer import Optimizer
+from repro.storage.catalog import Catalog
+from repro.workloads.categories import categorize
+from repro.workloads.generator import QueryInstance, generate_pool
+from repro.workloads.tpcds import build_tpcds_catalog
+
+__all__ = ["QueryPerformancePredictor", "Forecast"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A pre-execution performance forecast for one SQL statement."""
+
+    metrics: PerformanceMetrics
+    category: str
+    confidence: ConfidenceReport
+    optimizer_cost: float
+
+
+class QueryPerformancePredictor:
+    """Trainable, explainable query performance prediction service.
+
+    Args:
+        catalog: the database the queries run against.
+        config: the system configuration being modelled.
+        two_step: use the paper's two-step type-specific models
+            (Experiment 3) instead of one global model.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[SystemConfig] = None,
+        two_step: bool = False,
+        **predictor_kwargs,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or research_4node()
+        self.optimizer = Optimizer(self.catalog, self.config)
+        self.executor = Executor(self.catalog, self.config)
+        self.two_step = two_step
+        self._predictor_kwargs = predictor_kwargs
+        self._model: "KCCAPredictor | TwoStepPredictor | None" = None
+        self._confidence: Optional[ConfidenceModel] = None
+        self._corpus: Optional[Corpus] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def train_on_tpcds(
+        cls,
+        n_queries: int = 300,
+        scale_factor: float = 0.3,
+        seed: int = 7,
+        config: Optional[SystemConfig] = None,
+        two_step: bool = False,
+        problem_fraction: float = 0.25,
+        **predictor_kwargs,
+    ) -> "QueryPerformancePredictor":
+        """Build a TPC-DS-like database, run a workload, train on it.
+
+        This is the turn-key entry point used by the examples; lower
+        ``scale_factor`` / ``n_queries`` train in seconds, the defaults in
+        well under a minute.
+        """
+        catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
+        service = cls(
+            catalog, config=config, two_step=two_step, **predictor_kwargs
+        )
+        pool = generate_pool(
+            n_queries, seed=seed, problem_fraction=problem_fraction
+        )
+        service.fit_pool(pool)
+        return service
+
+    def fit_pool(self, pool: Sequence[QueryInstance]) -> "QueryPerformancePredictor":
+        """Execute a training pool and fit the model on the measurements."""
+        corpus = build_corpus(self.catalog, self.config, pool)
+        return self.fit_corpus(corpus)
+
+    def fit_corpus(self, corpus: Corpus) -> "QueryPerformancePredictor":
+        """Fit on an already-executed corpus."""
+        features = corpus.feature_matrix()
+        performance = corpus.performance_matrix()
+        if self.two_step:
+            self._model = TwoStepPredictor(**self._predictor_kwargs)
+        else:
+            self._model = KCCAPredictor(**self._predictor_kwargs)
+        self._model.fit(features, performance)
+        router = (
+            self._model._router  # noqa: SLF001 - router doubles as scorer
+            if isinstance(self._model, TwoStepPredictor)
+            else self._model
+        )
+        self._confidence = ConfidenceModel(router)
+        self._corpus = corpus
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _require_trained(self) -> None:
+        if self._model is None or self._confidence is None:
+            raise ModelError("predictor is not trained; call fit_* first")
+
+    def features_for(self, sql: str) -> np.ndarray:
+        """The query-plan feature vector the model sees for ``sql``."""
+        optimized = self.optimizer.optimize(sql)
+        return plan_feature_vector(optimized.plan)
+
+    def predict(self, sql: str) -> PerformanceMetrics:
+        """Predict the six performance metrics for ``sql``."""
+        return self.forecast(sql).metrics
+
+    def forecast(self, sql: str) -> Forecast:
+        """Predict metrics plus category, confidence and optimizer cost."""
+        self._require_trained()
+        optimized = self.optimizer.optimize(sql)
+        features = plan_feature_vector(optimized.plan)[None, :]
+        vector = self._model.predict(features)[0]
+        metrics = PerformanceMetrics.from_vector(vector)
+        confidence = self._confidence.assess(features)[0]
+        return Forecast(
+            metrics=metrics,
+            category=categorize(metrics.elapsed_time).value,
+            confidence=confidence,
+            optimizer_cost=optimized.cost,
+        )
+
+    def measure(self, sql: str) -> PerformanceMetrics:
+        """Actually run ``sql`` on the simulated system (ground truth)."""
+        optimized = self.optimizer.optimize(sql)
+        return self.executor.execute(optimized.plan).metrics
+
+    def explain(self, sql: str) -> str:
+        """Human-readable forecast report for ``sql``."""
+        forecast = self.forecast(sql)
+        m = forecast.metrics
+        lines = [
+            f"predicted elapsed time : {hms(m.elapsed_time)} "
+            f"({m.elapsed_time:.2f}s, {forecast.category})",
+            f"records accessed       : {m.records_accessed:,}",
+            f"records used           : {m.records_used:,}",
+            f"disk I/Os              : {m.disk_ios:,}",
+            f"message count          : {m.message_count:,}",
+            f"message bytes          : {m.message_bytes:,}",
+            f"optimizer cost (units) : {forecast.optimizer_cost:,.1f}",
+            f"confidence             : "
+            f"{'LOW (anomalous query)' if forecast.confidence.anomalous else 'ok'}"
+            f" (neighbour distance z={forecast.confidence.zscore:+.2f})",
+        ]
+        return "\n".join(lines)
+
+    @property
+    def training_corpus(self) -> Optional[Corpus]:
+        return self._corpus

@@ -1,0 +1,146 @@
+"""Command-line interface: explain, predict and measure queries.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro explain "SELECT count(*) FROM store_sales ss"
+    python -m repro predict --queries 200 "SELECT ..."
+    python -m repro plan "SELECT ..."
+    python -m repro pools --queries 300
+
+Commands:
+
+* ``plan``    — print the optimizer's physical plan with estimates;
+* ``predict`` — train on a generated workload, print the forecast;
+* ``explain`` — like predict, plus confidence and optimizer cost;
+* ``measure`` — actually run the query on the simulated system;
+* ``pools``   — run a workload and print the Figure 2 pool table.
+
+All commands build a deterministic TPC-DS-like database (``--scale``,
+``--seed``), so output is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.api import QueryPerformancePredictor
+from repro.engine import Executor
+from repro.engine.system import production_32node, research_4node
+from repro.errors import ReproError
+from repro.optimizer import Optimizer
+from repro.workloads.tpcds import build_tpcds_catalog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predict query performance before execution (ICDE'09).",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2,
+        help="TPC-DS-like scale factor (default 0.2)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="generation seed (default 7)"
+    )
+    parser.add_argument(
+        "--system", choices=["research", "prod4", "prod8", "prod16", "prod32"],
+        default="research", help="system configuration (default research)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="show the optimizer's physical plan")
+    plan.add_argument("sql")
+
+    for name, help_text in (
+        ("predict", "train a model and forecast the query"),
+        ("explain", "forecast with confidence and optimizer cost"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("sql")
+        cmd.add_argument(
+            "--queries", type=int, default=200,
+            help="training workload size (default 200)",
+        )
+        cmd.add_argument(
+            "--two-step", action="store_true",
+            help="use type-specific two-step models",
+        )
+
+    measure = sub.add_parser("measure", help="run the query (ground truth)")
+    measure.add_argument("sql")
+
+    pools = sub.add_parser("pools", help="categorise a generated workload")
+    pools.add_argument(
+        "--queries", type=int, default=200, help="workload size"
+    )
+    return parser
+
+
+def _config(name: str):
+    if name == "research":
+        return research_4node()
+    return production_32node(int(name.removeprefix("prod")))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _config(args.system)
+    try:
+        if args.command == "plan":
+            catalog = build_tpcds_catalog(args.scale, args.seed)
+            optimized = Optimizer(catalog, config).optimize(args.sql)
+            print(optimized.plan.pretty())
+            print(f"\nestimated rows : {optimized.estimated_rows:,.0f}")
+            print(f"optimizer cost : {optimized.cost:,.1f} (abstract units)")
+            return 0
+        if args.command == "measure":
+            catalog = build_tpcds_catalog(args.scale, args.seed)
+            optimized = Optimizer(catalog, config).optimize(args.sql)
+            metrics = Executor(catalog, config).execute(optimized.plan).metrics
+            print(f"elapsed time     : {metrics.elapsed_time:.2f}s")
+            print(f"records accessed : {metrics.records_accessed:,}")
+            print(f"records used     : {metrics.records_used:,}")
+            print(f"disk I/Os        : {metrics.disk_ios:,}")
+            print(f"message count    : {metrics.message_count:,}")
+            print(f"message bytes    : {metrics.message_bytes:,}")
+            return 0
+        if args.command in ("predict", "explain"):
+            predictor = QueryPerformancePredictor.train_on_tpcds(
+                n_queries=args.queries,
+                scale_factor=args.scale,
+                seed=args.seed,
+                config=config,
+                two_step=args.two_step,
+            )
+            if args.command == "explain":
+                print(predictor.explain(args.sql))
+            else:
+                metrics = predictor.predict(args.sql)
+                print(f"predicted elapsed time : {metrics.elapsed_time:.2f}s")
+                print(f"predicted records used : {metrics.records_used:,}")
+                print(f"predicted disk I/Os    : {metrics.disk_ios:,}")
+            return 0
+        if args.command == "pools":
+            from repro.experiments.corpus import build_corpus
+            from repro.experiments.experiments import fig2_query_pools
+            from repro.experiments.report import format_pool_table
+            from repro.workloads.generator import generate_pool
+
+            catalog = build_tpcds_catalog(args.scale, args.seed)
+            pool = generate_pool(args.queries, seed=args.seed)
+            corpus = build_corpus(catalog, config, pool)
+            print(format_pool_table(fig2_query_pools(corpus)))
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

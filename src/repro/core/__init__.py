@@ -1,0 +1,68 @@
+"""The paper's contribution: KCCA-based multi-metric query prediction.
+
+Pipeline (Sections V–VI of the paper):
+
+1. :mod:`repro.core.features` turns optimizer plans into query feature
+   vectors (operator instance counts + estimated-cardinality sums) and
+   executions into six-element performance vectors.
+2. :mod:`repro.core.kernels` builds Gaussian kernel matrices with the
+   paper's scale-factor heuristic.
+3. :mod:`repro.core.kcca` solves the regularised KCCA generalised
+   eigenproblem, yielding maximally correlated query / performance
+   projections.
+4. :mod:`repro.core.predictor` projects a new query, finds its k nearest
+   training neighbours in the projection, and averages their *raw*
+   performance vectors (sidestepping the kernel pre-image problem).
+
+Baselines evaluated and rejected by the paper are implemented alongside:
+per-metric linear regression (:mod:`repro.core.regression`), PCA
+(:mod:`repro.core.pca`), classical CCA (:mod:`repro.core.cca`), K-means
+clustering (:mod:`repro.core.kmeans`), and SQL-text features
+(:mod:`repro.sql.text_features`).
+"""
+
+from repro.core.features import (
+    PLAN_FEATURE_NAMES,
+    plan_feature_vector,
+    FeatureSpace,
+)
+from repro.core.kernels import gaussian_kernel_matrix, gaussian_kernel_cross, scale_factor_heuristic
+from repro.core.kcca import KCCA
+from repro.core.cca import CCA
+from repro.core.pca import PCA
+from repro.core.kmeans import KMeans
+from repro.core.regression import LinearRegression, MultiMetricRegression
+from repro.core.neighbors import nearest_neighbors, combine_neighbors
+from repro.core.predictor import KCCAPredictor
+from repro.core.two_step import TwoStepPredictor
+from repro.core.metrics import predictive_risk, within_factor_fraction
+from repro.core.confidence import neighbor_confidence
+from repro.core.importance import FeatureContribution, feature_contributions
+from repro.core.online import OnlinePredictor
+from repro.core.calibration import CostCalibrator
+
+__all__ = [
+    "PLAN_FEATURE_NAMES",
+    "plan_feature_vector",
+    "FeatureSpace",
+    "gaussian_kernel_matrix",
+    "gaussian_kernel_cross",
+    "scale_factor_heuristic",
+    "KCCA",
+    "CCA",
+    "PCA",
+    "KMeans",
+    "LinearRegression",
+    "MultiMetricRegression",
+    "nearest_neighbors",
+    "combine_neighbors",
+    "KCCAPredictor",
+    "TwoStepPredictor",
+    "predictive_risk",
+    "within_factor_fraction",
+    "neighbor_confidence",
+    "FeatureContribution",
+    "feature_contributions",
+    "OnlinePredictor",
+    "CostCalibrator",
+]

@@ -1,0 +1,83 @@
+"""Prediction confidence and anomaly flagging (paper Section VII-C.3).
+
+The paper's initial finding: the Euclidean distance from a test query to
+its three neighbours measures confidence — queries far from everything in
+training (like the post-OS-upgrade bowling balls in Figure 10) get the
+least accurate predictions and can be flagged as potentially anomalous.
+
+We operationalise that as a robust z-score of the mean neighbour distance
+against the training set's own leave-self-out neighbour distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.neighbors import nearest_neighbors
+from repro.core.predictor import KCCAPredictor
+from repro.errors import ModelError
+
+__all__ = ["ConfidenceModel", "neighbor_confidence"]
+
+
+@dataclass(frozen=True)
+class ConfidenceReport:
+    """Confidence assessment for one query.
+
+    Attributes:
+        distance: mean distance to the k nearest training neighbours.
+        zscore: robust z-score vs the training distance distribution.
+        anomalous: True when the z-score exceeds the model threshold.
+    """
+
+    distance: float
+    zscore: float
+    anomalous: bool
+
+
+class ConfidenceModel:
+    """Calibrates neighbour distances on the training projection."""
+
+    def __init__(self, predictor: KCCAPredictor, threshold: float = 3.0):
+        if threshold <= 0:
+            raise ModelError("threshold must be positive")
+        self.predictor = predictor
+        self.threshold = threshold
+        projection = predictor.query_projection
+        k = predictor.k_neighbors
+        # Leave-self-out: each training point's nearest k *other* points.
+        _idx, distances = nearest_neighbors(
+            projection, projection, k + 1, metric=predictor.distance_metric
+        )
+        train_distances = distances[:, 1:].mean(axis=1)
+        self._median = float(np.median(train_distances))
+        mad = float(np.median(np.abs(train_distances - self._median)))
+        self._scale = 1.4826 * mad if mad > 0 else max(
+            float(train_distances.std()), 1e-12
+        )
+
+    def assess(self, query_features: np.ndarray) -> list[ConfidenceReport]:
+        """Confidence report per query."""
+        details = self.predictor.predict_detailed(query_features)
+        reports = []
+        for detail in details:
+            z = (detail.confidence_distance - self._median) / self._scale
+            reports.append(
+                ConfidenceReport(
+                    distance=detail.confidence_distance,
+                    zscore=float(z),
+                    anomalous=bool(z > self.threshold),
+                )
+            )
+        return reports
+
+
+def neighbor_confidence(
+    predictor: KCCAPredictor,
+    query_features: np.ndarray,
+    threshold: float = 3.0,
+) -> list[ConfidenceReport]:
+    """One-shot convenience wrapper around :class:`ConfidenceModel`."""
+    return ConfidenceModel(predictor, threshold=threshold).assess(query_features)

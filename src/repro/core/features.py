@@ -1,0 +1,102 @@
+"""Query feature vectors (paper Section VI-D, Figure 9).
+
+The winning representation is built from the optimizer's query plan: for
+every physical operator kind, an *instance count* and an *estimated
+cardinality sum*.  E.g. a plan with two sorts of estimated cardinalities
+3 000 and 45 000 contributes ``sort_count = 2`` and
+``sort_cardinality = 48 000``.
+
+The vector layout is fixed by the engine's operator vocabulary, so models
+trained on one schema can score plans from another — which is what makes
+the cross-schema transfer of Experiment 4 possible at all.
+
+An optional ``log_scale`` applies ``log1p`` to every component.  The paper
+used raw values; with a Gaussian kernel the raw encoding makes similarity
+be dominated by the largest cardinalities (small queries collapse into one
+cluster), which is also what the paper's projections show.  Both variants
+are benchmarked in the ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.plan import OperatorKind, PlanNode
+
+__all__ = ["PLAN_FEATURE_NAMES", "plan_feature_vector", "FeatureSpace"]
+
+_KINDS = tuple(kind.value for kind in OperatorKind)
+
+#: Feature names, in vector order: count then cardinality per operator.
+PLAN_FEATURE_NAMES = tuple(
+    name
+    for kind in _KINDS
+    for name in (f"{kind}_count", f"{kind}_cardinality")
+)
+
+
+def plan_feature_vector(plan: PlanNode, log_scale: bool = False) -> np.ndarray:
+    """The 2-per-operator feature vector of one physical plan."""
+    counts = plan.operator_counts()
+    cardinalities = plan.cardinality_sums()
+    values = []
+    for kind in _KINDS:
+        values.append(float(counts.get(kind, 0)))
+        values.append(float(cardinalities.get(kind, 0.0)))
+    vector = np.array(values, dtype=np.float64)
+    if log_scale:
+        vector = np.log1p(vector)
+    return vector
+
+
+class FeatureSpace:
+    """A named, fixed-width feature space with matrix builders.
+
+    Keeps feature construction honest across training and test sets: the
+    same space instance must be used for both so columns line up.
+    """
+
+    def __init__(
+        self, names: Sequence[str], log_scale: bool = False
+    ) -> None:
+        self.names = tuple(names)
+        self.log_scale = log_scale
+
+    @classmethod
+    def for_plans(cls, log_scale: bool = False) -> "FeatureSpace":
+        """The query-plan feature space (Figure 9)."""
+        return cls(PLAN_FEATURE_NAMES, log_scale=log_scale)
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    def matrix_from_plans(self, plans: Iterable[PlanNode]) -> np.ndarray:
+        """Stack plan feature vectors into an (n, width) matrix."""
+        rows = [plan_feature_vector(plan, self.log_scale) for plan in plans]
+        if not rows:
+            return np.empty((0, self.width))
+        matrix = np.vstack(rows)
+        if matrix.shape[1] != self.width:
+            raise ValueError(
+                f"plan features have width {matrix.shape[1]}, "
+                f"expected {self.width}"
+            )
+        return matrix
+
+    def matrix_from_vectors(self, vectors: Iterable[np.ndarray]) -> np.ndarray:
+        """Stack prebuilt vectors, applying this space's scaling."""
+        rows = []
+        for vector in vectors:
+            vector = np.asarray(vector, dtype=np.float64)
+            if vector.shape != (self.width,):
+                raise ValueError(
+                    f"feature vector has shape {vector.shape}, "
+                    f"expected ({self.width},)"
+                )
+            rows.append(np.log1p(vector) if self.log_scale else vector)
+        if not rows:
+            return np.empty((0, self.width))
+        return np.vstack(rows)

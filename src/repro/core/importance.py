@@ -1,0 +1,103 @@
+"""Feature-contribution analysis (paper Section VII-C.2).
+
+KCCA's projection dimensions do not correspond to raw features, and
+inverting the projection is computationally hard — so the paper proposes
+an alternate technique: compare each feature of a test query with the
+corresponding features of its nearest neighbours.  Features on which a
+query agrees with its neighbours are the ones the model is effectively
+matching on; aggregated over a test set, they rank which operators drive
+the performance model (the paper's cursory finding: join operator counts
+and cardinalities contribute most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.predictor import KCCAPredictor
+from repro.errors import ModelError
+
+__all__ = ["FeatureContribution", "feature_contributions"]
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """Aggregate similarity between test queries and their neighbours.
+
+    Attributes:
+        name: feature name.
+        similarity: mean per-feature similarity in [0, 1]; higher means
+            the model's chosen neighbours consistently agree with the
+            query on this feature.
+        active_fraction: fraction of test queries where the feature was
+            non-zero in the query or any neighbour (features never active
+            carry no signal regardless of similarity).
+    """
+
+    name: str
+    similarity: float
+    active_fraction: float
+
+    @property
+    def score(self) -> float:
+        """Contribution score: similarity weighted by how often active."""
+        return self.similarity * self.active_fraction
+
+
+def feature_contributions(
+    predictor: KCCAPredictor,
+    query_features: np.ndarray,
+    train_features: np.ndarray,
+    feature_names: Sequence[str],
+) -> list[FeatureContribution]:
+    """Rank features by query/neighbour agreement (Section VII-C.2).
+
+    Args:
+        predictor: a fitted predictor (supplies the neighbours).
+        query_features: (m, p) test query feature matrix (raw space).
+        train_features: (n, p) training feature matrix (raw space, same
+            rows the predictor was fitted on).
+        feature_names: names for the p columns.
+
+    Returns:
+        contributions sorted by descending score.
+    """
+    query_features = np.atleast_2d(np.asarray(query_features, dtype=float))
+    train_features = np.asarray(train_features, dtype=float)
+    if query_features.shape[1] != train_features.shape[1]:
+        raise ModelError("query and training feature widths differ")
+    if len(feature_names) != query_features.shape[1]:
+        raise ModelError("feature_names length must match feature width")
+
+    details = predictor.predict_detailed(query_features)
+    similarities = np.zeros(query_features.shape[1])
+    active = np.zeros(query_features.shape[1])
+    for row, detail in enumerate(details):
+        neighbors = train_features[detail.neighbor_indices]
+        query = query_features[row]
+        # Per-feature relative agreement: 1 when equal, ->0 when far.
+        scale = np.maximum(
+            np.abs(query)[None, :], np.abs(neighbors)
+        ) + _EPSILON
+        agreement = 1.0 - np.abs(neighbors - query[None, :]) / scale
+        similarities += agreement.mean(axis=0)
+        active += (
+            (np.abs(query) > _EPSILON)
+            | (np.abs(neighbors) > _EPSILON).any(axis=0)
+        ).astype(float)
+    n_queries = len(details)
+    contributions = [
+        FeatureContribution(
+            name=name,
+            similarity=float(similarities[i] / n_queries),
+            active_fraction=float(active[i] / n_queries),
+        )
+        for i, name in enumerate(feature_names)
+    ]
+    contributions.sort(key=lambda c: c.score, reverse=True)
+    return contributions

@@ -1,0 +1,109 @@
+"""Gaussian kernels and the paper's scale-factor heuristic.
+
+Section VI-A: the similarity between two feature vectors is the Gaussian
+kernel ``k(x_i, x_j) = exp(-||x_i - x_j||^2 / tau)``.  The paper sets the
+scale factor ``tau`` to "a fixed fraction of the empirical variance of the
+norms of the data points" — 0.1 for query vectors and 0.2 for performance
+vectors — rather than cross-validating it; both options are implemented
+here (the fixed fractions as the default, cross-validation in the
+ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "squared_distances",
+    "cross_squared_distances",
+    "scale_factor_heuristic",
+    "gaussian_kernel_matrix",
+    "gaussian_kernel_cross",
+    "QUERY_SCALE_FRACTION",
+    "PERFORMANCE_SCALE_FRACTION",
+]
+
+#: Fractions of the empirical norm variance used by the paper (Sec. VI-A).
+QUERY_SCALE_FRACTION = 0.1
+PERFORMANCE_SCALE_FRACTION = 0.2
+
+_MIN_TAU = 1e-12
+
+
+def squared_distances(data: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances of the rows of ``data``."""
+    data = np.asarray(data, dtype=np.float64)
+    norms = np.einsum("ij,ij->i", data, data)
+    distances = norms[:, None] + norms[None, :] - 2.0 * (data @ data.T)
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def cross_squared_distances(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``left`` and ``right``."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    left_norms = np.einsum("ij,ij->i", left, left)
+    right_norms = np.einsum("ij,ij->i", right, right)
+    distances = (
+        left_norms[:, None] + right_norms[None, :] - 2.0 * (left @ right.T)
+    )
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def scale_factor_heuristic(
+    data: np.ndarray, fraction: float, method: str = "distance"
+) -> float:
+    """Gaussian scale factor tau for a dataset.
+
+    ``method="distance"`` (default): ``tau = 10 * fraction * mean squared
+    pairwise distance``, i.e. with the paper's fractions (0.1 / 0.2) the
+    kernel width is one to two times the mean squared distance — the
+    classic median-type heuristic that keeps the kernel informative.
+
+    ``method="norm_variance"``: the paper's literal rule — ``fraction`` of
+    the empirical variance of the data-point norms (Section VI-A).  On the
+    paper's raw cardinality features the norm variance is enormous and
+    this works; on standardised features it collapses the kernel towards
+    the identity matrix.  Both variants are compared in the ablation
+    benchmarks.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if method == "norm_variance":
+        norms = np.linalg.norm(data, axis=1)
+        variance = float(np.var(norms))
+        if variance > _MIN_TAU:
+            return fraction * variance
+        # Degenerate: fall through to the distance heuristic.
+    elif method != "distance":
+        raise ValueError(f"unknown scale heuristic {method!r}")
+    if data.shape[0] < 2:
+        return 1.0
+    if data.shape[0] > 512:
+        # Subsample for the tau estimate only; tau is a scale, not a fit.
+        step = data.shape[0] // 512 + 1
+        data = data[::step]
+    mean_sq = float(squared_distances(data).mean())
+    return max(10.0 * fraction * mean_sq, _MIN_TAU * 10)
+
+
+def gaussian_kernel_matrix(data: np.ndarray, tau: float) -> np.ndarray:
+    """N x N Gaussian kernel matrix ``exp(-||xi-xj||^2 / tau)``.
+
+    The result is symmetric with a unit diagonal.
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    kernel = np.exp(-squared_distances(data) / tau)
+    np.fill_diagonal(kernel, 1.0)
+    return kernel
+
+
+def gaussian_kernel_cross(
+    new_data: np.ndarray, train_data: np.ndarray, tau: float
+) -> np.ndarray:
+    """M x N kernel evaluations between new points and training points."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    return np.exp(-cross_squared_distances(new_data, train_data) / tau)

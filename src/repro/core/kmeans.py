@@ -1,0 +1,121 @@
+"""K-means clustering (paper Section V-B).
+
+The paper considers partition clustering and rejects it for prediction:
+clustering query features and clustering performance features produce
+*different* partitions, so cluster membership on one side says little
+about the other.  K-means is implemented to demonstrate exactly that
+mismatch (see the clustering-agreement test and ablation bench) and as a
+building block for feature-space diagnostics.
+
+Standard Lloyd's algorithm with k-means++ seeding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+
+__all__ = ["KMeans", "cluster_agreement"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Attributes (after :meth:`fit`):
+        centroids: (k, p) cluster centres.
+        labels: training-point assignments.
+        inertia: final within-cluster sum of squared distances.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        max_iterations: int = 100,
+        seed: int = 0,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.tolerance = tolerance
+        self.centroids: Optional[np.ndarray] = None
+        self.labels: Optional[np.ndarray] = None
+        self.inertia: float = float("inf")
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < self.n_clusters:
+            raise ModelError("need at least n_clusters data points")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._kmeanspp_init(data, rng)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        for _iteration in range(self.max_iterations):
+            distances = self._distances(data, centroids)
+            labels = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for k in range(self.n_clusters):
+                members = data[labels == k]
+                if len(members):
+                    new_centroids[k] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift <= self.tolerance:
+                break
+        self.centroids = centroids
+        self.labels = labels
+        final = self._distances(data, centroids)
+        self.inertia = float(final[np.arange(len(labels)), labels].sum())
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise NotFittedError("KMeans model is not fitted")
+        data = np.asarray(data, dtype=np.float64)
+        return self._distances(data, self.centroids).argmin(axis=1)
+
+    def _kmeanspp_init(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = data.shape[0]
+        first = int(rng.integers(0, n))
+        centroids = [data[first]]
+        for _ in range(1, self.n_clusters):
+            distances = self._distances(data, np.array(centroids)).min(axis=1)
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(data[int(rng.integers(0, n))])
+                continue
+            probabilities = distances / total
+            centroids.append(data[int(rng.choice(n, p=probabilities))])
+        return np.array(centroids)
+
+    @staticmethod
+    def _distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        diff = data[:, None, :] - centroids[None, :, :]
+        return np.einsum("nkp,nkp->nk", diff, diff)
+
+
+def cluster_agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Pair-counting agreement (Rand index) between two clusterings.
+
+    1.0 means the partitions agree on every pair of points.  The paper's
+    argument against clustering-based prediction is that this agreement is
+    low between query-feature clusters and performance-feature clusters.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ModelError("label arrays must have the same shape")
+    n = len(labels_a)
+    if n < 2:
+        return 1.0
+    same_a = labels_a[:, None] == labels_a[None, :]
+    same_b = labels_b[:, None] == labels_b[None, :]
+    upper = np.triu_indices(n, k=1)
+    agree = (same_a[upper] == same_b[upper]).sum()
+    return float(agree) / len(upper[0])

@@ -1,0 +1,137 @@
+"""Accuracy metrics for prediction evaluation.
+
+The paper's headline metric is *predictive risk* (Section VI-C):
+
+    1 - sum_i (pred_i - actual_i)^2 / sum_i (actual_i - mean(actual))^2
+
+— like R-squared, but computed on held-out test points, so values below
+zero are possible (the paper notes this explicitly).  The headline claim
+("elapsed time within 20% of actual for at least 85% of test queries")
+uses :func:`within_fraction`, and the classification experiments use the
+confusion-matrix helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "predictive_risk",
+    "predictive_risk_without_outliers",
+    "within_fraction",
+    "within_factor_fraction",
+    "confusion_matrix",
+    "classification_accuracy",
+]
+
+
+def _validate(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=np.float64).ravel()
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    if predicted.shape != actual.shape:
+        raise ModelError("predicted and actual must have the same length")
+    if len(actual) == 0:
+        raise ModelError("cannot score empty arrays")
+    return predicted, actual
+
+
+def predictive_risk(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """The paper's predictive-risk metric; 1.0 is a perfect prediction.
+
+    Computed on test data, so it can be negative.  Returns NaN when the
+    actual values have zero variance (the metric is undefined; the paper's
+    Figure 16 reports such cases as "Null").
+    """
+    predicted, actual = _validate(predicted, actual)
+    denominator = float(((actual - actual.mean()) ** 2).sum())
+    if denominator <= 0:
+        return float("nan")
+    numerator = float(((predicted - actual) ** 2).sum())
+    return 1.0 - numerator / denominator
+
+
+def predictive_risk_without_outliers(
+    predicted: np.ndarray, actual: np.ndarray, drop: int = 1
+) -> float:
+    """Predictive risk after dropping the ``drop`` worst prediction errors.
+
+    The paper repeatedly notes the metric's sensitivity to one or two
+    outliers (e.g. Figure 10's 0.55 becomes 0.61 after removing the
+    furthest outlier).
+    """
+    predicted, actual = _validate(predicted, actual)
+    if drop < 0:
+        raise ModelError("drop must be non-negative")
+    if drop >= len(actual):
+        raise ModelError("cannot drop every data point")
+    errors = (predicted - actual) ** 2
+    keep = np.argsort(errors)[: len(errors) - drop] if drop else slice(None)
+    return predictive_risk(predicted[keep], actual[keep])
+
+
+def within_fraction(
+    predicted: np.ndarray, actual: np.ndarray, fraction: float = 0.2
+) -> float:
+    """Fraction of predictions within ``fraction`` relative error.
+
+    ``within_fraction(p, a, 0.2)`` is the paper's "within 20% of actual
+    time" statistic.  Zero actuals count as hits only when the prediction
+    is also (near) zero.
+    """
+    predicted, actual = _validate(predicted, actual)
+    if fraction <= 0:
+        raise ModelError("fraction must be positive")
+    scale = np.abs(actual)
+    zero = scale <= 0
+    hits = np.abs(predicted - actual) <= fraction * scale
+    hits[zero] = np.abs(predicted[zero]) <= 1e-9
+    return float(hits.mean())
+
+
+def within_factor_fraction(
+    predicted: np.ndarray, actual: np.ndarray, factor: float = 10.0
+) -> float:
+    """Fraction of predictions within a multiplicative ``factor``.
+
+    Used for order-of-magnitude statements like Experiment 4's "one to
+    three orders of magnitude longer than actual".
+    """
+    predicted, actual = _validate(predicted, actual)
+    if factor <= 1.0:
+        raise ModelError("factor must exceed 1")
+    safe_pred = np.maximum(np.abs(predicted), 1e-12)
+    safe_actual = np.maximum(np.abs(actual), 1e-12)
+    ratio = np.maximum(safe_pred / safe_actual, safe_actual / safe_pred)
+    return float((ratio <= factor).mean())
+
+
+def confusion_matrix(
+    predicted_labels: Sequence, actual_labels: Sequence, labels: Sequence
+) -> np.ndarray:
+    """Counts[i, j] = queries of actual class i predicted as class j."""
+    label_index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    if len(predicted_labels) != len(actual_labels):
+        raise ModelError("label sequences must have equal length")
+    for predicted, actual in zip(predicted_labels, actual_labels):
+        try:
+            matrix[label_index[actual], label_index[predicted]] += 1
+        except KeyError as exc:
+            raise ModelError(f"unknown label {exc.args[0]!r}") from None
+    return matrix
+
+
+def classification_accuracy(
+    predicted_labels: Sequence, actual_labels: Sequence
+) -> float:
+    """Fraction of exactly matching labels."""
+    if len(predicted_labels) != len(actual_labels):
+        raise ModelError("label sequences must have equal length")
+    if not actual_labels:
+        raise ModelError("cannot score empty label sequences")
+    hits = sum(p == a for p, a in zip(predicted_labels, actual_labels))
+    return hits / len(actual_labels)

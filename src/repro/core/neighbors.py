@@ -1,0 +1,111 @@
+"""Nearest-neighbour search and neighbour combination (Section VI-E).
+
+Prediction maps a new query's projection coordinates to the performance
+vectors of its k nearest training neighbours.  The paper evaluates three
+design choices, all implemented here:
+
+1. the distance metric — Euclidean vs cosine (Table I; Euclidean wins);
+2. the number of neighbours k in 3..7 (Table II; negligible difference,
+   k = 3 chosen);
+3. the weighting of neighbours — equal, 3:2:1, or inverse-distance
+   (Table III; no consistent winner, equal chosen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "nearest_neighbors",
+    "combine_neighbors",
+    "DISTANCE_METRICS",
+    "WEIGHTING_SCHEMES",
+]
+
+DISTANCE_METRICS = ("euclidean", "cosine")
+WEIGHTING_SCHEMES = ("equal", "ranked", "distance")
+
+_EPSILON = 1e-12
+
+
+def _euclidean_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    diff = reference[None, :, :] - points[:, None, :]
+    return np.sqrt(np.einsum("mnp,mnp->mn", diff, diff))
+
+
+def _cosine_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    point_norms = np.linalg.norm(points, axis=1, keepdims=True)
+    ref_norms = np.linalg.norm(reference, axis=1, keepdims=True)
+    cosine = (points @ reference.T) / (
+        np.maximum(point_norms, _EPSILON) * np.maximum(ref_norms.T, _EPSILON)
+    )
+    return 1.0 - np.clip(cosine, -1.0, 1.0)
+
+
+def nearest_neighbors(
+    points: np.ndarray,
+    reference: np.ndarray,
+    k: int,
+    metric: str = "euclidean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest ``reference`` rows for each row of ``points``.
+
+    Returns:
+        (indices, distances), each of shape (n_points, k), neighbours
+        ordered nearest first.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    reference = np.asarray(reference, dtype=np.float64)
+    if metric not in DISTANCE_METRICS:
+        raise ModelError(f"unknown distance metric {metric!r}")
+    if k < 1:
+        raise ModelError("k must be >= 1")
+    if reference.ndim != 2 or reference.shape[0] == 0:
+        raise ModelError("reference set must be a non-empty 2-D array")
+    k = min(k, reference.shape[0])
+    if metric == "euclidean":
+        distances = _euclidean_distances(points, reference)
+    else:
+        distances = _cosine_distances(points, reference)
+    # argpartition then sort the k candidates: O(N + k log k) per point.
+    candidate = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+    candidate_distances = np.take_along_axis(distances, candidate, axis=1)
+    order = np.argsort(candidate_distances, axis=1, kind="stable")
+    indices = np.take_along_axis(candidate, order, axis=1)
+    sorted_distances = np.take_along_axis(candidate_distances, order, axis=1)
+    return indices, sorted_distances
+
+
+def combine_neighbors(
+    neighbor_values: np.ndarray,
+    distances: np.ndarray,
+    weighting: str = "equal",
+) -> np.ndarray:
+    """Blend the k neighbours' performance vectors into one prediction.
+
+    Args:
+        neighbor_values: (k, n_metrics) raw neighbour performance vectors,
+            nearest first.
+        distances: (k,) distances to the neighbours.
+        weighting: ``equal``, ``ranked`` (k:k-1:...:1, the paper's 3:2:1
+            for k = 3), or ``distance`` (inverse-distance).
+    """
+    neighbor_values = np.asarray(neighbor_values, dtype=np.float64)
+    distances = np.asarray(distances, dtype=np.float64)
+    if neighbor_values.ndim != 2:
+        raise ModelError("neighbor_values must be (k, n_metrics)")
+    k = neighbor_values.shape[0]
+    if distances.shape != (k,):
+        raise ModelError("distances must have one entry per neighbour")
+    if weighting == "equal":
+        weights = np.ones(k)
+    elif weighting == "ranked":
+        weights = np.arange(k, 0, -1, dtype=np.float64)
+    elif weighting == "distance":
+        weights = 1.0 / np.maximum(distances, _EPSILON)
+    else:
+        raise ModelError(f"unknown weighting scheme {weighting!r}")
+    weights = weights / weights.sum()
+    return weights @ neighbor_values

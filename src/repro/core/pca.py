@@ -1,0 +1,66 @@
+"""Principal Component Analysis (paper Section V-C).
+
+The paper discusses PCA as the classic single-dataset technique and
+rejects it for prediction because it cannot correlate the query dataset
+with the performance dataset.  It is still implemented (a) as an honest
+baseline and (b) because the experiments use it to visualise feature
+spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Plain covariance-eigendecomposition PCA.
+
+    Attributes (after :meth:`fit`):
+        components: d x p matrix of principal directions (rows).
+        explained_variance: eigenvalues, descending.
+        mean: feature means used for centring.
+    """
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ModelError("n_components must be >= 1")
+        self.n_components = n_components
+        self.components: Optional[np.ndarray] = None
+        self.explained_variance: Optional[np.ndarray] = None
+        self.mean: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ModelError("PCA needs a 2-D array with at least two rows")
+        self.mean = data.mean(axis=0)
+        centered = data - self.mean
+        # SVD is numerically preferable to forming the covariance matrix.
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        d = min(self.n_components, vt.shape[0])
+        self.components = vt[:d]
+        self.explained_variance = (s[:d] ** 2) / (data.shape[0] - 1)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.components is None or self.mean is None:
+            raise NotFittedError("PCA model is not fitted")
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean) @ self.components.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        if self.explained_variance is None:
+            raise NotFittedError("PCA model is not fitted")
+        total = self.explained_variance.sum()
+        if total <= 0:
+            return np.zeros_like(self.explained_variance)
+        return self.explained_variance / total

@@ -1,0 +1,106 @@
+"""Two-step prediction with query-type-specific models (Experiment 3).
+
+Step 1: a first KCCA model classifies a new query as a feather, golf ball
+or bowling ball by majority vote over its nearest neighbours' *categories*
+(e.g. two feathers and a golf ball -> feather).
+
+Step 2: the query is predicted by a second KCCA model trained only on
+queries of that category.
+
+The paper found this more accurate than the single model (predictive risk
+0.82 vs 0.55 on elapsed time), at the cost of occasional misrouting for
+queries near category boundaries — both behaviours are reproduced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.core.predictor import KCCAPredictor
+from repro.engine.metrics import METRIC_NAMES
+from repro.errors import ModelError, NotFittedError
+from repro.workloads.categories import QueryCategory, categorize
+
+__all__ = ["TwoStepPredictor"]
+
+_ELAPSED_INDEX = METRIC_NAMES.index("elapsed_time")
+
+
+class TwoStepPredictor:
+    """Classify query type, then predict with a type-specific model.
+
+    Args:
+        predictor_kwargs: forwarded to every inner :class:`KCCAPredictor`.
+        min_category_size: categories with fewer training queries than
+            this are folded into the router model (their queries are still
+            predictable; they just reuse the global model).
+    """
+
+    def __init__(self, min_category_size: int = 8, **predictor_kwargs) -> None:
+        self.min_category_size = min_category_size
+        self.predictor_kwargs = predictor_kwargs
+        self._router: Optional[KCCAPredictor] = None
+        self._categories: Optional[list[QueryCategory]] = None
+        self._specialists: dict[QueryCategory, KCCAPredictor] = {}
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, query_features: np.ndarray, performance: np.ndarray
+    ) -> "TwoStepPredictor":
+        query_features = np.asarray(query_features, dtype=np.float64)
+        performance = np.asarray(performance, dtype=np.float64)
+        if query_features.shape[0] != performance.shape[0]:
+            raise ModelError("feature and performance row counts differ")
+        self._router = KCCAPredictor(**self.predictor_kwargs).fit(
+            query_features, performance
+        )
+        elapsed = performance[:, _ELAPSED_INDEX]
+        self._categories = [categorize(value) for value in elapsed]
+        self._specialists = {}
+        counts = Counter(self._categories)
+        k = self._router.k_neighbors
+        for category, count in counts.items():
+            if count >= max(self.min_category_size, k + 1):
+                member = np.array(
+                    [c == category for c in self._categories], dtype=bool
+                )
+                specialist = KCCAPredictor(**self.predictor_kwargs)
+                specialist.fit(query_features[member], performance[member])
+                self._specialists[category] = specialist
+        return self
+
+    # ------------------------------------------------------------------
+
+    def classify(self, query_features: np.ndarray) -> list[QueryCategory]:
+        """Step 1: majority-vote category of each query's neighbours."""
+        if self._router is None or self._categories is None:
+            raise NotFittedError("TwoStepPredictor is not fitted")
+        details = self._router.predict_detailed(query_features)
+        labels = []
+        for detail in details:
+            votes = Counter(
+                self._categories[i] for i in detail.neighbor_indices
+            )
+            labels.append(votes.most_common(1)[0][0])
+        return labels
+
+    def predict(self, query_features: np.ndarray) -> np.ndarray:
+        """Step 2: per-category specialist prediction (router fallback)."""
+        if self._router is None:
+            raise NotFittedError("TwoStepPredictor is not fitted")
+        features = np.atleast_2d(np.asarray(query_features, dtype=np.float64))
+        labels = self.classify(features)
+        predictions = np.empty((features.shape[0], len(METRIC_NAMES)))
+        for index, label in enumerate(labels):
+            model = self._specialists.get(label, self._router)
+            predictions[index] = model.predict(features[index : index + 1])[0]
+        return predictions
+
+    @property
+    def trained_categories(self) -> tuple[QueryCategory, ...]:
+        """Categories that received their own specialist model."""
+        return tuple(sorted(self._specialists, key=lambda c: c.value))

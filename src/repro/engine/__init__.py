@@ -1,0 +1,23 @@
+"""Simulated shared-nothing parallel database engine.
+
+This package stands in for the paper's HP Neoview systems.  Physical plans
+(:mod:`repro.engine.plan`) are executed for real over numpy-backed tables
+(:mod:`repro.engine.operators`, :mod:`repro.engine.executor`), so record
+counts are genuine; elapsed time, disk I/O and message traffic come from an
+analytic resource model (:mod:`repro.engine.timing`) parameterised by a
+:class:`~repro.engine.system.SystemConfig`.
+"""
+
+from repro.engine.system import SystemConfig
+from repro.engine.metrics import METRIC_NAMES, PerformanceMetrics
+from repro.engine.plan import OperatorKind, PlanNode
+from repro.engine.executor import Executor
+
+__all__ = [
+    "SystemConfig",
+    "METRIC_NAMES",
+    "PerformanceMetrics",
+    "OperatorKind",
+    "PlanNode",
+    "Executor",
+]

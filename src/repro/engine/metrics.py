@@ -1,0 +1,104 @@
+"""Performance metrics recorded for each executed query.
+
+The six metrics are exactly those the paper predicts (Section VI-D):
+elapsed time, records accessed / records used (input / output cardinality
+of the file-scan operators), disk I/Os, message count and message bytes.
+A few auxiliary quantities (CPU seconds, rows returned) are kept for
+diagnostics but are not part of the performance feature vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["METRIC_NAMES", "PerformanceMetrics", "MetricsAccumulator"]
+
+#: Canonical ordering of the performance feature vector.
+METRIC_NAMES = (
+    "elapsed_time",
+    "records_accessed",
+    "records_used",
+    "disk_ios",
+    "message_count",
+    "message_bytes",
+)
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """Measured performance of one query execution.
+
+    Attributes:
+        elapsed_time: simulated wall-clock seconds.
+        records_accessed: total input cardinality of all file scans.
+        records_used: total output cardinality of all file scans.
+        disk_ios: pages read from or written to disk.
+        message_count: interconnect messages sent.
+        message_bytes: interconnect bytes sent.
+        cpu_seconds: aggregate CPU seconds across nodes (diagnostic).
+        rows_returned: rows in the final result (diagnostic).
+    """
+
+    elapsed_time: float
+    records_accessed: int
+    records_used: int
+    disk_ios: int
+    message_count: int
+    message_bytes: int
+    cpu_seconds: float = 0.0
+    rows_returned: int = 0
+
+    def as_vector(self) -> np.ndarray:
+        """The six-element performance feature vector, paper ordering."""
+        return np.array(
+            [getattr(self, name) for name in METRIC_NAMES], dtype=np.float64
+        )
+
+    @staticmethod
+    def from_vector(vector: np.ndarray) -> "PerformanceMetrics":
+        """Build a metrics record from a six-element vector."""
+        values = dict(zip(METRIC_NAMES, np.asarray(vector, dtype=np.float64)))
+        return PerformanceMetrics(
+            elapsed_time=float(values["elapsed_time"]),
+            records_accessed=int(round(values["records_accessed"])),
+            records_used=int(round(values["records_used"])),
+            disk_ios=int(round(values["disk_ios"])),
+            message_count=int(round(values["message_count"])),
+            message_bytes=int(round(values["message_bytes"])),
+        )
+
+
+@dataclass
+class MetricsAccumulator:
+    """Mutable accumulator the executor charges resources into."""
+
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    net_seconds: float = 0.0
+    records_accessed: int = 0
+    records_used: int = 0
+    disk_ios: int = 0
+    message_count: int = 0
+    message_bytes: int = 0
+    operator_seconds: dict[str, float] = field(default_factory=dict)
+
+    def charge_time(self, operator: str, seconds: float, bucket: str) -> None:
+        """Charge ``seconds`` of ``bucket`` time (cpu/io/net) to an operator."""
+        if bucket == "cpu":
+            self.cpu_seconds += seconds
+        elif bucket == "io":
+            self.io_seconds += seconds
+        elif bucket == "net":
+            self.net_seconds += seconds
+        else:
+            raise ValueError(f"unknown time bucket {bucket!r}")
+        self.operator_seconds[operator] = (
+            self.operator_seconds.get(operator, 0.0) + seconds
+        )
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total per-query service time before overlap/noise adjustments."""
+        return self.cpu_seconds + self.io_seconds + self.net_seconds

@@ -1,0 +1,445 @@
+"""Executable operator algorithms over numpy column batches.
+
+The functions here are pure data transforms: given input
+:class:`Batch` objects they produce output batches, with no resource
+accounting (that lives in :mod:`repro.engine.timing`).  Keeping the two
+concerns separate means the *measured* record counts are always those of a
+genuine execution, while the simulated clock charges whatever algorithm the
+optimizer chose — including charging quadratic time for a nested-loop join
+the executor evaluates in vectorised chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.engine.plan import AggregateSpec
+from repro.sql.ast import Expr
+from repro.sql.eval import evaluate
+
+__all__ = [
+    "Batch",
+    "equi_join_indices",
+    "join_match_counts",
+    "hash_join_batches",
+    "nested_join_batches",
+    "semi_join_batch",
+    "sort_batch",
+    "group_by_batch",
+    "scalar_aggregate_batch",
+    "distinct_batch",
+    "filter_batch",
+    "project_batch",
+    "top_n_batch",
+    "factorize_rows",
+]
+
+#: Maximum elements evaluated at once by the chunked nested-loop join.
+_NL_CHUNK_ELEMENTS = 4_000_000
+
+
+@dataclass
+class Batch:
+    """A materialised batch of rows: equal-length named column arrays."""
+
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+    n_rows: int = 0
+
+    def __post_init__(self) -> None:
+        for name, arr in self.columns.items():
+            if len(arr) != self.n_rows:
+                raise ExecutionError(
+                    f"column {name!r} has {len(arr)} rows, expected {self.n_rows}"
+                )
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"unknown column {name!r}") from None
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        """New batch with the rows selected by ``indices`` (with repeats)."""
+        return Batch(
+            {name: arr[indices] for name, arr in self.columns.items()},
+            n_rows=len(indices),
+        )
+
+    def mask(self, keep: np.ndarray) -> "Batch":
+        """New batch with rows where ``keep`` is True."""
+        keep = np.asarray(keep, dtype=bool)
+        return Batch(
+            {name: arr[keep] for name, arr in self.columns.items()},
+            n_rows=int(keep.sum()),
+        )
+
+    @property
+    def row_bytes(self) -> float:
+        """Estimated width of one row, from column dtypes."""
+        total = 0.0
+        for arr in self.columns.values():
+            if arr.dtype.kind in ("U", "S", "O"):
+                total += 24.0
+            else:
+                total += float(arr.dtype.itemsize)
+        return max(total, 8.0)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.row_bytes * self.n_rows
+
+    def evaluate(self, expr: Expr) -> np.ndarray:
+        """Evaluate an expression over this batch."""
+        return evaluate(expr, self.columns, self.n_rows)
+
+
+# ----------------------------------------------------------------------
+# Key factorisation
+# ----------------------------------------------------------------------
+
+
+def _codes_for_pair(
+    left: np.ndarray, right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integer codes such that equal values share a code across both sides."""
+    if (
+        np.issubdtype(left.dtype, np.number)
+        and np.issubdtype(right.dtype, np.number)
+    ):
+        combined = np.concatenate([left.astype(np.float64), right.astype(np.float64)])
+    else:
+        combined = np.concatenate([left.astype(str), right.astype(str)])
+    _, inverse = np.unique(combined, return_inverse=True)
+    return inverse[: len(left)], inverse[len(left):]
+
+
+def _combine_codes(code_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Combine per-column codes into a single composite code per row."""
+    result = code_arrays[0].astype(np.int64)
+    for codes in code_arrays[1:]:
+        radix = int(codes.max(initial=0)) + 1
+        result = result * radix + codes.astype(np.int64)
+    return result
+
+
+def factorize_rows(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Factorise rows of a multi-column key into dense group codes.
+
+    Returns:
+        (codes, n_groups) where codes[i] is the group id of row i in
+        ``[0, n_groups)``.  Group ids follow the sorted order of keys.
+    """
+    if not arrays:
+        raise ExecutionError("factorize_rows requires at least one key column")
+    per_column = []
+    for arr in arrays:
+        _, inverse = np.unique(arr, return_inverse=True)
+        per_column.append(inverse)
+    composite = _combine_codes(per_column)
+    uniques, codes = np.unique(composite, return_inverse=True)
+    return codes, len(uniques)
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+
+
+def join_match_counts(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-left-row match bookkeeping for an equi join.
+
+    Returns:
+        (counts, starts, order): ``order`` sorts the right side by key;
+        for left row i the matching right rows are
+        ``order[starts[i] : starts[i] + counts[i]]``.
+    """
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ExecutionError("equi join requires matching, non-empty key lists")
+    left_codes_list, right_codes_list = [], []
+    for lk, rk in zip(left_keys, right_keys):
+        lc, rc = _codes_for_pair(np.asarray(lk), np.asarray(rk))
+        left_codes_list.append(lc)
+        right_codes_list.append(rc)
+    left_codes = _combine_codes(left_codes_list)
+    right_codes = _combine_codes(right_codes_list)
+    order = np.argsort(right_codes, kind="stable")
+    right_sorted = right_codes[order]
+    starts = np.searchsorted(right_sorted, left_codes, side="left")
+    ends = np.searchsorted(right_sorted, left_codes, side="right")
+    return (ends - starts).astype(np.int64), starts.astype(np.int64), order
+
+
+def equi_join_indices(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs produced by an inner equi join."""
+    counts, starts, order = join_match_counts(left_keys, right_keys)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    left_idx = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    cumulative = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        cumulative - counts, counts
+    )
+    right_pos = np.repeat(starts, counts) + offsets
+    return left_idx, order[right_pos]
+
+
+def hash_join_batches(
+    left: Batch,
+    right: Batch,
+    join_pairs: Sequence[tuple[str, str]],
+    residual: Optional[Expr] = None,
+) -> Batch:
+    """Inner equi join of two batches with an optional residual predicate."""
+    left_keys = [left.column(l) for l, _ in join_pairs]
+    right_keys = [right.column(r) for _, r in join_pairs]
+    left_idx, right_idx = equi_join_indices(left_keys, right_keys)
+    joined = _merge_batches(left.take(left_idx), right.take(right_idx))
+    if residual is not None and joined.n_rows:
+        keep = joined.evaluate(residual).astype(bool)
+        joined = joined.mask(keep)
+    return joined
+
+
+def nested_join_batches(
+    left: Batch, right: Batch, predicate: Optional[Expr]
+) -> Batch:
+    """Theta join evaluated over the cross product, in bounded chunks.
+
+    The simulated clock charges ``|left| * |right|`` comparisons for this
+    operator regardless of how it is evaluated here.
+    """
+    if left.n_rows == 0 or right.n_rows == 0:
+        return _merge_batches(left.take(np.empty(0, np.int64)),
+                              right.take(np.empty(0, np.int64)))
+    chunk_rows = max(1, _NL_CHUNK_ELEMENTS // max(right.n_rows, 1))
+    left_parts: list[np.ndarray] = []
+    right_parts: list[np.ndarray] = []
+    right_range = np.arange(right.n_rows, dtype=np.int64)
+    for start in range(0, left.n_rows, chunk_rows):
+        stop = min(start + chunk_rows, left.n_rows)
+        block = stop - start
+        left_idx = np.repeat(np.arange(start, stop, dtype=np.int64), right.n_rows)
+        right_idx = np.tile(right_range, block)
+        if predicate is not None:
+            pair_columns = {
+                name: arr[left_idx] for name, arr in left.columns.items()
+            }
+            pair_columns.update(
+                {name: arr[right_idx] for name, arr in right.columns.items()}
+            )
+            keep = evaluate(predicate, pair_columns, len(left_idx)).astype(bool)
+            left_idx = left_idx[keep]
+            right_idx = right_idx[keep]
+        left_parts.append(left_idx)
+        right_parts.append(right_idx)
+    left_idx = np.concatenate(left_parts) if left_parts else np.empty(0, np.int64)
+    right_idx = np.concatenate(right_parts) if right_parts else np.empty(0, np.int64)
+    return _merge_batches(left.take(left_idx), right.take(right_idx))
+
+
+def semi_join_batch(
+    left: Batch,
+    right: Batch,
+    join_pairs: Sequence[tuple[str, str]],
+    anti: bool = False,
+) -> Batch:
+    """Left rows with (or, for anti, without) a match on the right."""
+    left_keys = [left.column(l) for l, _ in join_pairs]
+    right_keys = [right.column(r) for _, r in join_pairs]
+    counts, _starts, _order = join_match_counts(left_keys, right_keys)
+    keep = counts == 0 if anti else counts > 0
+    return left.mask(keep)
+
+
+def _merge_batches(left: Batch, right: Batch) -> Batch:
+    if left.n_rows != right.n_rows:
+        raise ExecutionError("cannot merge batches of different lengths")
+    merged = dict(left.columns)
+    for name, arr in right.columns.items():
+        if name in merged:
+            raise ExecutionError(f"duplicate column {name!r} in join output")
+        merged[name] = arr
+    return Batch(merged, n_rows=left.n_rows)
+
+
+# ----------------------------------------------------------------------
+# Sorting, grouping, aggregation
+# ----------------------------------------------------------------------
+
+
+def sort_batch(batch: Batch, keys: Sequence[tuple[str, bool]]) -> Batch:
+    """Sort by (column, descending) keys; stable, last key least significant.
+
+    ``np.lexsort`` treats its *last* key as primary, so the key list is
+    reversed; descending order is achieved by negating numeric keys and by
+    inverting rank codes for strings.
+    """
+    if not keys or batch.n_rows == 0:
+        return batch
+    lexsort_keys = []
+    for name, descending in reversed(list(keys)):
+        values = batch.column(name)
+        if descending:
+            if np.issubdtype(values.dtype, np.number):
+                values = -values
+            else:
+                _, codes = np.unique(values, return_inverse=True)
+                values = -codes
+        lexsort_keys.append(values)
+    order = np.lexsort(lexsort_keys)
+    return batch.take(order)
+
+
+def _aggregate_column(
+    spec: AggregateSpec,
+    codes: np.ndarray,
+    n_groups: int,
+    batch: Batch,
+    group_order: np.ndarray,
+    group_starts: np.ndarray,
+) -> np.ndarray:
+    """Compute one aggregate per group.
+
+    ``group_order`` sorts rows by group code and ``group_starts`` marks the
+    first row of each group within that ordering (used by the reduceat-based
+    min/max paths).
+    """
+    func = spec.func.lower()
+    if func == "count" and spec.expr is None and not spec.distinct:
+        return np.bincount(codes, minlength=n_groups).astype(np.float64)
+    if spec.expr is None:
+        raise ExecutionError(f"aggregate {func} requires an argument")
+    values = batch.evaluate(spec.expr)
+    if spec.distinct:
+        # Count distinct (value, group) pairs per group.
+        pair_codes, _ = factorize_rows([codes, values])
+        _, unique_idx = np.unique(pair_codes, return_index=True)
+        return np.bincount(codes[unique_idx], minlength=n_groups).astype(np.float64)
+    if func == "count":
+        return np.bincount(codes, minlength=n_groups).astype(np.float64)
+    numeric = values.astype(np.float64)
+    if func == "sum":
+        return np.bincount(codes, weights=numeric, minlength=n_groups)
+    if func == "avg":
+        sums = np.bincount(codes, weights=numeric, minlength=n_groups)
+        counts = np.bincount(codes, minlength=n_groups)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    if func in ("min", "max"):
+        ordered = numeric[group_order]
+        reducer = np.minimum if func == "min" else np.maximum
+        return reducer.reduceat(ordered, group_starts)
+    raise ExecutionError(f"unsupported aggregate function {func!r}")
+
+
+def group_by_batch(
+    batch: Batch,
+    group_keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Batch:
+    """Group by key columns and compute aggregates.
+
+    Output columns: the group key columns (same names) followed by one
+    column per aggregate alias.
+    """
+    if not group_keys:
+        raise ExecutionError("group_by_batch requires group keys")
+    if batch.n_rows == 0:
+        columns = {name: batch.column(name)[:0] for name in group_keys}
+        for spec in aggregates:
+            columns[spec.alias] = np.empty(0, dtype=np.float64)
+        return Batch(columns, n_rows=0)
+    key_arrays = [batch.column(name) for name in group_keys]
+    codes, n_groups = factorize_rows(key_arrays)
+    group_order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[group_order]
+    group_starts = np.searchsorted(sorted_codes, np.arange(n_groups), side="left")
+    representative = group_order[group_starts]
+    columns = {name: batch.column(name)[representative] for name in group_keys}
+    for spec in aggregates:
+        columns[spec.alias] = _aggregate_column(
+            spec, codes, n_groups, batch, group_order, group_starts
+        )
+    return Batch(columns, n_rows=n_groups)
+
+
+def scalar_aggregate_batch(
+    batch: Batch, aggregates: Sequence[AggregateSpec]
+) -> Batch:
+    """Aggregate the whole batch to a single row."""
+    columns: dict[str, np.ndarray] = {}
+    for spec in aggregates:
+        func = spec.func.lower()
+        if func == "count" and spec.expr is None and not spec.distinct:
+            value = float(batch.n_rows)
+        else:
+            if spec.expr is None:
+                raise ExecutionError(f"aggregate {func} requires an argument")
+            values = batch.evaluate(spec.expr)
+            if spec.distinct:
+                values = np.unique(values)
+            if func == "count":
+                value = float(len(values))
+            elif batch.n_rows == 0 and len(values) == 0:
+                value = float("nan")
+            else:
+                numeric = values.astype(np.float64)
+                if func == "sum":
+                    value = float(numeric.sum())
+                elif func == "avg":
+                    value = float(numeric.mean()) if len(numeric) else float("nan")
+                elif func == "min":
+                    value = float(numeric.min()) if len(numeric) else float("nan")
+                elif func == "max":
+                    value = float(numeric.max()) if len(numeric) else float("nan")
+                else:
+                    raise ExecutionError(f"unsupported aggregate function {func!r}")
+        columns[spec.alias] = np.array([value], dtype=np.float64)
+    return Batch(columns, n_rows=1)
+
+
+def distinct_batch(batch: Batch, keys: Sequence[str] | None = None) -> Batch:
+    """Remove duplicate rows (over ``keys`` or all columns)."""
+    if batch.n_rows == 0:
+        return batch
+    names = list(keys) if keys else list(batch.columns)
+    codes, _ = factorize_rows([batch.column(name) for name in names])
+    _, unique_idx = np.unique(codes, return_index=True)
+    return batch.take(np.sort(unique_idx))
+
+
+def filter_batch(batch: Batch, predicate: Expr) -> Batch:
+    """Rows of ``batch`` satisfying ``predicate``."""
+    if batch.n_rows == 0:
+        return batch
+    keep = batch.evaluate(predicate).astype(bool)
+    return batch.mask(keep)
+
+
+def project_batch(batch: Batch, items: Sequence) -> Batch:
+    """Evaluate select items; output columns keyed by alias (or SQL text)."""
+    columns: dict[str, np.ndarray] = {}
+    for item in items:
+        name = item.alias or item.expr.to_sql()
+        columns[name] = batch.evaluate(item.expr)
+    return Batch(columns, n_rows=batch.n_rows)
+
+
+def top_n_batch(
+    batch: Batch, keys: Sequence[tuple[str, bool]], limit: int
+) -> Batch:
+    """First ``limit`` rows in sort order (ORDER BY ... LIMIT n)."""
+    ordered = sort_batch(batch, keys) if keys else batch
+    if ordered.n_rows <= limit:
+        return ordered
+    return ordered.take(np.arange(limit, dtype=np.int64))

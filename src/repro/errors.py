@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems get
+their own subclass so that tests (and users) can assert on the precise
+failure mode without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class TokenizeError(SQLError):
+    """Raised when the tokenizer encounters an invalid character sequence.
+
+    Attributes:
+        position: character offset into the SQL text where the error occurred.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot build an AST from a token stream.
+
+    Attributes:
+        position: character offset of the offending token, or -1 when the
+            input ended unexpectedly.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or duplicate registrations."""
+
+
+class StorageError(ReproError):
+    """Raised on invalid storage-layer operations (schema mismatch etc.)."""
+
+
+class PlanError(ReproError):
+    """Raised when a physical plan is malformed or cannot be executed."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the execution engine fails while running a plan."""
+
+
+class FeatureError(ReproError):
+    """Raised when a feature vector cannot be constructed or aligned."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid model state (e.g. predicting before training)."""
+
+
+class NotFittedError(ModelError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload/template cannot be generated."""

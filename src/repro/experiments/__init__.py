@@ -1,0 +1,29 @@
+"""Experiment harness: corpora, splits and one function per paper artifact.
+
+* :mod:`repro.experiments.corpus` — optimize + execute query pools into
+  :class:`~repro.experiments.corpus.Corpus` objects (features, metrics,
+  categories), with on-disk caching under ``data/corpora/``.
+* :mod:`repro.experiments.harness` — category-stratified splits and
+  predictor evaluation helpers.
+* :mod:`repro.experiments.experiments` — ``fig2`` .. ``fig17`` and the
+  three design-choice tables; each returns a result object the benchmark
+  suite prints and EXPERIMENTS.md records.
+* :mod:`repro.experiments.report` — plain-text table rendering.
+"""
+
+from repro.experiments.corpus import Corpus, ExecutedQuery, build_corpus, load_or_build_corpus
+from repro.experiments.harness import (
+    evaluate_metrics,
+    split_counts,
+    stratified_split,
+)
+
+__all__ = [
+    "Corpus",
+    "ExecutedQuery",
+    "build_corpus",
+    "load_or_build_corpus",
+    "evaluate_metrics",
+    "split_counts",
+    "stratified_split",
+]

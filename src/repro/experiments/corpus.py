@@ -1,0 +1,238 @@
+"""Executed query corpora: the measured training/testing data.
+
+A :class:`Corpus` is the product of running a query pool through the
+optimizer and executor on one system configuration: per query, the plan
+feature vector (estimated cardinalities), the SQL-text feature vector, the
+six measured performance metrics, the optimizer's abstract cost and the
+runtime category.
+
+Executing the full research corpus takes tens of minutes (the bowling
+balls are real multi-million-row joins), so corpora are cached as ``.npz``
+files under ``data/corpora/`` — exactly like the paper's measured training
+data, which was also collected once and reused.  Delete the cache or set
+``rebuild=True`` to re-measure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import plan_feature_vector
+from repro.engine import Executor, PerformanceMetrics, SystemConfig
+from repro.engine.metrics import METRIC_NAMES
+from repro.errors import ReproError
+from repro.optimizer import Optimizer
+from repro.rng import child_generator
+from repro.sql.text_features import sql_text_features
+from repro.storage.catalog import Catalog
+from repro.workloads.categories import QueryCategory, categorize
+from repro.workloads.generator import QueryInstance
+
+__all__ = [
+    "ExecutedQuery",
+    "Corpus",
+    "build_corpus",
+    "save_corpus",
+    "load_corpus",
+    "load_or_build_corpus",
+    "CORPUS_FORMAT_VERSION",
+]
+
+#: Bump when feature layouts or metric definitions change; stale caches
+#: are rejected on load.
+CORPUS_FORMAT_VERSION = 3
+
+
+@dataclass(frozen=True)
+class ExecutedQuery:
+    """One query's measured record in a corpus."""
+
+    query_id: str
+    template: str
+    family: str
+    sql: str
+    features: np.ndarray
+    sql_features: np.ndarray
+    performance: np.ndarray
+    optimizer_cost: float
+    estimated_rows: float
+
+    @property
+    def elapsed_time(self) -> float:
+        return float(self.performance[METRIC_NAMES.index("elapsed_time")])
+
+    @property
+    def category(self) -> QueryCategory:
+        return categorize(self.elapsed_time)
+
+    @property
+    def metrics(self) -> PerformanceMetrics:
+        return PerformanceMetrics.from_vector(self.performance)
+
+
+class Corpus:
+    """An ordered collection of executed queries on one configuration."""
+
+    def __init__(self, queries: Sequence[ExecutedQuery], config_name: str):
+        self.queries = list(queries)
+        self.config_name = config_name
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, index: int) -> ExecutedQuery:
+        return self.queries[index]
+
+    def subset(self, indices: Sequence[int]) -> "Corpus":
+        """A new corpus containing the selected queries, in given order."""
+        return Corpus([self.queries[i] for i in indices], self.config_name)
+
+    # -- matrix views ----------------------------------------------------
+
+    def feature_matrix(self) -> np.ndarray:
+        """(n, p) plan feature vectors."""
+        return np.vstack([q.features for q in self.queries])
+
+    def sql_feature_matrix(self) -> np.ndarray:
+        """(n, 9) SQL-text feature vectors."""
+        return np.vstack([q.sql_features for q in self.queries])
+
+    def performance_matrix(self) -> np.ndarray:
+        """(n, 6) measured performance vectors (paper metric order)."""
+        return np.vstack([q.performance for q in self.queries])
+
+    def elapsed_times(self) -> np.ndarray:
+        index = METRIC_NAMES.index("elapsed_time")
+        return self.performance_matrix()[:, index]
+
+    def optimizer_costs(self) -> np.ndarray:
+        return np.array([q.optimizer_cost for q in self.queries])
+
+    def categories(self) -> list[QueryCategory]:
+        return [q.category for q in self.queries]
+
+    def category_indices(self) -> dict[QueryCategory, list[int]]:
+        """Query indices per runtime category."""
+        result: dict[QueryCategory, list[int]] = {}
+        for index, query in enumerate(self.queries):
+            result.setdefault(query.category, []).append(index)
+        return result
+
+
+def build_corpus(
+    catalog: Catalog,
+    config: SystemConfig,
+    pool: Sequence[QueryInstance],
+    noise_seed: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Corpus:
+    """Optimize and execute every query in ``pool`` on ``config``."""
+    optimizer = Optimizer(catalog, config)
+    executor = Executor(catalog, config)
+    executed = []
+    for index, instance in enumerate(pool):
+        optimized = optimizer.optimize(instance.sql)
+        rng = child_generator(noise_seed, f"{config.name}:{instance.query_id}")
+        result = executor.execute(optimized.plan, rng=rng)
+        executed.append(
+            ExecutedQuery(
+                query_id=instance.query_id,
+                template=instance.template,
+                family=instance.family,
+                sql=instance.sql,
+                features=plan_feature_vector(optimized.plan),
+                sql_features=sql_text_features(optimized.query),
+                performance=result.metrics.as_vector(),
+                optimizer_cost=optimized.cost,
+                estimated_rows=optimized.estimated_rows,
+            )
+        )
+        if progress is not None:
+            progress(index + 1, len(pool))
+    return Corpus(executed, config.name)
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+
+
+def save_corpus(corpus: Corpus, path: Path) -> None:
+    """Serialise a corpus to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": CORPUS_FORMAT_VERSION,
+        "config_name": corpus.config_name,
+        "query_ids": [q.query_id for q in corpus.queries],
+        "templates": [q.template for q in corpus.queries],
+        "families": [q.family for q in corpus.queries],
+        "sql": [q.sql for q in corpus.queries],
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        features=corpus.feature_matrix(),
+        sql_features=corpus.sql_feature_matrix(),
+        performance=corpus.performance_matrix(),
+        optimizer_cost=corpus.optimizer_costs(),
+        estimated_rows=np.array([q.estimated_rows for q in corpus.queries]),
+    )
+
+
+def load_corpus(path: Path) -> Corpus:
+    """Load a corpus saved by :func:`save_corpus`.
+
+    Raises:
+        ReproError: when the file has an incompatible format version.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != CORPUS_FORMAT_VERSION:
+            raise ReproError(
+                f"corpus cache {path} has version {meta.get('version')}, "
+                f"expected {CORPUS_FORMAT_VERSION}; rebuild it"
+            )
+        features = data["features"]
+        sql_features = data["sql_features"]
+        performance = data["performance"]
+        cost = data["optimizer_cost"]
+        estimated_rows = data["estimated_rows"]
+    queries = [
+        ExecutedQuery(
+            query_id=meta["query_ids"][i],
+            template=meta["templates"][i],
+            family=meta["families"][i],
+            sql=meta["sql"][i],
+            features=features[i],
+            sql_features=sql_features[i],
+            performance=performance[i],
+            optimizer_cost=float(cost[i]),
+            estimated_rows=float(estimated_rows[i]),
+        )
+        for i in range(len(meta["query_ids"]))
+    ]
+    return Corpus(queries, meta["config_name"])
+
+
+def load_or_build_corpus(
+    path: Path,
+    builder: Callable[[], Corpus],
+    rebuild: bool = False,
+) -> Corpus:
+    """Load the cached corpus at ``path``, building and caching if needed."""
+    path = Path(path)
+    if not rebuild and path.exists():
+        try:
+            return load_corpus(path)
+        except (ReproError, OSError, KeyError, json.JSONDecodeError):
+            pass  # stale or corrupt cache: rebuild below
+    corpus = builder()
+    save_corpus(corpus, path)
+    return corpus

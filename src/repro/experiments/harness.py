@@ -1,0 +1,101 @@
+"""Train/test splitting and predictor evaluation helpers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.metrics import predictive_risk
+from repro.engine.metrics import METRIC_NAMES
+from repro.errors import ReproError
+from repro.experiments.corpus import Corpus
+from repro.rng import child_generator
+from repro.workloads.categories import QueryCategory
+
+__all__ = ["stratified_split", "split_counts", "evaluate_metrics"]
+
+
+def stratified_split(
+    corpus: Corpus,
+    train_counts: Mapping[QueryCategory, int],
+    test_counts: Mapping[QueryCategory, int],
+    seed: int = 0,
+) -> tuple[Corpus, Corpus]:
+    """Sample disjoint train/test corpora with per-category counts.
+
+    Mirrors the paper's experiment construction, e.g. Experiment 1's 1027
+    training queries (767 feathers / 230 golf balls / 30 bowling balls)
+    and 61 test queries (45 / 7 / 9).  When the pool holds fewer queries
+    of a category than requested, the available ones are used (test quota
+    is filled first so the evaluation set is never starved).
+
+    Raises:
+        ReproError: when a requested category is entirely absent.
+    """
+    rng = child_generator(seed, "stratified-split")
+    by_category = corpus.category_indices()
+    train_indices: list[int] = []
+    test_indices: list[int] = []
+    categories = set(train_counts) | set(test_counts)
+    for category in sorted(categories, key=lambda c: c.value):
+        available = list(by_category.get(category, []))
+        wanted_test = test_counts.get(category, 0)
+        wanted_train = train_counts.get(category, 0)
+        if (wanted_test or wanted_train) and not available:
+            raise ReproError(
+                f"corpus has no {category.value} queries "
+                f"(requested {wanted_train} train / {wanted_test} test)"
+            )
+        shuffled = list(rng.permutation(available))
+        n_test = min(wanted_test, len(shuffled))
+        test_indices.extend(int(i) for i in shuffled[:n_test])
+        remaining = shuffled[n_test:]
+        n_train = min(wanted_train, len(remaining))
+        train_indices.extend(int(i) for i in remaining[:n_train])
+    return corpus.subset(sorted(train_indices)), corpus.subset(
+        sorted(test_indices)
+    )
+
+
+def split_counts(
+    train_feathers: int,
+    train_golf: int,
+    train_bowling: int,
+    test_feathers: int,
+    test_golf: int,
+    test_bowling: int,
+) -> tuple[dict[QueryCategory, int], dict[QueryCategory, int]]:
+    """Convenience constructor for the paper's split specifications."""
+    train = {
+        QueryCategory.FEATHER: train_feathers,
+        QueryCategory.GOLF_BALL: train_golf,
+        QueryCategory.BOWLING_BALL: train_bowling,
+    }
+    test = {
+        QueryCategory.FEATHER: test_feathers,
+        QueryCategory.GOLF_BALL: test_golf,
+        QueryCategory.BOWLING_BALL: test_bowling,
+    }
+    return train, test
+
+
+def evaluate_metrics(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    metric_names: Sequence[str] = METRIC_NAMES,
+) -> dict[str, float]:
+    """Per-metric predictive risk; NaN where the metric is degenerate.
+
+    Degenerate columns (zero variance in the actuals — e.g. disk I/O when
+    everything fits in memory) come back as NaN, which the report layer
+    renders as "Null" exactly like the paper's Figure 16.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ReproError("predicted and actual matrices differ in shape")
+    return {
+        name: predictive_risk(predicted[:, i], actual[:, i])
+        for i, name in enumerate(metric_names)
+    }

@@ -1,0 +1,36 @@
+"""MapReduce job performance prediction (paper Section VIII).
+
+The paper closes with: "We are currently adapting our methodology to
+predict the performance of map-reduce jobs in various hardware and
+software environments ... Only the feature vectors need to be customized
+for each system."  This subpackage demonstrates exactly that claim:
+
+* :mod:`repro.mapreduce.cluster` / :mod:`repro.mapreduce.simulator` — a
+  small analytic MapReduce cluster simulator (map waves, combiner, spill,
+  shuffle, reduce waves, stragglers) that measures six job metrics;
+* :mod:`repro.mapreduce.features` — a pre-execution job feature vector
+  (the analogue of the query-plan vector);
+* :mod:`repro.mapreduce.workload` — parameterised job templates
+  (grep/wordcount/join/sort/aggregate-like) spanning seconds to hours.
+
+The *model* is the unchanged :class:`repro.core.predictor.KCCAPredictor`.
+"""
+
+from repro.mapreduce.cluster import ClusterConfig, default_cluster
+from repro.mapreduce.job import JOB_METRIC_NAMES, JobMetrics, MapReduceJob
+from repro.mapreduce.simulator import simulate_job
+from repro.mapreduce.features import JOB_FEATURE_NAMES, job_feature_vector
+from repro.mapreduce.workload import generate_jobs, job_templates
+
+__all__ = [
+    "ClusterConfig",
+    "default_cluster",
+    "MapReduceJob",
+    "JobMetrics",
+    "JOB_METRIC_NAMES",
+    "simulate_job",
+    "JOB_FEATURE_NAMES",
+    "job_feature_vector",
+    "generate_jobs",
+    "job_templates",
+]

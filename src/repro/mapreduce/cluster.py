@@ -1,0 +1,54 @@
+"""Cluster configuration for the MapReduce simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "default_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware/software parameters of the simulated Hadoop-era cluster.
+
+    Attributes:
+        name: configuration label.
+        n_nodes: worker nodes.
+        map_slots_per_node / reduce_slots_per_node: concurrent tasks.
+        split_bytes: input split size (one map task per split).
+        disk_bytes_per_s: per-node sequential disk bandwidth.
+        network_bytes_per_s: per-node shuffle bandwidth.
+        cpu_s_per_record: base per-record CPU cost (scaled by the job's
+            cpu class).
+        sort_buffer_bytes: per-task map-side sort buffer; map outputs
+            beyond it spill to disk.
+        task_startup_s: JVM/task scheduling overhead per task wave.
+        job_startup_s: job submission/setup overhead.
+        noise: log-normal sigma on the final elapsed time.
+    """
+
+    name: str
+    n_nodes: int
+    map_slots_per_node: int = 2
+    reduce_slots_per_node: int = 2
+    split_bytes: int = 64 * 1024 * 1024
+    disk_bytes_per_s: float = 60e6
+    network_bytes_per_s: float = 40e6
+    cpu_s_per_record: float = 4e-6
+    sort_buffer_bytes: int = 64 * 1024 * 1024
+    task_startup_s: float = 1.5
+    job_startup_s: float = 8.0
+    noise: float = 0.08
+
+    @property
+    def map_slots(self) -> int:
+        return self.n_nodes * self.map_slots_per_node
+
+    @property
+    def reduce_slots(self) -> int:
+        return self.n_nodes * self.reduce_slots_per_node
+
+
+def default_cluster(n_nodes: int = 16) -> ClusterConfig:
+    """A modest 2009-era cluster (the paper's MapReduce target epoch)."""
+    return ClusterConfig(name=f"cluster-{n_nodes}", n_nodes=n_nodes)

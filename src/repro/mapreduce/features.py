@@ -1,0 +1,61 @@
+"""Pre-execution feature vectors for MapReduce jobs.
+
+The analogue of the query-plan feature vector: everything here is known
+at submission time — configuration, input-split arithmetic and the job's
+*declared* selectivities (not the actual data-dependent ones the
+simulator uses, mirroring the optimizer-estimate vs actual distinction on
+the DBMS side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.simulator import n_map_tasks
+
+__all__ = ["JOB_FEATURE_NAMES", "job_feature_vector"]
+
+JOB_FEATURE_NAMES = (
+    "input_gb",
+    "n_map_tasks",
+    "n_reducers",
+    "record_bytes",
+    "declared_map_selectivity",
+    "declared_reduce_selectivity",
+    "declared_map_output_records",
+    "map_cpu_class",
+    "reduce_cpu_class",
+    "uses_combiner",
+    "map_waves",
+    "reduce_waves",
+)
+
+
+def job_feature_vector(
+    job: MapReduceJob, cluster: ClusterConfig
+) -> np.ndarray:
+    """The 12-element pre-execution feature vector of one job."""
+    maps = n_map_tasks(job, cluster)
+    input_records = job.input_bytes / job.record_bytes
+    declared_output = input_records * job.declared_map_selectivity
+    map_waves = np.ceil(maps / cluster.map_slots)
+    reduce_waves = np.ceil(job.n_reducers / cluster.reduce_slots)
+    return np.array(
+        [
+            job.input_bytes / 1e9,
+            maps,
+            job.n_reducers,
+            job.record_bytes,
+            job.declared_map_selectivity,
+            job.declared_reduce_selectivity,
+            declared_output,
+            job.map_cpu_class,
+            job.reduce_cpu_class,
+            1.0 if job.uses_combiner else 0.0,
+            float(map_waves),
+            float(reduce_waves),
+        ],
+        dtype=float,
+    )

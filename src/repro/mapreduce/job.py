@@ -1,0 +1,85 @@
+"""MapReduce job specifications and measured job metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["MapReduceJob", "JobMetrics", "JOB_METRIC_NAMES"]
+
+#: Metric ordering of the job performance vector (the analogue of the
+#: query metrics in :mod:`repro.engine.metrics`).
+JOB_METRIC_NAMES = (
+    "elapsed_time",
+    "map_output_records",
+    "shuffle_bytes",
+    "hdfs_read_bytes",
+    "hdfs_write_bytes",
+    "spilled_records",
+)
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """Pre-execution description of one MapReduce job.
+
+    Everything here is known before the job runs (job configuration plus
+    the framework's input-split calculation); the *declared* selectivities
+    are the developer's hints and may differ from what the job actually
+    does — the same estimated-vs-actual gap query optimizers have.
+
+    Attributes:
+        job_id: identifier.
+        job_type: template family (wordcount, grep, join, sort, ...).
+        input_bytes: total input size.
+        record_bytes: average input record size.
+        n_reducers: configured reduce task count.
+        declared_map_selectivity: declared output-records / input-records.
+        declared_reduce_selectivity: declared reduce output ratio.
+        map_cpu_class: relative per-record map CPU weight (1.0 = light).
+        reduce_cpu_class: relative per-record reduce CPU weight.
+        uses_combiner: whether a combiner runs after the map.
+        actual_map_selectivity / actual_reduce_selectivity / key_skew:
+            ground-truth properties used only by the simulator (hidden
+            from the feature vector, like data properties at query time).
+    """
+
+    job_id: str
+    job_type: str
+    input_bytes: int
+    record_bytes: int
+    n_reducers: int
+    declared_map_selectivity: float
+    declared_reduce_selectivity: float
+    map_cpu_class: float
+    reduce_cpu_class: float
+    uses_combiner: bool
+    actual_map_selectivity: float
+    actual_reduce_selectivity: float
+    key_skew: float
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0 or self.record_bytes <= 0:
+            raise ReproError("job input and record sizes must be positive")
+        if self.n_reducers < 1:
+            raise ReproError("jobs need at least one reducer")
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Measured performance of one simulated job execution."""
+
+    elapsed_time: float
+    map_output_records: int
+    shuffle_bytes: int
+    hdfs_read_bytes: int
+    hdfs_write_bytes: int
+    spilled_records: int
+
+    def as_vector(self) -> np.ndarray:
+        return np.array(
+            [getattr(self, name) for name in JOB_METRIC_NAMES], dtype=float
+        )

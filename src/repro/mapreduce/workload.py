@@ -1,0 +1,132 @@
+"""MapReduce job workload generator.
+
+Five job families with realistic shapes:
+
+* ``grep`` — tiny map selectivity, almost no shuffle;
+* ``wordcount`` — explosive map output tamed by a combiner;
+* ``join`` — map output comparable to input, reducer-side work;
+* ``sort`` — selectivity 1.0 everywhere, shuffle-bound;
+* ``aggregate`` — moderate selectivity, heavy reduce CPU.
+
+Actual selectivities deviate randomly from the declared ones (the
+data-dependence a submitter cannot know), and key skew varies per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.mapreduce.job import MapReduceJob
+from repro.rng import child_generator
+
+__all__ = ["JobTemplate", "job_templates", "generate_jobs"]
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One job family: a sampler of :class:`MapReduceJob` instances."""
+
+    name: str
+    sampler: Callable[[np.random.Generator, str], MapReduceJob]
+
+
+def _deviated(rng: np.random.Generator, declared: float) -> float:
+    """Actual selectivity: declared times a log-normal data surprise."""
+    return float(declared * rng.lognormal(0.0, 0.35))
+
+
+def _common(
+    rng: np.random.Generator,
+    job_id: str,
+    job_type: str,
+    declared_map: float,
+    declared_reduce: float,
+    map_cpu: tuple[float, float],
+    reduce_cpu: tuple[float, float],
+    combiner: bool,
+    gb_range: tuple[float, float],
+) -> MapReduceJob:
+    input_gb = float(rng.uniform(*gb_range))
+    return MapReduceJob(
+        job_id=job_id,
+        job_type=job_type,
+        input_bytes=int(input_gb * 1e9),
+        record_bytes=int(rng.choice([100, 200, 500, 1000])),
+        n_reducers=int(rng.choice([1, 4, 8, 16, 32, 64])),
+        declared_map_selectivity=declared_map,
+        declared_reduce_selectivity=declared_reduce,
+        map_cpu_class=float(rng.uniform(*map_cpu)),
+        reduce_cpu_class=float(rng.uniform(*reduce_cpu)),
+        uses_combiner=combiner,
+        actual_map_selectivity=_deviated(rng, declared_map),
+        actual_reduce_selectivity=min(_deviated(rng, declared_reduce), 1.0),
+        key_skew=float(rng.uniform(1.0, 3.0)),
+    )
+
+
+def job_templates() -> list[JobTemplate]:
+    return [
+        JobTemplate(
+            "grep",
+            lambda rng, jid: _common(
+                rng, jid, "grep",
+                declared_map=float(rng.uniform(0.0005, 0.01)),
+                declared_reduce=1.0,
+                map_cpu=(0.5, 1.5), reduce_cpu=(0.5, 1.0),
+                combiner=False, gb_range=(0.5, 80.0),
+            ),
+        ),
+        JobTemplate(
+            "wordcount",
+            lambda rng, jid: _common(
+                rng, jid, "wordcount",
+                declared_map=float(rng.uniform(5.0, 15.0)),
+                declared_reduce=0.05,
+                map_cpu=(1.0, 2.5), reduce_cpu=(0.8, 1.5),
+                combiner=True, gb_range=(0.5, 40.0),
+            ),
+        ),
+        JobTemplate(
+            "join",
+            lambda rng, jid: _common(
+                rng, jid, "join",
+                declared_map=float(rng.uniform(0.8, 1.2)),
+                declared_reduce=float(rng.uniform(0.2, 1.5)),
+                map_cpu=(1.0, 2.0), reduce_cpu=(2.0, 5.0),
+                combiner=False, gb_range=(1.0, 60.0),
+            ),
+        ),
+        JobTemplate(
+            "sort",
+            lambda rng, jid: _common(
+                rng, jid, "sort",
+                declared_map=1.0, declared_reduce=1.0,
+                map_cpu=(0.8, 1.2), reduce_cpu=(1.0, 2.0),
+                combiner=False, gb_range=(1.0, 100.0),
+            ),
+        ),
+        JobTemplate(
+            "aggregate",
+            lambda rng, jid: _common(
+                rng, jid, "aggregate",
+                declared_map=float(rng.uniform(0.3, 0.9)),
+                declared_reduce=0.01,
+                map_cpu=(1.5, 3.0), reduce_cpu=(3.0, 8.0),
+                combiner=True, gb_range=(0.5, 50.0),
+            ),
+        ),
+    ]
+
+
+def generate_jobs(n_jobs: int, seed: int = 19) -> list[MapReduceJob]:
+    """Generate a deterministic mixed workload of ``n_jobs`` jobs."""
+    templates = job_templates()
+    rng = child_generator(seed, "mapreduce-jobs")
+    jobs = []
+    for index in range(n_jobs):
+        template = templates[int(rng.integers(0, len(templates)))]
+        jobs.append(template.sampler(rng, f"job{index:04d}_{template.name}"))
+    return jobs

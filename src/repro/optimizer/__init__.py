@@ -1,0 +1,14 @@
+"""Cost-based query optimizer for the simulated engine.
+
+Translates a parsed :class:`~repro.sql.ast.Query` into a physical
+:class:`~repro.engine.plan.PlanNode` tree annotated with estimated
+cardinalities.  Estimation uses catalog statistics under textbook
+independence/uniformity assumptions, so its errors — the very errors that
+make optimizer cost a poor predictor of runtime (paper Section VII-C.1) —
+arise organically rather than being injected.
+"""
+
+from repro.optimizer.optimizer import Optimizer, OptimizedQuery
+from repro.optimizer.cost import plan_cost
+
+__all__ = ["Optimizer", "OptimizedQuery", "plan_cost"]

@@ -1,0 +1,157 @@
+"""Join-order search.
+
+Produces a left-deep join order over the query's base relations.  Small
+join sets (<= ``DP_LIMIT`` relations) are ordered by exhaustive dynamic
+programming over left-deep trees; larger sets fall back to the classic
+greedy "smallest intermediate result next" heuristic.  The objective is
+the sum of estimated intermediate cardinalities — a stand-in for a full
+cost model that is accurate enough to pick reasonable (and occasionally
+wrong) orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import RelEstimate, join_estimate
+
+__all__ = ["JoinEdge", "order_joins", "DP_LIMIT"]
+
+#: Largest relation count ordered by exact left-deep DP.
+DP_LIMIT = 7
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join predicate connecting two bindings."""
+
+    left_binding: str
+    right_binding: str
+    left_column: str
+    right_column: str
+
+    def pair_for(self, first: str) -> tuple[str, str]:
+        """The (column-of-first, column-of-other) pair, oriented."""
+        if first == self.left_binding:
+            return self.left_column, self.right_column
+        if first == self.right_binding:
+            return self.right_column, self.left_column
+        raise OptimizerError(f"edge does not touch binding {first!r}")
+
+    def touches(self, binding: str) -> bool:
+        return binding in (self.left_binding, self.right_binding)
+
+
+def _pairs_between(
+    done: frozenset[str], new_binding: str, edges: Sequence[JoinEdge]
+) -> list[tuple[str, str]]:
+    """(done-side column, new-side column) pairs joining ``new_binding``."""
+    pairs = []
+    for edge in edges:
+        if edge.touches(new_binding):
+            other = (
+                edge.left_binding
+                if edge.right_binding == new_binding
+                else edge.right_binding
+            )
+            if other in done and other != new_binding:
+                new_col, done_col = edge.pair_for(new_binding)
+                pairs.append((done_col, new_col))
+    return pairs
+
+
+def order_joins(
+    relations: Mapping[str, RelEstimate], edges: Sequence[JoinEdge]
+) -> list[str]:
+    """Return the bindings in left-deep join order.
+
+    Single-relation queries return trivially.  The search prefers connected
+    expansions (avoiding cross products) and breaks ties toward smaller
+    intermediate results.
+    """
+    bindings = sorted(relations)
+    if not bindings:
+        raise OptimizerError("query has no relations")
+    if len(bindings) == 1:
+        return bindings
+    if len(bindings) <= DP_LIMIT:
+        return _dp_order(relations, edges, bindings)
+    return _greedy_order(relations, edges, bindings)
+
+
+def _expand(
+    relations: Mapping[str, RelEstimate],
+    edges: Sequence[JoinEdge],
+    done: frozenset[str],
+    estimate: RelEstimate,
+    candidate: str,
+) -> tuple[RelEstimate, bool]:
+    """Join ``candidate`` onto the current prefix; returns (estimate, connected)."""
+    pairs = _pairs_between(done, candidate, edges)
+    joined = join_estimate(estimate, relations[candidate], pairs)
+    return joined, bool(pairs)
+
+
+def _dp_order(
+    relations: Mapping[str, RelEstimate],
+    edges: Sequence[JoinEdge],
+    bindings: list[str],
+) -> list[str]:
+    """Exhaustive DP over left-deep orders, minimising summed intermediates."""
+    # state: frozenset of joined bindings -> (total_cost, order, estimate)
+    states: dict[frozenset[str], tuple[float, list[str], RelEstimate]] = {}
+    for binding in bindings:
+        estimate = relations[binding]
+        states[frozenset({binding})] = (estimate.rows, [binding], estimate)
+    for _size in range(2, len(bindings) + 1):
+        next_states: dict[frozenset[str], tuple[float, list[str], RelEstimate]] = {}
+        for done, (cost, order, estimate) in states.items():
+            if len(done) != _size - 1:
+                continue
+            for candidate in bindings:
+                if candidate in done:
+                    continue
+                joined, connected = _expand(
+                    relations, edges, done, estimate, candidate
+                )
+                # Penalise cross products heavily but keep them legal.
+                penalty = 1.0 if connected else 1e3
+                new_cost = cost + joined.rows * penalty
+                key = done | {candidate}
+                existing = next_states.get(key)
+                if existing is None or new_cost < existing[0]:
+                    next_states[key] = (new_cost, order + [candidate], joined)
+        states.update(next_states)
+    full = frozenset(bindings)
+    if full not in states:
+        raise OptimizerError("join ordering failed to cover all relations")
+    return states[full][1]
+
+
+def _greedy_order(
+    relations: Mapping[str, RelEstimate],
+    edges: Sequence[JoinEdge],
+    bindings: list[str],
+) -> list[str]:
+    """Greedy smallest-next order for large join sets."""
+    start = min(bindings, key=lambda b: relations[b].rows)
+    order = [start]
+    done = frozenset({start})
+    estimate = relations[start]
+    remaining = [b for b in bindings if b != start]
+    while remaining:
+        best: tuple[float, str, RelEstimate] | None = None
+        for candidate in remaining:
+            joined, connected = _expand(relations, edges, done, estimate, candidate)
+            penalty = 1.0 if connected else 1e3
+            score = joined.rows * penalty
+            if best is None or score < best[0]:
+                best = (score, candidate, joined)
+        assert best is not None
+        _score, chosen, estimate = best
+        order.append(chosen)
+        done = done | {chosen}
+        remaining.remove(chosen)
+    return order

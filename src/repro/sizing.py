@@ -1,0 +1,109 @@
+"""System sizing and capacity planning on top of the predictor.
+
+The paper's second and third motivating decisions (Section I):
+
+* *System sizing* — "How big a system is needed to execute this new
+  customer workload with this time constraint?"
+* *Capacity planning* — "Given an expected change to a workload, should
+  we upgrade (or downgrade) the existing system?"
+
+:func:`size_system` trains one predictive model per candidate
+configuration (the vendor-side flow of Figure 1) and returns the
+cheapest candidate whose *predicted* workload runtime fits the deadline,
+along with the full what-if table so callers can inspect the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.api import QueryPerformancePredictor
+from repro.engine.system import SystemConfig
+from repro.errors import ReproError
+from repro.storage.catalog import Catalog
+from repro.workloads.generator import QueryInstance
+
+__all__ = ["ConfigForecast", "SizingResult", "size_system"]
+
+
+@dataclass(frozen=True)
+class ConfigForecast:
+    """Predicted workload footprint on one candidate configuration."""
+
+    config: SystemConfig
+    total_elapsed_s: float
+    max_query_s: float
+    total_disk_ios: int
+    total_message_bytes: int
+    fits_deadline: bool
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a sizing run.
+
+    Attributes:
+        recommended: the first (cheapest) candidate fitting the deadline,
+            or None when none fits.
+        forecasts: per-candidate what-if rows, in candidate order.
+    """
+
+    recommended: Optional[ConfigForecast]
+    forecasts: tuple[ConfigForecast, ...]
+
+
+def size_system(
+    catalog: Catalog,
+    candidates: Sequence[SystemConfig],
+    training_pool: Sequence[QueryInstance],
+    workload: Sequence[str],
+    deadline_s: float,
+    **predictor_kwargs,
+) -> SizingResult:
+    """Pick the cheapest candidate whose predicted runtime fits the window.
+
+    Args:
+        catalog: the database the workload runs against.
+        candidates: configurations ordered cheapest first.
+        training_pool: queries executed per candidate to train its model.
+        workload: SQL texts of the workload to size for (these are only
+            *predicted*, never run — the whole point).
+        deadline_s: the batch window the workload must fit into.
+
+    Raises:
+        ReproError: when inputs are empty.
+    """
+    if not candidates:
+        raise ReproError("size_system needs at least one candidate config")
+    if not workload:
+        raise ReproError("size_system needs a non-empty workload")
+    forecasts = []
+    recommended: Optional[ConfigForecast] = None
+    for config in candidates:
+        predictor = QueryPerformancePredictor(
+            catalog, config=config, **predictor_kwargs
+        )
+        predictor.fit_pool(training_pool)
+        total = 0.0
+        longest = 0.0
+        disk_ios = 0
+        message_bytes = 0
+        for sql in workload:
+            metrics = predictor.predict(sql)
+            total += metrics.elapsed_time
+            longest = max(longest, metrics.elapsed_time)
+            disk_ios += metrics.disk_ios
+            message_bytes += metrics.message_bytes
+        forecast = ConfigForecast(
+            config=config,
+            total_elapsed_s=total,
+            max_query_s=longest,
+            total_disk_ios=disk_ios,
+            total_message_bytes=message_bytes,
+            fits_deadline=total <= deadline_s,
+        )
+        forecasts.append(forecast)
+        if recommended is None and forecast.fits_deadline:
+            recommended = forecast
+    return SizingResult(recommended=recommended, forecasts=tuple(forecasts))

@@ -1,0 +1,52 @@
+"""SQL front-end: tokenizer, AST, parser, evaluation and text features.
+
+This subpackage implements the SQL subset needed by the reproduction:
+single-block SELECT queries with joins, conjunctive/disjunctive predicates,
+grouping, aggregation, ordering, limits and nested subqueries (``IN`` /
+``EXISTS``).  The parser produces an AST (:mod:`repro.sql.ast`) consumed by
+the optimizer, and :mod:`repro.sql.text_features` derives the SQL-text
+feature vector evaluated (and rejected) in Section VI-D.1 of the paper.
+"""
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.parser import parse
+from repro.sql.text_features import SQL_TEXT_FEATURE_NAMES, sql_text_features
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "ColumnRef",
+    "Exists",
+    "FuncCall",
+    "InList",
+    "InSubquery",
+    "IsNull",
+    "Like",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "UnaryOp",
+    "parse",
+    "SQL_TEXT_FEATURE_NAMES",
+    "sql_text_features",
+]

@@ -1,0 +1,195 @@
+"""Vectorised evaluation of expression ASTs over numpy column batches.
+
+The execution engine stores intermediate results as dictionaries mapping
+qualified column names (``binding.column``) to numpy arrays.  This module
+evaluates scalar expressions (arithmetic, comparisons, boolean logic,
+BETWEEN / IN / LIKE / IS NULL / CASE) against such a batch, producing a new
+array of the same length.
+
+``IN (SELECT ...)`` and ``EXISTS`` are *not* handled here — the optimizer
+rewrites them into semi-join plan operators before execution.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    Expr,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+__all__ = ["evaluate", "resolve_column", "like_to_regex"]
+
+
+def resolve_column(columns: Mapping[str, np.ndarray], ref: ColumnRef) -> np.ndarray:
+    """Look up ``ref`` in a batch keyed by qualified column names.
+
+    Qualified references (``t.c``) must match exactly.  Bare references
+    match either a bare key or a unique ``*.c`` qualified key.
+
+    Raises:
+        ExecutionError: when the column is missing or ambiguous.
+    """
+    if ref.table is not None:
+        key = f"{ref.table}.{ref.name}"
+        if key in columns:
+            return columns[key]
+        raise ExecutionError(f"unknown column {key!r}")
+    if ref.name in columns:
+        return columns[ref.name]
+    suffix = f".{ref.name}"
+    matches = [key for key in columns if key.endswith(suffix)]
+    if len(matches) == 1:
+        return columns[matches[0]]
+    if not matches:
+        raise ExecutionError(f"unknown column {ref.name!r}")
+    raise ExecutionError(f"ambiguous column {ref.name!r}: {sorted(matches)}")
+
+
+def evaluate(
+    expr: Expr, columns: Mapping[str, np.ndarray], n_rows: int
+) -> np.ndarray:
+    """Evaluate ``expr`` over a batch of ``n_rows`` rows.
+
+    Returns an array of length ``n_rows``; boolean predicates return bool
+    arrays, arithmetic returns numeric arrays.
+    """
+    if isinstance(expr, Literal):
+        return np.full(n_rows, expr.value) if expr.value is not None else np.full(
+            n_rows, np.nan
+        )
+    if isinstance(expr, ColumnRef):
+        return resolve_column(columns, expr)
+    if isinstance(expr, UnaryOp):
+        operand = evaluate(expr.operand, columns, n_rows)
+        if expr.op.upper() == "NOT":
+            return ~operand.astype(bool)
+        if expr.op == "-":
+            return -operand
+        raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, columns, n_rows)
+    if isinstance(expr, Between):
+        value = evaluate(expr.expr, columns, n_rows)
+        low = evaluate(expr.low, columns, n_rows)
+        high = evaluate(expr.high, columns, n_rows)
+        result = (value >= low) & (value <= high)
+        return ~result if expr.negated else result
+    if isinstance(expr, InList):
+        value = evaluate(expr.expr, columns, n_rows)
+        if all(isinstance(v, Literal) for v in expr.values):
+            literals = [v.value for v in expr.values]
+            result = np.isin(value, np.asarray(literals))
+        else:
+            # General form: any value expression (negative literals parse
+            # as unary minus, and SQL allows column references here).
+            result = np.zeros(n_rows, dtype=bool)
+            for candidate in expr.values:
+                result |= value == evaluate(candidate, columns, n_rows)
+        return ~result if expr.negated else result
+    if isinstance(expr, Like):
+        value = evaluate(expr.expr, columns, n_rows)
+        pattern = re.compile(like_to_regex(expr.pattern))
+        as_str = value.astype(str)
+        result = np.fromiter(
+            (pattern.fullmatch(s) is not None for s in as_str),
+            dtype=bool,
+            count=len(as_str),
+        )
+        return ~result if expr.negated else result
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.expr, columns, n_rows)
+        if np.issubdtype(value.dtype, np.floating):
+            result = np.isnan(value)
+        else:
+            result = np.zeros(n_rows, dtype=bool)
+        return ~result if expr.negated else result
+    if isinstance(expr, CaseWhen):
+        conditions = [
+            evaluate(cond, columns, n_rows).astype(bool)
+            for cond, _value in expr.branches
+        ]
+        choices = [evaluate(value, columns, n_rows) for _cond, value in expr.branches]
+        if expr.default is not None:
+            default = evaluate(expr.default, columns, n_rows)
+        else:
+            default = np.full(n_rows, np.nan)
+        return np.select(conditions, choices, default=default)
+    if isinstance(expr, (InSubquery, Exists)):
+        raise ExecutionError(
+            "subquery predicates must be rewritten into semi-joins before "
+            "execution"
+        )
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is not a scalar expression")
+    raise ExecutionError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _evaluate_binary(
+    expr: BinaryOp, columns: Mapping[str, np.ndarray], n_rows: int
+) -> np.ndarray:
+    op = expr.op.upper()
+    left = evaluate(expr.left, columns, n_rows)
+    right = evaluate(expr.right, columns, n_rows)
+    if op == "AND":
+        return left.astype(bool) & right.astype(bool)
+    if op == "OR":
+        return left.astype(bool) | right.astype(bool)
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.true_divide(left, right)
+    if op == "%":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.mod(left, right)
+    raise ExecutionError(f"unsupported binary operator {expr.op!r}")
+
+
+def like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into an anchored regular expression.
+
+    ``%`` becomes ``.*`` and ``_`` becomes ``.``; all other characters are
+    escaped literally.
+    """
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return "".join(parts)

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for the SQL subset.
+
+The grammar (roughly)::
+
+    query      := SELECT [DISTINCT] select_list FROM from_clause
+                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                  [ORDER BY order_list] [LIMIT number]
+    from_clause:= table_ref ((',' | [INNER] JOIN) table_ref [ON expr])*
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive [comparison | BETWEEN | IN | LIKE | IS NULL]
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary      := '-' unary | primary
+    primary    := literal | column | function | '(' expr ')' |
+                  '(' query ')' | CASE ... END | EXISTS '(' query ')'
+
+Explicit ``JOIN ... ON`` clauses are desugared into the canonical form of a
+table list plus WHERE conjuncts (inner joins only), which is the only form
+the optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.tokens import Token, tokenize
+
+__all__ = ["parse"]
+
+
+def parse(text: str) -> Query:
+    """Parse ``text`` into a :class:`~repro.sql.ast.Query`.
+
+    Raises:
+        ParseError: when the text is not a valid query in the subset.
+        TokenizeError: when the text cannot even be tokenized.
+    """
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        """Consume and return the current token if it is one of ``words``."""
+        if self.current.kind == "KEYWORD" and self.current.value in {
+            w.upper() for w in words
+        }:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.accept_keyword(word)
+        if token is None:
+            raise ParseError(
+                f"expected {word!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return token
+
+    def accept_op(self, op: str) -> Optional[Token]:
+        if self.current.kind == "OP" and self.current.value == op:
+            return self.advance()
+        return None
+
+    def expect_op(self, op: str) -> Token:
+        token = self.accept_op(op)
+        if token is None:
+            raise ParseError(
+                f"expected {op!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return token
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "IDENT":
+            raise ParseError(
+                f"expected identifier, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+
+    # ------------------------------------------------------------------
+    # Grammar productions
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        select = self._parse_select_list()
+        self.expect_keyword("FROM")
+        tables, join_conditions = self._parse_from_clause()
+
+        where: Optional[Expr] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        where = _conjoin([*join_conditions, where])
+
+        group_by: tuple[Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = tuple(self._parse_expr_list())
+
+        having: Optional[Expr] = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = tuple(self._parse_order_list())
+
+        limit: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != "NUMBER" or "." in token.value:
+                raise ParseError("LIMIT requires an integer", token.position)
+            limit = int(token.value)
+
+        return Query(
+            select=tuple(select),
+            tables=tuple(tables),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.current.kind == "OP" and self.current.value == "*":
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident().value
+        elif self.current.kind == "IDENT":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_from_clause(self) -> tuple[list[TableRef], list[Expr]]:
+        tables = [self._parse_table_ref()]
+        conditions: list[Expr] = []
+        while True:
+            if self.accept_op(","):
+                tables.append(self._parse_table_ref())
+                continue
+            if self.current.is_keyword("INNER") or self.current.is_keyword("JOIN"):
+                self.accept_keyword("INNER")
+                self.expect_keyword("JOIN")
+                tables.append(self._parse_table_ref())
+                if self.accept_keyword("ON"):
+                    conditions.append(self.parse_expr())
+                continue
+            break
+        return tables, conditions
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self.expect_ident().value
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident().value
+        elif self.current.kind == "IDENT":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self.parse_expr()]
+        while self.accept_op(","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            items.append(OrderItem(expr, descending))
+            if not self.accept_op(","):
+                break
+        return items
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            right = self._parse_not()
+            left = BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            from repro.sql.ast import UnaryOp
+
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        negated = self.accept_keyword("NOT") is not None
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated=negated)
+        if self.accept_keyword("IN"):
+            return self._parse_in(left, negated)
+        if self.accept_keyword("LIKE"):
+            token = self.advance()
+            if token.kind != "STRING":
+                raise ParseError("LIKE requires a string pattern", token.position)
+            return Like(left, token.value, negated=negated)
+        if negated:
+            raise ParseError(
+                "expected BETWEEN, IN or LIKE after NOT", self.current.position
+            )
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=is_negated)
+        for op in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+            if self.accept_op(op):
+                right = self._parse_additive()
+                canonical = "<>" if op == "!=" else op
+                return BinaryOp(canonical, left, right)
+        return left
+
+    def _parse_in(self, left: Expr, negated: bool) -> Expr:
+        self.expect_op("(")
+        if self.current.is_keyword("SELECT"):
+            query = self.parse_query()
+            self.expect_op(")")
+            return InSubquery(left, query, negated=negated)
+        values = [self._parse_additive()]
+        while self.accept_op(","):
+            values.append(self._parse_additive())
+        self.expect_op(")")
+        return InList(left, tuple(values), negated=negated)
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self.accept_op("+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self.accept_op("-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self.accept_op("*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self.accept_op("/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            elif self.accept_op("%"):
+                left = BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self.accept_op("-"):
+            from repro.sql.ast import UnaryOp
+
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_op("(")
+            query = self.parse_query()
+            self.expect_op(")")
+            return Exists(query)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.kind == "OP" and token.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.kind == "IDENT":
+            return self._parse_ident_expr()
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression", token.position
+        )
+
+    def _parse_case(self) -> Expr:
+        self.expect_keyword("CASE")
+        branches: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            value = self.parse_expr()
+            branches.append((cond, value))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN", self.current.position)
+        default: Optional[Expr] = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        return CaseWhen(tuple(branches), default)
+
+    def _parse_ident_expr(self) -> Expr:
+        name = self.expect_ident().value
+        if self.accept_op("("):
+            return self._parse_call(name)
+        if self.accept_op("."):
+            column = self.expect_ident().value
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+    def _parse_call(self, name: str) -> Expr:
+        distinct = self.accept_keyword("DISTINCT") is not None
+        if self.current.kind == "OP" and self.current.value == "*":
+            self.advance()
+            self.expect_op(")")
+            return FuncCall(name, (Star(),), distinct=distinct)
+        if self.accept_op(")"):
+            return FuncCall(name, (), distinct=distinct)
+        args = [self.parse_expr()]
+        while self.accept_op(","):
+            args.append(self.parse_expr())
+        self.expect_op(")")
+        return FuncCall(name, tuple(args), distinct=distinct)
+
+
+def _conjoin(exprs: list[Optional[Expr]]) -> Optional[Expr]:
+    """AND together the non-None expressions, or return None."""
+    present = [e for e in exprs if e is not None]
+    if not present:
+        return None
+    result = present[0]
+    for expr in present[1:]:
+        result = BinaryOp("AND", result, expr)
+    return result

@@ -1,0 +1,172 @@
+"""SQL-text feature vector (paper Section VI-D.1).
+
+The paper's first candidate query representation is a vector of statistics
+computed from the SQL text alone:
+
+1. number of nested subqueries,
+2. total number of selection predicates,
+3. number of equality selection predicates,
+4. number of non-equality selection predicates,
+5. total number of join predicates,
+6. number of equijoin predicates,
+7. number of non-equijoin predicates,
+8. number of sort columns,
+9. number of aggregation columns.
+
+These features are cheap (parsing only) but ignore constants, so textually
+identical queries with very different runtimes collapse onto one vector —
+which is exactly why the paper finds them inadequate (Figure 8).  We
+implement them faithfully to reproduce that negative result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Query,
+    UnaryOp,
+    walk,
+)
+from repro.sql.parser import parse
+
+__all__ = ["SQL_TEXT_FEATURE_NAMES", "sql_text_features"]
+
+#: Order of features in the vector returned by :func:`sql_text_features`.
+SQL_TEXT_FEATURE_NAMES = (
+    "nested_subqueries",
+    "selection_predicates",
+    "equality_selections",
+    "nonequality_selections",
+    "join_predicates",
+    "equijoin_predicates",
+    "nonequijoin_predicates",
+    "sort_columns",
+    "aggregation_columns",
+)
+
+
+def sql_text_features(query: "Query | str") -> np.ndarray:
+    """Compute the 9-element SQL-text feature vector for ``query``.
+
+    Accepts either an already-parsed :class:`~repro.sql.ast.Query` or raw
+    SQL text.  Predicates inside nested subqueries are included in the
+    counts, and each subquery contributes 1 to ``nested_subqueries``.
+    """
+    if isinstance(query, str):
+        query = parse(query)
+    counts = _Counts()
+    _count_query(query, counts)
+    return np.array(
+        [
+            counts.subqueries,
+            counts.equality_selections + counts.nonequality_selections,
+            counts.equality_selections,
+            counts.nonequality_selections,
+            counts.equijoins + counts.nonequijoins,
+            counts.equijoins,
+            counts.nonequijoins,
+            counts.sort_columns,
+            counts.aggregation_columns,
+        ],
+        dtype=np.float64,
+    )
+
+
+class _Counts:
+    """Mutable accumulator used while walking the query tree."""
+
+    def __init__(self) -> None:
+        self.subqueries = 0
+        self.equality_selections = 0
+        self.nonequality_selections = 0
+        self.equijoins = 0
+        self.nonequijoins = 0
+        self.sort_columns = 0
+        self.aggregation_columns = 0
+
+
+def _count_query(query: Query, counts: _Counts) -> None:
+    if query.where is not None:
+        _count_predicates(query.where, counts)
+    if query.having is not None:
+        _count_predicates(query.having, counts)
+    counts.sort_columns += len(query.order_by)
+    for item in query.select:
+        for node in walk(item.expr):
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                counts.aggregation_columns += 1
+
+
+def _count_predicates(expr: Expr, counts: _Counts) -> None:
+    """Classify every atomic predicate under ``expr``."""
+    if isinstance(expr, BinaryOp):
+        if expr.op.upper() in ("AND", "OR"):
+            _count_predicates(expr.left, counts)
+            _count_predicates(expr.right, counts)
+            return
+        if expr.is_comparison:
+            _classify_comparison(expr, counts)
+            return
+        return  # bare arithmetic in a boolean context: not a predicate
+    if isinstance(expr, UnaryOp) and expr.op.upper() == "NOT":
+        _count_predicates(expr.operand, counts)
+        return
+    if isinstance(expr, Between):
+        # A range predicate is a non-equality selection unless it relates
+        # two tables (which our subset never produces via BETWEEN).
+        counts.nonequality_selections += 1
+        return
+    if isinstance(expr, InList):
+        counts.nonequality_selections += 1
+        return
+    if isinstance(expr, Like):
+        counts.nonequality_selections += 1
+        return
+    if isinstance(expr, IsNull):
+        counts.nonequality_selections += 1
+        return
+    if isinstance(expr, InSubquery):
+        counts.subqueries += 1
+        counts.nonequality_selections += 1
+        _count_query(expr.query, counts)
+        return
+    if isinstance(expr, Exists):
+        counts.subqueries += 1
+        _count_query(expr.query, counts)
+        return
+
+
+def _classify_comparison(expr: BinaryOp, counts: _Counts) -> None:
+    left_tables = _tables_referenced(expr.left)
+    right_tables = _tables_referenced(expr.right)
+    is_join = bool(left_tables and right_tables and left_tables != right_tables)
+    if is_join:
+        if expr.op == "=":
+            counts.equijoins += 1
+        else:
+            counts.nonequijoins += 1
+    else:
+        if expr.op == "=":
+            counts.equality_selections += 1
+        else:
+            counts.nonequality_selections += 1
+
+
+def _tables_referenced(expr: Expr) -> frozenset[str]:
+    """Table bindings (or bare column names) referenced by ``expr``."""
+    names = set()
+    for node in walk(expr):
+        if isinstance(node, ColumnRef):
+            names.add(node.table or node.name)
+    return frozenset(names)

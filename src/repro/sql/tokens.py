@@ -1,0 +1,148 @@
+"""SQL tokenizer.
+
+Splits SQL text into a flat list of :class:`Token` objects.  The tokenizer
+is deliberately small: it recognises identifiers, keywords, numeric and
+string literals, operators and punctuation — enough for the SQL subset used
+by the workload generators and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words, upper-cased.  Identifiers matching these become KEYWORD
+#: tokens; everything else becomes IDENT.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "LIMIT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "ASC",
+        "DESC",
+        "JOIN",
+        "INNER",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+_OPERATOR_STARTS = "<>=!+-*/,().%"
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``, ``OP``
+            and ``EOF``.
+        value: the token text.  Keywords and identifiers are upper-cased /
+            lower-cased respectively; numbers keep their literal text.
+        position: character offset of the token start in the source text.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True when this token is the keyword ``word``."""
+        return self.kind == "KEYWORD" and self.value == word.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens terminated by an EOF token.
+
+    Raises:
+        TokenizeError: on an unterminated string literal or an unexpected
+            character.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word.lower(), start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(Token("NUMBER", text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise TokenizeError("unterminated string literal", start)
+                if text[i] == "'":
+                    # Doubled quote is an escaped quote inside the literal.
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token("STRING", "".join(parts), start))
+            continue
+        if ch in _OPERATOR_STARTS:
+            two = text[i : i + 2]
+            if two in _TWO_CHAR_OPS:
+                tokens.append(Token("OP", two, i))
+                i += 2
+            else:
+                tokens.append(Token("OP", ch, i))
+                i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,159 @@
+"""Column-oriented tables backed by numpy arrays.
+
+A :class:`Table` is an immutable named collection of equal-length columns.
+Column kinds are restricted to ``int``, ``float`` and ``str`` — enough for
+a TPC-DS-style star schema.  Byte widths per kind feed the page-count model
+used for disk-I/O accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["Column", "Schema", "Table", "PAGE_SIZE_BYTES"]
+
+#: Default page size of the simulated storage engine (32 KiB, Neoview-like).
+PAGE_SIZE_BYTES = 32 * 1024
+
+_KIND_BYTES = {"int": 8, "float": 8, "str": 24}
+_VALID_KINDS = frozenset(_KIND_BYTES)
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema entry for one column.
+
+    Attributes:
+        name: column name (lower-case by convention).
+        kind: one of ``int``, ``float``, ``str``.
+    """
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise StorageError(
+                f"invalid column kind {self.kind!r} for column {self.name!r}"
+            )
+
+    @property
+    def byte_width(self) -> int:
+        """Estimated stored width of one value, in bytes."""
+        return _KIND_BYTES[self.kind]
+
+
+class Schema:
+    """Ordered collection of :class:`Column` definitions."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self._columns = tuple(columns)
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate column names in schema: {names}")
+        self._by_name = {c.name: c for c in self._columns}
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StorageError(f"unknown column {name!r}") from None
+
+    @property
+    def row_bytes(self) -> int:
+        """Estimated stored width of one row, in bytes."""
+        return sum(c.byte_width for c in self._columns)
+
+
+class Table:
+    """An immutable, named, column-oriented table."""
+
+    def __init__(
+        self, name: str, schema: Schema, columns: Mapping[str, np.ndarray]
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        missing = [c for c in schema.names if c not in columns]
+        if missing:
+            raise StorageError(f"table {name!r} missing columns {missing}")
+        extra = [c for c in columns if c not in schema]
+        if extra:
+            raise StorageError(f"table {name!r} has undeclared columns {extra}")
+        lengths = {len(arr) for arr in columns.values()}
+        if len(lengths) > 1:
+            raise StorageError(
+                f"table {name!r} has columns of differing lengths: {lengths}"
+            )
+        self._columns = {c: np.asarray(columns[c]) for c in schema.names}
+        self._n_rows = lengths.pop() if lengths else 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the full array for ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"unknown column {name!r} in table {self.name!r}"
+            ) from None
+
+    def columns_dict(
+        self,
+        binding: str | None = None,
+        subset: "tuple[str, ...] | None" = None,
+    ) -> dict[str, np.ndarray]:
+        """Return columns keyed by ``binding.column`` (or bare names).
+
+        ``subset`` restricts the result to the named columns (projection
+        pushdown); unknown names raise :class:`StorageError`.
+        """
+        prefix = f"{binding}." if binding else ""
+        names = self.schema.names if subset is None else subset
+        return {f"{prefix}{name}": self.column(name) for name in names}
+
+    @property
+    def row_bytes(self) -> int:
+        return self.schema.row_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated on-disk footprint of the table."""
+        return self.row_bytes * self._n_rows
+
+    def page_count(self, page_size: int = PAGE_SIZE_BYTES) -> int:
+        """Number of pages the table occupies (at least 1 when non-empty)."""
+        if self._n_rows == 0:
+            return 0
+        return max(1, -(-self.total_bytes // page_size))
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self._n_rows}, cols={len(self.schema)})"

@@ -1,0 +1,33 @@
+"""Workloads: TPC-DS-like database, query templates and query pools.
+
+* :mod:`repro.workloads.tpcds` — scaled-down TPC-DS-style star schema and
+  deterministic data generator (the paper's training/test database).
+* :mod:`repro.workloads.templates` — parameterised query templates: the
+  standard decision-support mix plus the "problem query" templates the
+  paper wrote to manufacture long-running golf balls and bowling balls.
+* :mod:`repro.workloads.generator` — template instantiation into query
+  pools.
+* :mod:`repro.workloads.categories` — feather / golf ball / bowling ball
+  categorisation by measured elapsed time (paper Figure 2).
+* :mod:`repro.workloads.customer` — a separate customer schema and
+  workload for the cross-schema transfer experiment (Experiment 4).
+"""
+
+from repro.workloads.tpcds import build_tpcds_catalog, TPCDS_TABLE_NAMES
+from repro.workloads.categories import QueryCategory, categorize
+from repro.workloads.generator import QueryInstance, generate_pool
+from repro.workloads.templates import tpcds_templates, problem_templates
+from repro.workloads.customer import build_customer_catalog, customer_templates
+
+__all__ = [
+    "build_tpcds_catalog",
+    "TPCDS_TABLE_NAMES",
+    "QueryCategory",
+    "categorize",
+    "QueryInstance",
+    "generate_pool",
+    "tpcds_templates",
+    "problem_templates",
+    "build_customer_catalog",
+    "customer_templates",
+]

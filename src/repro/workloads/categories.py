@@ -1,0 +1,52 @@
+"""Query runtime categories (paper Figure 2).
+
+The paper sorts queries into *feathers* (seconds), *golf balls* (minutes)
+and *bowling balls* (half an hour to ~2 hours) by measured elapsed time on
+the 4-processor system, plus *wrecking balls* for anything longer.  The
+boundaries are acknowledged to be arbitrary; the prediction approach never
+depends on them, but Experiments 2 and 3 use them to balance training sets
+and to build type-specific models.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "QueryCategory",
+    "categorize",
+    "FEATHER_MAX_S",
+    "GOLF_BALL_MAX_S",
+    "BOWLING_BALL_MAX_S",
+]
+
+#: Category boundaries in seconds, following Figure 2 (3 min / 30 min) and
+#: the text's "too long to be bowling balls" cut at two hours.
+FEATHER_MAX_S = 180.0
+GOLF_BALL_MAX_S = 1_800.0
+BOWLING_BALL_MAX_S = 7_200.0
+
+
+class QueryCategory(str, enum.Enum):
+    """Runtime class of a query."""
+
+    FEATHER = "feather"
+    GOLF_BALL = "golf_ball"
+    BOWLING_BALL = "bowling_ball"
+    WRECKING_BALL = "wrecking_ball"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def categorize(elapsed_seconds: float) -> QueryCategory:
+    """Classify an elapsed time into the paper's categories."""
+    if elapsed_seconds < 0:
+        raise ValueError("elapsed time cannot be negative")
+    if elapsed_seconds < FEATHER_MAX_S:
+        return QueryCategory.FEATHER
+    if elapsed_seconds < GOLF_BALL_MAX_S:
+        return QueryCategory.GOLF_BALL
+    if elapsed_seconds < BOWLING_BALL_MAX_S:
+        return QueryCategory.BOWLING_BALL
+    return QueryCategory.WRECKING_BALL

@@ -1,0 +1,265 @@
+"""Customer database with a different schema (paper Experiment 4).
+
+The paper tests schema transfer: a model trained on TPC-DS queries must
+predict queries against a customer's production database with a different
+schema.  We build a retail-banking-style schema — branches, clients,
+accounts, transactions, a calendar — and a workload of very short queries
+("mini-feathers"), matching the paper's caveat that the customer queries
+it had access to were all extremely short-running.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import child_generator
+from repro.storage.catalog import Catalog
+from repro.storage.table import Column, Schema, Table
+from repro.workloads.templates import QueryTemplate
+
+__all__ = ["build_customer_catalog", "customer_templates", "CUSTOMER_TABLE_NAMES"]
+
+CUSTOMER_TABLE_NAMES = ("branch", "client", "account", "txn", "calendar")
+
+SEGMENTS = ("retail", "premium", "business", "student", "senior")
+ACCOUNT_TYPES = ("checking", "savings", "loan", "credit")
+TXN_TYPES = ("deposit", "withdrawal", "transfer", "fee", "interest")
+REGIONS = ("north", "south", "east", "west", "central")
+N_CAL_DAYS = 730
+
+
+def build_customer_catalog(seed: int = 99, scale: float = 1.0) -> Catalog:
+    """Generate the customer database and return an analyzed catalog."""
+    rng = child_generator(seed, "customer-db")
+    n_branches = max(int(40 * scale), 1)
+    n_clients = max(int(15_000 * scale), 1)
+    n_accounts = max(int(30_000 * scale), 1)
+    n_txns = max(int(120_000 * scale), 1)
+
+    branch = Table(
+        "branch",
+        Schema(
+            [
+                Column("b_branch_sk", "int"),
+                Column("b_region", "str"),
+                Column("b_city", "str"),
+                Column("b_employees", "int"),
+            ]
+        ),
+        {
+            "b_branch_sk": np.arange(1, n_branches + 1),
+            "b_region": rng.choice(REGIONS, size=n_branches),
+            "b_city": np.array(
+                [f"town-{c:02d}" for c in rng.integers(0, 25, n_branches)]
+            ),
+            "b_employees": rng.integers(5, 80, size=n_branches),
+        },
+    )
+
+    client = Table(
+        "client",
+        Schema(
+            [
+                Column("cl_client_sk", "int"),
+                Column("cl_segment", "str"),
+                Column("cl_birth_year", "int"),
+                Column("cl_score", "float"),
+            ]
+        ),
+        {
+            "cl_client_sk": np.arange(1, n_clients + 1),
+            "cl_segment": rng.choice(SEGMENTS, size=n_clients),
+            "cl_birth_year": rng.integers(1935, 2000, size=n_clients),
+            "cl_score": np.round(rng.uniform(300, 850, size=n_clients), 0),
+        },
+    )
+
+    account = Table(
+        "account",
+        Schema(
+            [
+                Column("a_account_sk", "int"),
+                Column("a_client_sk", "int"),
+                Column("a_branch_sk", "int"),
+                Column("a_type", "str"),
+                Column("a_balance", "float"),
+                Column("a_open_year", "int"),
+            ]
+        ),
+        {
+            "a_account_sk": np.arange(1, n_accounts + 1),
+            "a_client_sk": rng.integers(1, n_clients + 1, size=n_accounts),
+            "a_branch_sk": rng.integers(1, n_branches + 1, size=n_accounts),
+            "a_type": rng.choice(ACCOUNT_TYPES, size=n_accounts),
+            "a_balance": np.round(rng.lognormal(8.0, 1.2, size=n_accounts), 2),
+            "a_open_year": rng.integers(1995, 2008, size=n_accounts),
+        },
+    )
+
+    txn = Table(
+        "txn",
+        Schema(
+            [
+                Column("t_txn_sk", "int"),
+                Column("t_account_sk", "int"),
+                Column("t_date_sk", "int"),
+                Column("t_type", "str"),
+                Column("t_amount", "float"),
+            ]
+        ),
+        {
+            "t_txn_sk": np.arange(1, n_txns + 1),
+            "t_account_sk": rng.integers(1, n_accounts + 1, size=n_txns),
+            "t_date_sk": rng.integers(1, N_CAL_DAYS + 1, size=n_txns),
+            "t_type": rng.choice(TXN_TYPES, size=n_txns),
+            "t_amount": np.round(rng.lognormal(4.5, 1.3, size=n_txns), 2),
+        },
+    )
+
+    day_index = np.arange(N_CAL_DAYS)
+    calendar = Table(
+        "calendar",
+        Schema(
+            [
+                Column("cal_date_sk", "int"),
+                Column("cal_year", "int"),
+                Column("cal_month", "int"),
+                Column("cal_week", "int"),
+            ]
+        ),
+        {
+            "cal_date_sk": day_index + 1,
+            "cal_year": 2007 + day_index // 365,
+            "cal_month": np.minimum((day_index % 365) // 30 + 1, 12),
+            "cal_week": day_index // 7 + 1,
+        },
+    )
+
+    catalog = Catalog()
+    catalog.register_all([branch, client, account, txn, calendar])
+    return catalog
+
+
+def customer_templates() -> list[QueryTemplate]:
+    """Short-running queries against the customer schema."""
+    templates: list[QueryTemplate] = []
+
+    templates.append(QueryTemplate(
+        name="cust_branch_balances",
+        sql=(
+            "SELECT b.b_region, sum(a.a_balance) AS total, count(*) AS cnt "
+            "FROM account a, branch b "
+            "WHERE a.a_branch_sk = b.b_branch_sk AND a.a_type = '{atype}' "
+            "GROUP BY b.b_region ORDER BY total DESC"
+        ),
+        sampler=lambda rng: {"atype": str(rng.choice(ACCOUNT_TYPES))},
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_monthly_txn_volume",
+        sql=(
+            "SELECT cal.cal_month, count(*) AS cnt, "
+            "sum(t.t_amount) AS volume "
+            "FROM txn t, calendar cal "
+            "WHERE t.t_date_sk = cal.cal_date_sk "
+            "AND cal.cal_year = {year} AND t.t_type = '{ttype}' "
+            "GROUP BY cal.cal_month ORDER BY cal.cal_month"
+        ),
+        sampler=lambda rng: {
+            "year": int(rng.choice([2007, 2008])),
+            "ttype": str(rng.choice(TXN_TYPES)),
+        },
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_segment_scores",
+        sql=(
+            "SELECT cl.cl_segment, avg(cl.cl_score) AS avg_score, "
+            "count(*) AS cnt "
+            "FROM client cl "
+            "WHERE cl.cl_birth_year BETWEEN {ylo} AND {yhi} "
+            "GROUP BY cl.cl_segment ORDER BY avg_score DESC"
+        ),
+        sampler=lambda rng: (lambda ylo: {
+            "ylo": ylo, "yhi": ylo + int(rng.integers(10, 30))
+        })(int(rng.integers(1935, 1975))),
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_rich_clients",
+        sql=(
+            "SELECT cl.cl_client_sk, sum(a.a_balance) AS wealth "
+            "FROM account a, client cl "
+            "WHERE a.a_client_sk = cl.cl_client_sk "
+            "AND cl.cl_segment = '{segment}' "
+            "GROUP BY cl.cl_client_sk ORDER BY wealth DESC LIMIT {limit}"
+        ),
+        sampler=lambda rng: {
+            "segment": str(rng.choice(SEGMENTS)),
+            "limit": int(rng.choice([10, 50, 100])),
+        },
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_big_txns",
+        sql=(
+            "SELECT t.t_type, count(*) AS cnt, max(t.t_amount) AS biggest "
+            "FROM txn t "
+            "WHERE t.t_amount > {amount} "
+            "AND t.t_date_sk BETWEEN {lo} AND {hi} "
+            "GROUP BY t.t_type ORDER BY cnt DESC"
+        ),
+        sampler=lambda rng: (lambda lo: {
+            "amount": round(float(rng.uniform(200, 3000)), 2),
+            "lo": lo,
+            "hi": lo + int(rng.integers(14, 180)),
+        })(int(rng.integers(1, 500))),
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_branch_activity",
+        sql=(
+            "SELECT b.b_city, count(*) AS txns "
+            "FROM txn t, account a, branch b "
+            "WHERE t.t_account_sk = a.a_account_sk "
+            "AND a.a_branch_sk = b.b_branch_sk "
+            "AND b.b_region = '{region}' "
+            "AND t.t_amount > {amount} "
+            "GROUP BY b.b_city ORDER BY txns DESC"
+        ),
+        sampler=lambda rng: {
+            "region": str(rng.choice(REGIONS)),
+            "amount": round(float(rng.uniform(50, 800)), 2),
+        },
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_dormant_accounts",
+        sql=(
+            "SELECT count(*) AS dormant "
+            "FROM account a "
+            "WHERE a.a_open_year < {year} "
+            "AND NOT EXISTS (SELECT * FROM txn t "
+            "WHERE t.t_account_sk = a.a_account_sk "
+            "AND t.t_date_sk > {date})"
+        ),
+        sampler=lambda rng: {
+            "year": int(rng.integers(1998, 2006)),
+            "date": int(rng.integers(365, 700)),
+        },
+    ))
+
+    templates.append(QueryTemplate(
+        name="cust_loan_clients_in",
+        sql=(
+            "SELECT count(*) AS cnt, avg(cl.cl_score) AS avg_score "
+            "FROM client cl "
+            "WHERE cl.cl_client_sk IN (SELECT a.a_client_sk FROM account a "
+            "WHERE a.a_type = 'loan' AND a.a_balance > {balance})"
+        ),
+        sampler=lambda rng: {
+            "balance": round(float(rng.uniform(1000, 20000)), 2)
+        },
+    ))
+
+    return templates

@@ -1,0 +1,76 @@
+"""Template instantiation into query pools.
+
+The paper generated thousands of queries from TPC-DS templates plus the
+extended problem templates, ran them in single-query mode on the research
+system, and sorted them into pools by measured elapsed time.  This module
+covers the generation half; the measuring/pooling half lives in
+:mod:`repro.experiments.corpus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.rng import child_generator
+from repro.workloads.templates import (
+    QueryTemplate,
+    problem_templates,
+    tpcds_templates,
+)
+
+__all__ = ["QueryInstance", "generate_pool"]
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """One concrete query generated from a template."""
+
+    query_id: str
+    sql: str
+    template: str
+    family: str
+    params: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+def generate_pool(
+    n_queries: int,
+    seed: int = 7,
+    templates: Optional[Sequence[QueryTemplate]] = None,
+    problem_fraction: float = 0.25,
+) -> list[QueryInstance]:
+    """Generate ``n_queries`` query instances.
+
+    Args:
+        n_queries: number of instances to produce.
+        seed: generation seed (deterministic output).
+        templates: explicit template list; default is the standard mix
+            plus problem templates.
+        problem_fraction: probability mass given to problem templates when
+            using the default template mix (the paper needed to oversample
+            heavy templates to obtain enough golf/bowling balls).
+    """
+    if templates is None:
+        standard = tpcds_templates()
+        problems = problem_templates()
+    else:
+        standard = [t for t in templates if t.family != "problem"]
+        problems = [t for t in templates if t.family == "problem"]
+    rng = child_generator(seed, "query-pool")
+    instances = []
+    for index in range(n_queries):
+        if problems and (not standard or rng.random() < problem_fraction):
+            template = problems[int(rng.integers(0, len(problems)))]
+        else:
+            template = standard[int(rng.integers(0, len(standard)))]
+        sql, params = template.render(rng)
+        instances.append(
+            QueryInstance(
+                query_id=f"q{index:05d}_{template.name}",
+                sql=sql,
+                template=template.name,
+                family=template.family,
+                params=params,
+            )
+        )
+    return instances

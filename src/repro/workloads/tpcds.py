@@ -1,0 +1,497 @@
+"""TPC-DS-like star schema and deterministic data generator.
+
+A scaled-down analogue of the TPC-DS retail warehouse: seven dimension
+tables and five fact tables with realistic skew — Zipfian item and
+customer popularity, seasonally-weighted dates, price/category correlation
+and profit/price correlation.  The correlations matter: they are what make
+the optimizer's independence-based cardinality estimates wrong in the same
+ways real TPC-DS makes them wrong.
+
+All generation is deterministic in ``(seed, scale_factor)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import child_generator
+from repro.storage.catalog import Catalog
+from repro.storage.table import Column, Schema, Table
+
+__all__ = ["build_tpcds_catalog", "TPCDS_TABLE_NAMES", "BASE_ROWS"]
+
+#: Tables created by :func:`build_tpcds_catalog`.
+TPCDS_TABLE_NAMES = (
+    "date_dim",
+    "item",
+    "customer",
+    "store",
+    "promotion",
+    "warehouse",
+    "store_sales",
+    "catalog_sales",
+    "web_sales",
+    "store_returns",
+    "inventory",
+)
+
+#: Base row counts at scale factor 1.0 (dimensions marked 0 do not scale).
+BASE_ROWS = {
+    "date_dim": 0,  # fixed: 5 years of days
+    "item": 6_000,
+    "customer": 30_000,
+    "store": 50,
+    "promotion": 300,
+    "warehouse": 15,
+    "store_sales": 150_000,
+    "catalog_sales": 100_000,
+    "web_sales": 60_000,
+    "store_returns": 15_000,
+    "inventory": 80_000,
+}
+
+ITEM_CATEGORIES = (
+    "Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes",
+    "Sports", "Children", "Women",
+)
+ITEM_CLASSES_PER_CATEGORY = 4
+STATES = (
+    "CA", "TX", "NY", "FL", "IL", "WA", "GA", "OH", "MI", "NC", "PA", "AZ",
+)
+NATIONS = (
+    "UNITED STATES", "CANADA", "MEXICO", "GERMANY", "FRANCE", "JAPAN",
+    "BRAZIL", "INDIA", "CHINA", "UNITED KINGDOM",
+)
+PROMO_CHANNELS = ("mail", "tv", "radio", "web", "press")
+DAY_NAMES = (
+    "Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+    "Saturday",
+)
+FIRST_YEAR = 1998
+N_YEARS = 5
+
+
+def _zipf_probabilities(n: int, alpha: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf(alpha) probabilities over ``n`` items, randomly permuted.
+
+    Permutation decouples popularity from surrogate-key order so that hash
+    partitioning still spreads hot keys across nodes (mostly).
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    return rng.permutation(weights)
+
+
+def _scaled(name: str, scale_factor: float) -> int:
+    return max(int(BASE_ROWS[name] * scale_factor), 1)
+
+
+def build_tpcds_catalog(scale_factor: float = 1.0, seed: int = 42) -> Catalog:
+    """Generate the database and return a fully analyzed catalog."""
+    catalog = Catalog()
+    date_dim = _build_date_dim()
+    item = _build_item(_scaled("item", scale_factor), seed)
+    customer = _build_customer(_scaled("customer", scale_factor), seed)
+    store = _build_store(_scaled("store", scale_factor), seed)
+    promotion = _build_promotion(_scaled("promotion", scale_factor), seed)
+    warehouse = _build_warehouse(_scaled("warehouse", scale_factor), seed)
+    dims = {
+        "date_dim": date_dim,
+        "item": item,
+        "customer": customer,
+        "store": store,
+        "promotion": promotion,
+        "warehouse": warehouse,
+    }
+    store_sales = _build_store_sales(
+        _scaled("store_sales", scale_factor), dims, seed
+    )
+    catalog_sales = _build_catalog_sales(
+        _scaled("catalog_sales", scale_factor), dims, seed
+    )
+    web_sales = _build_web_sales(_scaled("web_sales", scale_factor), dims, seed)
+    store_returns = _build_store_returns(
+        _scaled("store_returns", scale_factor), store_sales, seed
+    )
+    inventory = _build_inventory(
+        _scaled("inventory", scale_factor), dims, seed
+    )
+    for table in (
+        date_dim, item, customer, store, promotion, warehouse,
+        store_sales, catalog_sales, web_sales, store_returns, inventory,
+    ):
+        catalog.register(table)
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# Dimensions
+# ----------------------------------------------------------------------
+
+
+def _build_date_dim() -> Table:
+    n_days = N_YEARS * 365
+    day_index = np.arange(n_days)
+    year = FIRST_YEAR + day_index // 365
+    day_of_year = day_index % 365
+    month = np.minimum(day_of_year // 30 + 1, 12)
+    day_of_month = day_of_year % 30 + 1
+    quarter = (month - 1) // 3 + 1
+    schema = Schema(
+        [
+            Column("d_date_sk", "int"),
+            Column("d_year", "int"),
+            Column("d_moy", "int"),
+            Column("d_dom", "int"),
+            Column("d_qoy", "int"),
+            Column("d_day_name", "str"),
+        ]
+    )
+    return Table(
+        "date_dim",
+        schema,
+        {
+            "d_date_sk": day_index + 1,
+            "d_year": year,
+            "d_moy": month,
+            "d_dom": day_of_month,
+            "d_qoy": quarter,
+            "d_day_name": np.array(DAY_NAMES)[day_index % 7],
+        },
+    )
+
+
+def _build_item(n: int, seed: int) -> Table:
+    rng = child_generator(seed, "item")
+    category_idx = rng.integers(0, len(ITEM_CATEGORIES), size=n)
+    class_idx = rng.integers(0, ITEM_CLASSES_PER_CATEGORY, size=n)
+    categories = np.array(ITEM_CATEGORIES)[category_idx]
+    classes = np.array(
+        [f"{c}-class-{k}" for c, k in zip(categories, class_idx)]
+    )
+    brands = np.array([f"brand-{b:03d}" for b in rng.integers(0, 120, size=n)])
+    # Prices correlate with category (Jewelry and Electronics cost more),
+    # breaking the optimizer's independence assumption.
+    base_price = rng.lognormal(mean=2.5, sigma=0.8, size=n)
+    category_multiplier = 1.0 + 2.0 * (category_idx % 4 == 3)
+    price = np.round(base_price * category_multiplier, 2)
+    schema = Schema(
+        [
+            Column("i_item_sk", "int"),
+            Column("i_category", "str"),
+            Column("i_class", "str"),
+            Column("i_brand", "str"),
+            Column("i_current_price", "float"),
+            Column("i_manufact_id", "int"),
+        ]
+    )
+    return Table(
+        "item",
+        schema,
+        {
+            "i_item_sk": np.arange(1, n + 1),
+            "i_category": categories,
+            "i_class": classes,
+            "i_brand": brands,
+            "i_current_price": price,
+            "i_manufact_id": rng.integers(1, 200, size=n),
+        },
+    )
+
+
+def _build_customer(n: int, seed: int) -> Table:
+    rng = child_generator(seed, "customer")
+    nation_probs = _zipf_probabilities(len(NATIONS), 1.0, rng)
+    schema = Schema(
+        [
+            Column("c_customer_sk", "int"),
+            Column("c_birth_year", "int"),
+            Column("c_nation", "str"),
+            Column("c_preferred", "str"),
+            Column("c_income", "float"),
+        ]
+    )
+    return Table(
+        "customer",
+        schema,
+        {
+            "c_customer_sk": np.arange(1, n + 1),
+            "c_birth_year": rng.integers(1930, 1992, size=n),
+            "c_nation": rng.choice(NATIONS, size=n, p=nation_probs),
+            "c_preferred": rng.choice(["Y", "N"], size=n, p=[0.35, 0.65]),
+            "c_income": np.round(rng.lognormal(10.5, 0.6, size=n), 2),
+        },
+    )
+
+
+def _build_store(n: int, seed: int) -> Table:
+    rng = child_generator(seed, "store")
+    schema = Schema(
+        [
+            Column("s_store_sk", "int"),
+            Column("s_state", "str"),
+            Column("s_city", "str"),
+            Column("s_number_employees", "int"),
+            Column("s_floor_space", "float"),
+        ]
+    )
+    return Table(
+        "store",
+        schema,
+        {
+            "s_store_sk": np.arange(1, n + 1),
+            "s_state": rng.choice(STATES, size=n),
+            "s_city": np.array([f"city-{c:02d}" for c in rng.integers(0, 40, n)]),
+            "s_number_employees": rng.integers(50, 300, size=n),
+            "s_floor_space": np.round(rng.uniform(2_000, 12_000, size=n), 1),
+        },
+    )
+
+
+def _build_promotion(n: int, seed: int) -> Table:
+    rng = child_generator(seed, "promotion")
+    schema = Schema(
+        [
+            Column("p_promo_sk", "int"),
+            Column("p_channel", "str"),
+            Column("p_cost", "float"),
+        ]
+    )
+    return Table(
+        "promotion",
+        schema,
+        {
+            "p_promo_sk": np.arange(1, n + 1),
+            "p_channel": rng.choice(PROMO_CHANNELS, size=n),
+            "p_cost": np.round(rng.lognormal(6.0, 1.0, size=n), 2),
+        },
+    )
+
+
+def _build_warehouse(n: int, seed: int) -> Table:
+    rng = child_generator(seed, "warehouse")
+    schema = Schema(
+        [
+            Column("w_warehouse_sk", "int"),
+            Column("w_state", "str"),
+            Column("w_sq_ft", "float"),
+        ]
+    )
+    return Table(
+        "warehouse",
+        schema,
+        {
+            "w_warehouse_sk": np.arange(1, n + 1),
+            "w_state": rng.choice(STATES, size=n),
+            "w_sq_ft": np.round(rng.uniform(50_000, 900_000, size=n), 0),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Facts
+# ----------------------------------------------------------------------
+
+
+def _seasonal_date_probs(n_days: int, rng: np.random.Generator) -> np.ndarray:
+    """Day-of-year seasonality: a holiday-season bump near year end."""
+    day_of_year = np.arange(n_days) % 365
+    weights = 1.0 + 0.8 * np.exp(-0.5 * ((day_of_year - 330) / 25.0) ** 2)
+    weights *= rng.uniform(0.9, 1.1, size=n_days)
+    return weights / weights.sum()
+
+
+def _sales_columns(
+    n: int,
+    dims: dict[str, Table],
+    rng: np.random.Generator,
+    item_alpha: float,
+    customer_alpha: float,
+) -> dict[str, np.ndarray]:
+    """Shared fact-table column machinery (keys, quantities, money)."""
+    n_items = dims["item"].n_rows
+    n_customers = dims["customer"].n_rows
+    n_days = dims["date_dim"].n_rows
+    item_probs = _zipf_probabilities(n_items, item_alpha, rng)
+    customer_probs = _zipf_probabilities(n_customers, customer_alpha, rng)
+    date_probs = _seasonal_date_probs(n_days, rng)
+    item_sk = rng.choice(np.arange(1, n_items + 1), size=n, p=item_probs)
+    customer_sk = rng.choice(
+        np.arange(1, n_customers + 1), size=n, p=customer_probs
+    )
+    date_sk = rng.choice(np.arange(1, n_days + 1), size=n, p=date_probs)
+    item_price = dims["item"].column("i_current_price")[item_sk - 1]
+    quantity = rng.integers(1, 40, size=n)
+    sales_price = np.round(item_price * rng.uniform(0.7, 1.15, size=n), 2)
+    # Profit correlates with price (another independence-breaking pattern).
+    net_profit = np.round(
+        sales_price * quantity * rng.normal(0.12, 0.08, size=n), 2
+    )
+    return {
+        "item_sk": item_sk,
+        "customer_sk": customer_sk,
+        "date_sk": date_sk,
+        "quantity": quantity,
+        "sales_price": sales_price,
+        "net_profit": net_profit,
+    }
+
+
+def _build_store_sales(n: int, dims: dict[str, Table], seed: int) -> Table:
+    rng = child_generator(seed, "store_sales")
+    shared = _sales_columns(n, dims, rng, item_alpha=0.68, customer_alpha=0.74)
+    n_stores = dims["store"].n_rows
+    n_promos = dims["promotion"].n_rows
+    schema = Schema(
+        [
+            Column("ss_sold_date_sk", "int"),
+            Column("ss_item_sk", "int"),
+            Column("ss_customer_sk", "int"),
+            Column("ss_store_sk", "int"),
+            Column("ss_promo_sk", "int"),
+            Column("ss_quantity", "int"),
+            Column("ss_sales_price", "float"),
+            Column("ss_net_profit", "float"),
+            Column("ss_wholesale_cost", "float"),
+        ]
+    )
+    return Table(
+        "store_sales",
+        schema,
+        {
+            "ss_sold_date_sk": shared["date_sk"],
+            "ss_item_sk": shared["item_sk"],
+            "ss_customer_sk": shared["customer_sk"],
+            "ss_store_sk": rng.integers(1, n_stores + 1, size=n),
+            "ss_promo_sk": rng.integers(1, n_promos + 1, size=n),
+            "ss_quantity": shared["quantity"],
+            "ss_sales_price": shared["sales_price"],
+            "ss_net_profit": shared["net_profit"],
+            "ss_wholesale_cost": np.round(
+                shared["sales_price"] * rng.uniform(0.4, 0.8, size=n), 2
+            ),
+        },
+    )
+
+
+def _build_catalog_sales(n: int, dims: dict[str, Table], seed: int) -> Table:
+    rng = child_generator(seed, "catalog_sales")
+    shared = _sales_columns(n, dims, rng, item_alpha=0.72, customer_alpha=0.6)
+    n_warehouses = dims["warehouse"].n_rows
+    n_promos = dims["promotion"].n_rows
+    schema = Schema(
+        [
+            Column("cs_sold_date_sk", "int"),
+            Column("cs_item_sk", "int"),
+            Column("cs_customer_sk", "int"),
+            Column("cs_warehouse_sk", "int"),
+            Column("cs_promo_sk", "int"),
+            Column("cs_quantity", "int"),
+            Column("cs_sales_price", "float"),
+            Column("cs_net_profit", "float"),
+        ]
+    )
+    return Table(
+        "catalog_sales",
+        schema,
+        {
+            "cs_sold_date_sk": shared["date_sk"],
+            "cs_item_sk": shared["item_sk"],
+            "cs_customer_sk": shared["customer_sk"],
+            "cs_warehouse_sk": rng.integers(1, n_warehouses + 1, size=n),
+            "cs_promo_sk": rng.integers(1, n_promos + 1, size=n),
+            "cs_quantity": shared["quantity"],
+            "cs_sales_price": shared["sales_price"],
+            "cs_net_profit": shared["net_profit"],
+        },
+    )
+
+
+def _build_web_sales(n: int, dims: dict[str, Table], seed: int) -> Table:
+    rng = child_generator(seed, "web_sales")
+    shared = _sales_columns(n, dims, rng, item_alpha=0.7, customer_alpha=0.65)
+    n_promos = dims["promotion"].n_rows
+    schema = Schema(
+        [
+            Column("ws_sold_date_sk", "int"),
+            Column("ws_item_sk", "int"),
+            Column("ws_customer_sk", "int"),
+            Column("ws_promo_sk", "int"),
+            Column("ws_quantity", "int"),
+            Column("ws_sales_price", "float"),
+            Column("ws_net_profit", "float"),
+        ]
+    )
+    return Table(
+        "web_sales",
+        schema,
+        {
+            "ws_sold_date_sk": shared["date_sk"],
+            "ws_item_sk": shared["item_sk"],
+            "ws_customer_sk": shared["customer_sk"],
+            "ws_promo_sk": rng.integers(1, n_promos + 1, size=n),
+            "ws_quantity": shared["quantity"],
+            "ws_sales_price": shared["sales_price"],
+            "ws_net_profit": shared["net_profit"],
+        },
+    )
+
+
+def _build_store_returns(n: int, store_sales: Table, seed: int) -> Table:
+    rng = child_generator(seed, "store_returns")
+    # Returns reference actual sales rows, so join multiplicities are real.
+    sale_idx = rng.integers(0, store_sales.n_rows, size=n)
+    return_delay = rng.integers(1, 60, size=n)
+    sold_date = store_sales.column("ss_sold_date_sk")[sale_idx]
+    schema = Schema(
+        [
+            Column("sr_item_sk", "int"),
+            Column("sr_customer_sk", "int"),
+            Column("sr_returned_date_sk", "int"),
+            Column("sr_return_amt", "float"),
+        ]
+    )
+    return Table(
+        "store_returns",
+        schema,
+        {
+            "sr_item_sk": store_sales.column("ss_item_sk")[sale_idx],
+            "sr_customer_sk": store_sales.column("ss_customer_sk")[sale_idx],
+            "sr_returned_date_sk": np.minimum(
+                sold_date + return_delay, N_YEARS * 365
+            ),
+            "sr_return_amt": np.round(
+                store_sales.column("ss_sales_price")[sale_idx]
+                * rng.uniform(0.5, 1.0, size=n),
+                2,
+            ),
+        },
+    )
+
+
+def _build_inventory(n: int, dims: dict[str, Table], seed: int) -> Table:
+    rng = child_generator(seed, "inventory")
+    n_items = dims["item"].n_rows
+    n_warehouses = dims["warehouse"].n_rows
+    n_days = dims["date_dim"].n_rows
+    schema = Schema(
+        [
+            Column("inv_date_sk", "int"),
+            Column("inv_item_sk", "int"),
+            Column("inv_warehouse_sk", "int"),
+            Column("inv_quantity_on_hand", "int"),
+        ]
+    )
+    # Weekly snapshots: inventory dates land on week boundaries.
+    week_starts = np.arange(1, n_days + 1, 7)
+    return Table(
+        "inventory",
+        schema,
+        {
+            "inv_date_sk": rng.choice(week_starts, size=n),
+            "inv_item_sk": rng.integers(1, n_items + 1, size=n),
+            "inv_warehouse_sk": rng.integers(1, n_warehouses + 1, size=n),
+            "inv_quantity_on_hand": rng.integers(0, 1000, size=n),
+        },
+    )

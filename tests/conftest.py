@@ -1,0 +1,57 @@
+"""Shared fixtures: small catalogs, configs, and executed mini-corpora.
+
+Everything here is deliberately small (scale factor 0.1-0.2) so the unit
+and integration test suite runs in seconds; the full-size corpora live in
+``data/corpora`` and are only used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor
+from repro.engine.system import research_4node
+from repro.experiments.corpus import build_corpus
+from repro.optimizer import Optimizer
+from repro.workloads.customer import build_customer_catalog
+from repro.workloads.generator import generate_pool
+from repro.workloads.tpcds import build_tpcds_catalog
+
+
+@pytest.fixture(scope="session")
+def tpcds_catalog():
+    """A small TPC-DS-like catalog shared across the test session."""
+    return build_tpcds_catalog(scale_factor=0.15, seed=123)
+
+
+@pytest.fixture(scope="session")
+def customer_catalog():
+    return build_customer_catalog(seed=321, scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return research_4node()
+
+
+@pytest.fixture(scope="session")
+def optimizer(tpcds_catalog, config):
+    return Optimizer(tpcds_catalog, config)
+
+
+@pytest.fixture(scope="session")
+def executor(tpcds_catalog, config):
+    return Executor(tpcds_catalog, config)
+
+
+@pytest.fixture(scope="session")
+def mini_corpus(tpcds_catalog, config):
+    """A small executed corpus for model-level tests."""
+    pool = generate_pool(140, seed=9, problem_fraction=0.2)
+    return build_corpus(tpcds_catalog, config, pool)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

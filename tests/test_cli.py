@@ -1,0 +1,72 @@
+"""CLI tests (plan / measure / predict / explain / pools)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SQL = "SELECT count(*) AS c FROM store_sales ss WHERE ss.ss_quantity > 20"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(["plan", SQL])
+        assert args.command == "plan"
+        assert args.sql == SQL
+
+    def test_system_choices(self):
+        args = build_parser().parse_args(["--system", "prod8", "plan", SQL])
+        assert args.system == "prod8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--system", "prod5", "plan", SQL])
+
+
+class TestCommands:
+    def test_plan_prints_tree(self, capsys):
+        code = main(["--scale", "0.05", "plan", SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file_scan" in out
+        assert "optimizer cost" in out
+
+    def test_measure_prints_metrics(self, capsys):
+        code = main(["--scale", "0.05", "measure", SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "elapsed time" in out
+        assert "records accessed" in out
+
+    def test_predict_trains_and_forecasts(self, capsys):
+        code = main(
+            ["--scale", "0.05", "predict", "--queries", "50", SQL]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "predicted elapsed time" in out
+
+    def test_explain_includes_confidence(self, capsys):
+        code = main(
+            ["--scale", "0.05", "explain", "--queries", "50", SQL]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "confidence" in out
+
+    def test_pools_table(self, capsys):
+        code = main(["--scale", "0.05", "pools", "--queries", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feather" in out
+
+    def test_bad_sql_fails_cleanly(self, capsys):
+        code = main(["--scale", "0.05", "plan", "SELECT * FROM no_table x"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error" in err
+
+    def test_production_system(self, capsys):
+        code = main(["--scale", "0.05", "--system", "prod8", "measure", SQL])
+        assert code == 0

@@ -1,0 +1,179 @@
+"""Tests for the paper's extension features: feature importance
+(Sec. VII-C.2), online retraining and cost calibration (Sec. VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CostCalibrator
+from repro.core.importance import feature_contributions
+from repro.core.online import OnlinePredictor
+from repro.core.predictor import KCCAPredictor
+from repro.errors import ModelError, NotFittedError
+
+
+def make_data(n=200, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, (n, 5))
+    base = scale * (np.exp(2 * x[:, 0]) + 4 * x[:, 1])
+    y = np.column_stack([base, base * 10, base * 0.5,
+                         base + 1, base * 3, base * 7])
+    return x, y
+
+
+class TestFeatureImportance:
+    def test_informative_feature_ranks_high(self):
+        """Features driving performance should top the contribution list;
+        a pure-noise feature should not."""
+        rng = np.random.default_rng(1)
+        n = 200
+        driver = rng.uniform(0, 1, n)
+        noise = rng.uniform(0, 1, n)
+        x = np.column_stack([driver, noise])
+        base = np.exp(3 * driver) + 1
+        y = np.column_stack([base] * 6)
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        contributions = feature_contributions(
+            model, x[:40], x, ["driver", "noise"]
+        )
+        by_name = {c.name: c for c in contributions}
+        assert by_name["driver"].similarity > by_name["noise"].similarity
+
+    def test_sorted_by_score(self):
+        x, y = make_data()
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        names = [f"f{i}" for i in range(x.shape[1])]
+        contributions = feature_contributions(model, x[:20], x, names)
+        scores = [c.score for c in contributions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_inactive_feature_zero_fraction(self):
+        x, y = make_data()
+        x = np.hstack([x, np.zeros((len(x), 1))])
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        names = [f"f{i}" for i in range(x.shape[1])]
+        contributions = feature_contributions(model, x[:10], x, names)
+        dead = next(c for c in contributions if c.name == "f5")
+        assert dead.active_fraction == 0.0
+        assert dead.score == 0.0
+
+    def test_name_length_validated(self):
+        x, y = make_data(n=50)
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        with pytest.raises(ModelError):
+            feature_contributions(model, x[:5], x, ["only-one"])
+
+
+class TestOnlinePredictor:
+    def test_not_ready_before_min_fit(self):
+        online = OnlinePredictor(min_fit_size=30, log_features=False)
+        x, y = make_data(n=10)
+        for i in range(10):
+            online.observe(x[i], y[i])
+        assert not online.is_ready
+        with pytest.raises(NotFittedError):
+            online.predict(x[:1])
+
+    def test_becomes_ready_and_predicts(self):
+        online = OnlinePredictor(
+            min_fit_size=40, refit_interval=10, log_features=False
+        )
+        x, y = make_data(n=80)
+        for i in range(80):
+            online.observe(x[i], y[i])
+        assert online.is_ready
+        prediction = online.predict(x[:3])
+        assert prediction.shape == (3, 6)
+
+    def test_window_bounds_memory(self):
+        online = OnlinePredictor(
+            window_size=50, min_fit_size=20, log_features=False
+        )
+        x, y = make_data(n=120)
+        for i in range(120):
+            online.observe(x[i], y[i])
+        assert len(online) == 50
+
+    def test_refit_interval_amortises(self):
+        online = OnlinePredictor(
+            min_fit_size=20, refit_interval=20, log_features=False
+        )
+        x, y = make_data(n=100)
+        for i in range(100):
+            online.observe(x[i], y[i])
+        assert online.refit_count <= 6
+
+    def test_adapts_to_drift(self):
+        """After a regime change (system 3x slower), the sliding window
+        model tracks the new regime; a frozen model keeps predicting the
+        old one."""
+        x_old, y_old = make_data(n=150, seed=1, scale=1.0)
+        x_new, y_new = make_data(n=150, seed=2, scale=3.0)
+
+        frozen = KCCAPredictor(log_features=False).fit(x_old, y_old)
+        online = OnlinePredictor(
+            window_size=150, min_fit_size=30, refit_interval=25,
+            log_features=False,
+        )
+        for i in range(150):
+            online.observe(x_old[i], y_old[i])
+        for i in range(150):
+            online.observe(x_new[i], y_new[i])
+
+        x_test, y_test = make_data(n=30, seed=3, scale=3.0)
+        frozen_err = np.abs(
+            frozen.predict(x_test)[:, 0] - y_test[:, 0]
+        ).mean()
+        online_err = np.abs(
+            online.predict(x_test)[:, 0] - y_test[:, 0]
+        ).mean()
+        assert online_err < frozen_err
+
+    def test_feature_width_change_rejected(self):
+        online = OnlinePredictor(log_features=False)
+        online.observe(np.ones(4), np.ones(6))
+        with pytest.raises(ModelError):
+            online.observe(np.ones(5), np.ones(6))
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            OnlinePredictor(window_size=2)
+        with pytest.raises(ModelError):
+            OnlinePredictor(refit_interval=0)
+        with pytest.raises(ModelError):
+            OnlinePredictor(recency_boost=1.5)
+
+
+class TestCostCalibrator:
+    def test_recovers_power_law(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(10, 10_000, 200)
+        elapsed = 0.01 * costs**1.5
+        calibrator = CostCalibrator().fit(costs, elapsed)
+        assert calibrator.slope == pytest.approx(1.5, abs=0.01)
+        assert calibrator.r_squared == pytest.approx(1.0, abs=1e-6)
+        predicted = calibrator.predict_seconds(np.array([100.0]))
+        assert predicted[0] == pytest.approx(0.01 * 100**1.5, rel=0.01)
+
+    def test_scatter_factors(self):
+        costs = np.array([10.0, 100.0, 1000.0, 10000.0])
+        elapsed = np.array([1.0, 10.0, 100.0, 1000.0])
+        calibrator = CostCalibrator().fit(costs, elapsed)
+        factors = calibrator.scatter_factors(
+            np.array([100.0]), np.array([100.0])
+        )
+        assert factors[0] == pytest.approx(10.0, rel=0.05)
+
+    def test_noisy_costs_low_r_squared(self):
+        rng = np.random.default_rng(1)
+        costs = rng.uniform(10, 1000, 100)
+        elapsed = rng.uniform(0.1, 100, 100)  # unrelated
+        calibrator = CostCalibrator().fit(costs, elapsed)
+        assert calibrator.r_squared < 0.3
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            CostCalibrator().predict_seconds(np.array([1.0]))
+
+    def test_fit_validation(self):
+        with pytest.raises(ModelError):
+            CostCalibrator().fit(np.ones(2), np.ones(2))

@@ -1,0 +1,143 @@
+"""Gaussian kernel and scale-heuristic tests (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kernels import (
+    cross_squared_distances,
+    gaussian_kernel_cross,
+    gaussian_kernel_matrix,
+    scale_factor_heuristic,
+    squared_distances,
+)
+
+finite_matrix = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 12), st.integers(1, 6)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestDistances:
+    def test_zero_diagonal(self):
+        data = np.random.default_rng(0).normal(size=(5, 3))
+        distances = squared_distances(data)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_matches_naive(self):
+        data = np.random.default_rng(0).normal(size=(6, 4))
+        fast = squared_distances(data)
+        for i in range(6):
+            for j in range(6):
+                naive = np.sum((data[i] - data[j]) ** 2)
+                assert fast[i, j] == pytest.approx(naive, abs=1e-9)
+
+    def test_cross_matches_square(self):
+        data = np.random.default_rng(1).normal(size=(5, 3))
+        assert np.allclose(
+            cross_squared_distances(data, data), squared_distances(data)
+        )
+
+    def test_non_negative(self):
+        data = np.random.default_rng(2).normal(size=(10, 2)) * 1000
+        assert (squared_distances(data) >= 0).all()
+
+
+class TestKernelMatrix:
+    def test_unit_diagonal(self):
+        data = np.random.default_rng(0).normal(size=(8, 3))
+        kernel = gaussian_kernel_matrix(data, tau=1.0)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_symmetric(self):
+        data = np.random.default_rng(0).normal(size=(8, 3))
+        kernel = gaussian_kernel_matrix(data, tau=2.0)
+        assert np.allclose(kernel, kernel.T)
+
+    def test_values_in_unit_interval(self):
+        data = np.random.default_rng(0).normal(size=(8, 3))
+        kernel = gaussian_kernel_matrix(data, tau=0.5)
+        assert (kernel > 0).all()
+        assert (kernel <= 1).all()
+
+    def test_identical_points_similarity_one(self):
+        data = np.ones((4, 3))
+        kernel = gaussian_kernel_matrix(data, tau=1.0)
+        assert np.allclose(kernel, 1.0)
+
+    def test_larger_tau_means_more_similar(self):
+        data = np.random.default_rng(0).normal(size=(6, 3))
+        narrow = gaussian_kernel_matrix(data, tau=0.1)
+        wide = gaussian_kernel_matrix(data, tau=10.0)
+        off_diag = ~np.eye(6, dtype=bool)
+        assert (wide[off_diag] >= narrow[off_diag]).all()
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_matrix(np.ones((3, 2)), tau=0.0)
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_is_psd_with_unit_diagonal(self, data):
+        """Property: Gaussian kernel matrices are symmetric PSD with 1s on
+        the diagonal."""
+        kernel = gaussian_kernel_matrix(data, tau=5.0)
+        assert np.allclose(kernel, kernel.T)
+        assert np.allclose(np.diag(kernel), 1.0)
+        eigenvalues = np.linalg.eigvalsh(kernel)
+        assert eigenvalues.min() >= -1e-8
+
+
+class TestCrossKernel:
+    def test_shape(self):
+        train = np.random.default_rng(0).normal(size=(10, 4))
+        new = np.random.default_rng(1).normal(size=(3, 4))
+        cross = gaussian_kernel_cross(new, train, tau=1.0)
+        assert cross.shape == (3, 10)
+
+    def test_self_cross_matches_matrix(self):
+        data = np.random.default_rng(0).normal(size=(7, 3))
+        cross = gaussian_kernel_cross(data, data, tau=2.0)
+        full = gaussian_kernel_matrix(data, tau=2.0)
+        assert np.allclose(cross, full, atol=1e-12)
+
+
+class TestScaleHeuristic:
+    def test_distance_method_positive(self):
+        data = np.random.default_rng(0).normal(size=(50, 5))
+        tau = scale_factor_heuristic(data, 0.1)
+        assert tau > 0
+
+    def test_scales_with_fraction(self):
+        data = np.random.default_rng(0).normal(size=(50, 5))
+        assert scale_factor_heuristic(data, 0.2) == pytest.approx(
+            2 * scale_factor_heuristic(data, 0.1)
+        )
+
+    def test_norm_variance_method(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 3)) * rng.uniform(1, 100, size=(100, 1))
+        tau = scale_factor_heuristic(data, 0.1, method="norm_variance")
+        norms = np.linalg.norm(data, axis=1)
+        assert tau == pytest.approx(0.1 * np.var(norms))
+
+    def test_norm_variance_degenerate_falls_back(self):
+        data = np.ones((10, 3))
+        tau = scale_factor_heuristic(data, 0.1, method="norm_variance")
+        assert tau > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            scale_factor_heuristic(np.ones((3, 2)), 0.1, method="magic")
+
+    def test_single_point(self):
+        assert scale_factor_heuristic(np.ones((1, 3)), 0.1) == 1.0
+
+    def test_subsampling_large_inputs(self):
+        data = np.random.default_rng(0).normal(size=(2000, 3))
+        tau_big = scale_factor_heuristic(data, 0.1)
+        tau_small = scale_factor_heuristic(data[:400], 0.1)
+        assert tau_big == pytest.approx(tau_small, rel=0.3)

@@ -1,0 +1,414 @@
+"""Operator algorithm tests, checked against naive pure-numpy oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators import (
+    Batch,
+    distinct_batch,
+    equi_join_indices,
+    factorize_rows,
+    filter_batch,
+    group_by_batch,
+    hash_join_batches,
+    nested_join_batches,
+    scalar_aggregate_batch,
+    semi_join_batch,
+    sort_batch,
+    top_n_batch,
+)
+from repro.engine.plan import AggregateSpec
+from repro.errors import ExecutionError
+from repro.sql.parser import parse
+
+
+def predicate(cond):
+    return parse(f"SELECT * FROM t WHERE {cond}").where
+
+
+def expr(expression):
+    return parse(f"SELECT {expression} FROM t").select[0].expr
+
+
+class TestBatch:
+    def test_length_validation(self):
+        with pytest.raises(ExecutionError):
+            Batch({"a": np.arange(3)}, n_rows=4)
+
+    def test_take_with_repeats(self):
+        batch = Batch({"a": np.array([10, 20, 30])}, n_rows=3)
+        taken = batch.take(np.array([0, 0, 2]))
+        assert list(taken.column("a")) == [10, 10, 30]
+
+    def test_mask(self):
+        batch = Batch({"a": np.arange(5)}, n_rows=5)
+        masked = batch.mask(np.array([True, False, True, False, True]))
+        assert masked.n_rows == 3
+
+    def test_row_bytes_string_vs_numeric(self):
+        batch = Batch(
+            {"a": np.arange(2), "s": np.array(["x", "y"])}, n_rows=2
+        )
+        assert batch.row_bytes == 8 + 24
+
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError):
+            Batch({}, 0).column("a")
+
+
+class TestEquiJoin:
+    def test_one_to_one(self):
+        left = [np.array([1, 2, 3])]
+        right = [np.array([3, 1, 2])]
+        li, ri = equi_join_indices(left, right)
+        assert len(li) == 3
+        assert (np.array(left[0])[li] == np.array(right[0])[ri]).all()
+
+    def test_one_to_many(self):
+        li, ri = equi_join_indices([np.array([1, 2])], [np.array([1, 1, 2])])
+        assert len(li) == 3
+        assert sorted(li) == [0, 0, 1]
+
+    def test_no_matches(self):
+        li, ri = equi_join_indices([np.array([1])], [np.array([2])])
+        assert len(li) == 0
+
+    def test_multi_key(self):
+        left = [np.array([1, 1, 2]), np.array([10, 20, 10])]
+        right = [np.array([1, 2]), np.array([20, 10])]
+        li, ri = equi_join_indices(left, right)
+        pairs = {(int(left[0][i]), int(left[1][i])) for i in li}
+        assert pairs == {(1, 20), (2, 10)}
+
+    def test_string_keys(self):
+        li, ri = equi_join_indices(
+            [np.array(["a", "b"])], [np.array(["b", "b", "c"])]
+        )
+        assert len(li) == 2
+        assert (li == 1).all()
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=0, max_size=40),
+        st.lists(st.integers(0, 8), min_size=0, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_nested_loop_oracle(self, left_keys, right_keys):
+        """Property: equi join == brute-force nested loop join."""
+        left = np.array(left_keys, dtype=np.int64)
+        right = np.array(right_keys, dtype=np.int64)
+        li, ri = equi_join_indices([left], [right])
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if left[i] == right[j]
+        )
+        assert got == expected
+
+
+class TestHashJoinBatches:
+    def test_columns_merged(self):
+        left = Batch({"l.k": np.array([1, 2]), "l.v": np.array([10, 20])}, 2)
+        right = Batch({"r.k": np.array([2, 1]), "r.w": np.array([200, 100])}, 2)
+        out = hash_join_batches(left, right, [("l.k", "r.k")])
+        assert out.n_rows == 2
+        row = {k: out.column(k)[0] for k in out.columns}
+        assert row["l.v"] * 10 == row["r.w"]
+
+    def test_residual_predicate(self):
+        left = Batch({"l.k": np.array([1, 1]), "l.v": np.array([5, 50])}, 2)
+        right = Batch({"r.k": np.array([1]), "r.w": np.array([10])}, 1)
+        out = hash_join_batches(
+            left, right, [("l.k", "r.k")], residual=predicate("l.v > r.w")
+        )
+        assert out.n_rows == 1
+        assert out.column("l.v")[0] == 50
+
+    def test_duplicate_column_names_rejected(self):
+        left = Batch({"k": np.array([1])}, 1)
+        right = Batch({"k": np.array([1])}, 1)
+        with pytest.raises(ExecutionError):
+            hash_join_batches(left, right, [("k", "k")])
+
+
+class TestNestedJoin:
+    def test_theta_join(self):
+        left = Batch({"l.a": np.array([1, 5, 9])}, 3)
+        right = Batch({"r.b": np.array([2, 6])}, 2)
+        out = nested_join_batches(left, right, predicate("l.a > r.b"))
+        # pairs: (5,2), (9,2), (9,6)
+        assert out.n_rows == 3
+
+    def test_cross_join(self):
+        left = Batch({"l.a": np.arange(3)}, 3)
+        right = Batch({"r.b": np.arange(4)}, 4)
+        out = nested_join_batches(left, right, None)
+        assert out.n_rows == 12
+
+    def test_empty_side(self):
+        left = Batch({"l.a": np.arange(0)}, 0)
+        right = Batch({"r.b": np.arange(4)}, 4)
+        out = nested_join_batches(left, right, None)
+        assert out.n_rows == 0
+
+    def test_chunking_matches_unchunked(self, monkeypatch):
+        import repro.engine.operators as ops
+
+        left = Batch({"l.a": np.arange(100)}, 100)
+        right = Batch({"r.b": np.arange(50)}, 50)
+        pred = predicate("l.a = r.b")
+        full = nested_join_batches(left, right, pred)
+        monkeypatch.setattr(ops, "_NL_CHUNK_ELEMENTS", 64)
+        chunked = ops.nested_join_batches(left, right, pred)
+        assert chunked.n_rows == full.n_rows == 50
+
+
+class TestSemiJoin:
+    def test_semi(self):
+        left = Batch({"l.k": np.array([1, 2, 3])}, 3)
+        right = Batch({"r.k": np.array([2, 2, 3])}, 3)
+        out = semi_join_batch(left, right, [("l.k", "r.k")])
+        assert list(out.column("l.k")) == [2, 3]
+
+    def test_anti(self):
+        left = Batch({"l.k": np.array([1, 2, 3])}, 3)
+        right = Batch({"r.k": np.array([2])}, 1)
+        out = semi_join_batch(left, right, [("l.k", "r.k")], anti=True)
+        assert list(out.column("l.k")) == [1, 3]
+
+    def test_semi_does_not_duplicate(self):
+        """Semi join output has at most one row per left row."""
+        left = Batch({"l.k": np.array([1])}, 1)
+        right = Batch({"r.k": np.array([1, 1, 1])}, 3)
+        out = semi_join_batch(left, right, [("l.k", "r.k")])
+        assert out.n_rows == 1
+
+
+class TestSort:
+    def test_ascending(self):
+        batch = Batch({"a": np.array([3, 1, 2])}, 3)
+        assert list(sort_batch(batch, [("a", False)]).column("a")) == [1, 2, 3]
+
+    def test_descending(self):
+        batch = Batch({"a": np.array([3, 1, 2])}, 3)
+        assert list(sort_batch(batch, [("a", True)]).column("a")) == [3, 2, 1]
+
+    def test_multi_key(self):
+        batch = Batch(
+            {"a": np.array([1, 1, 0]), "b": np.array([5, 9, 7])}, 3
+        )
+        out = sort_batch(batch, [("a", False), ("b", True)])
+        assert list(out.column("a")) == [0, 1, 1]
+        assert list(out.column("b")) == [7, 9, 5]
+
+    def test_string_descending(self):
+        batch = Batch({"s": np.array(["b", "c", "a"])}, 3)
+        out = sort_batch(batch, [("s", True)])
+        assert list(out.column("s")) == ["c", "b", "a"]
+
+    def test_empty_keys_identity(self):
+        batch = Batch({"a": np.array([3, 1])}, 2)
+        assert sort_batch(batch, []) is batch
+
+
+class TestGroupBy:
+    def make(self):
+        return Batch(
+            {
+                "g.k": np.array([1, 2, 1, 2, 1]),
+                "g.v": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            },
+            5,
+        )
+
+    def test_count_star(self):
+        out = group_by_batch(
+            self.make(), ["g.k"], [AggregateSpec("count", None, "cnt")]
+        )
+        result = dict(zip(out.column("g.k"), out.column("cnt")))
+        assert result == {1: 3, 2: 2}
+
+    def test_sum(self):
+        out = group_by_batch(
+            self.make(), ["g.k"], [AggregateSpec("sum", expr("g.v"), "s")]
+        )
+        result = dict(zip(out.column("g.k"), out.column("s")))
+        assert result == {1: 90.0, 2: 60.0}
+
+    def test_avg(self):
+        out = group_by_batch(
+            self.make(), ["g.k"], [AggregateSpec("avg", expr("g.v"), "a")]
+        )
+        result = dict(zip(out.column("g.k"), out.column("a")))
+        assert result[1] == pytest.approx(30.0)
+
+    def test_min_max(self):
+        out = group_by_batch(
+            self.make(),
+            ["g.k"],
+            [
+                AggregateSpec("min", expr("g.v"), "lo"),
+                AggregateSpec("max", expr("g.v"), "hi"),
+            ],
+        )
+        result = dict(zip(out.column("g.k"), zip(out.column("lo"),
+                                                 out.column("hi"))))
+        assert result[1] == (10.0, 50.0)
+        assert result[2] == (20.0, 40.0)
+
+    def test_count_distinct(self):
+        batch = Batch(
+            {"g.k": np.array([1, 1, 1, 2]), "g.v": np.array([7, 7, 8, 9])}, 4
+        )
+        out = group_by_batch(
+            batch, ["g.k"], [AggregateSpec("count", expr("g.v"), "d", True)]
+        )
+        result = dict(zip(out.column("g.k"), out.column("d")))
+        assert result == {1: 2, 2: 1}
+
+    def test_multi_key_grouping(self):
+        batch = Batch(
+            {
+                "a": np.array([1, 1, 2, 2]),
+                "b": np.array(["x", "y", "x", "x"]),
+            },
+            4,
+        )
+        out = group_by_batch(batch, ["a", "b"],
+                             [AggregateSpec("count", None, "c")])
+        assert out.n_rows == 3
+
+    def test_aggregate_on_expression(self):
+        out = group_by_batch(
+            self.make(),
+            ["g.k"],
+            [AggregateSpec("sum", expr("g.v * 2"), "s2")],
+        )
+        result = dict(zip(out.column("g.k"), out.column("s2")))
+        assert result == {1: 180.0, 2: 120.0}
+
+    def test_empty_input(self):
+        batch = Batch(
+            {"g.k": np.array([], dtype=np.int64),
+             "g.v": np.array([], dtype=np.float64)},
+            0,
+        )
+        out = group_by_batch(batch, ["g.k"],
+                             [AggregateSpec("sum", expr("g.v"), "s")])
+        assert out.n_rows == 0
+        assert "s" in out.columns
+
+    def test_requires_keys(self):
+        with pytest.raises(ExecutionError):
+            group_by_batch(self.make(), [], [])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.floats(-100, 100)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_oracle(self, rows):
+        """Property: group-by sums equal a dict-based reference."""
+        keys = np.array([r[0] for r in rows])
+        vals = np.array([r[1] for r in rows])
+        batch = Batch({"t.k": keys, "t.v": vals}, len(rows))
+        out = group_by_batch(
+            batch, ["t.k"], [AggregateSpec("sum", expr("t.v"), "s")]
+        )
+        got = dict(zip(out.column("t.k").tolist(), out.column("s").tolist()))
+        expected = {}
+        for k, v in rows:
+            expected[k] = expected.get(k, 0.0) + v
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k], rel=1e-9, abs=1e-9)
+
+
+class TestScalarAggregate:
+    def test_all_functions(self):
+        batch = Batch({"t.v": np.array([1.0, 2.0, 3.0])}, 3)
+        out = scalar_aggregate_batch(
+            batch,
+            [
+                AggregateSpec("count", None, "c"),
+                AggregateSpec("sum", expr("t.v"), "s"),
+                AggregateSpec("avg", expr("t.v"), "a"),
+                AggregateSpec("min", expr("t.v"), "lo"),
+                AggregateSpec("max", expr("t.v"), "hi"),
+            ],
+        )
+        assert out.n_rows == 1
+        assert out.column("c")[0] == 3
+        assert out.column("s")[0] == 6.0
+        assert out.column("a")[0] == 2.0
+        assert out.column("lo")[0] == 1.0
+        assert out.column("hi")[0] == 3.0
+
+    def test_empty_input_count_zero(self):
+        batch = Batch({"t.v": np.array([], dtype=float)}, 0)
+        out = scalar_aggregate_batch(batch, [AggregateSpec("count", None, "c")])
+        assert out.column("c")[0] == 0
+
+    def test_empty_input_sum_nan(self):
+        batch = Batch({"t.v": np.array([], dtype=float)}, 0)
+        out = scalar_aggregate_batch(
+            batch, [AggregateSpec("min", expr("t.v"), "m")]
+        )
+        assert np.isnan(out.column("m")[0])
+
+    def test_count_distinct(self):
+        batch = Batch({"t.v": np.array([1, 1, 2])}, 3)
+        out = scalar_aggregate_batch(
+            batch, [AggregateSpec("count", expr("t.v"), "d", True)]
+        )
+        assert out.column("d")[0] == 2
+
+
+class TestDistinctFilterProjectTopN:
+    def test_distinct_all_columns(self):
+        batch = Batch(
+            {"a": np.array([1, 1, 2]), "b": np.array([5, 5, 6])}, 3
+        )
+        assert distinct_batch(batch).n_rows == 2
+
+    def test_distinct_on_keys(self):
+        batch = Batch(
+            {"a": np.array([1, 1, 2]), "b": np.array([5, 6, 6])}, 3
+        )
+        assert distinct_batch(batch, keys=["a"]).n_rows == 2
+
+    def test_filter(self):
+        batch = Batch({"t.a": np.arange(10)}, 10)
+        assert filter_batch(batch, predicate("t.a >= 5")).n_rows == 5
+
+    def test_top_n(self):
+        batch = Batch({"a": np.array([5, 1, 9, 3])}, 4)
+        out = top_n_batch(batch, [("a", True)], 2)
+        assert list(out.column("a")) == [9, 5]
+
+    def test_top_n_limit_exceeds_rows(self):
+        batch = Batch({"a": np.array([2, 1])}, 2)
+        assert top_n_batch(batch, [("a", False)], 10).n_rows == 2
+
+
+class TestFactorize:
+    def test_codes_are_dense(self):
+        codes, n = factorize_rows([np.array([5, 5, 9, 5, 7])])
+        assert n == 3
+        assert set(codes.tolist()) == {0, 1, 2}
+
+    def test_multi_column(self):
+        codes, n = factorize_rows(
+            [np.array([1, 1, 2]), np.array(["a", "b", "a"])]
+        )
+        assert n == 3
+
+    def test_requires_columns(self):
+        with pytest.raises(ExecutionError):
+            factorize_rows([])

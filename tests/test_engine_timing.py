@@ -1,0 +1,208 @@
+"""Resource model and metrics accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import (
+    METRIC_NAMES,
+    MetricsAccumulator,
+    PerformanceMetrics,
+)
+from repro.engine.system import SystemConfig, production_32node, research_4node
+from repro.engine.timing import ResourceModel
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.table import Column, Schema, Table
+
+
+def make_env(cache_bytes=10**9, **config_overrides):
+    from dataclasses import replace
+
+    config = replace(research_4node(), **config_overrides)
+    catalog = Catalog()
+    schema = Schema([Column("id", "int"), Column("v", "float")])
+    table = Table(
+        "t", schema, {"id": np.arange(10_000), "v": np.zeros(10_000)}
+    )
+    catalog.register(table)
+    pool = BufferPool(catalog, cache_bytes)
+    acc = MetricsAccumulator()
+    return config, catalog, pool, acc, table
+
+
+class TestPerformanceMetrics:
+    def test_vector_round_trip(self):
+        metrics = PerformanceMetrics(1.5, 100, 50, 3, 7, 9000)
+        restored = PerformanceMetrics.from_vector(metrics.as_vector())
+        assert restored == PerformanceMetrics(1.5, 100, 50, 3, 7, 9000)
+
+    def test_vector_ordering_matches_names(self):
+        metrics = PerformanceMetrics(1.0, 2, 3, 4, 5, 6)
+        vector = metrics.as_vector()
+        for index, name in enumerate(METRIC_NAMES):
+            assert vector[index] == getattr(metrics, name)
+
+
+class TestAccumulator:
+    def test_buckets(self):
+        acc = MetricsAccumulator()
+        acc.charge_time("scan", 1.0, "cpu")
+        acc.charge_time("scan", 0.5, "io")
+        acc.charge_time("exchange", 0.25, "net")
+        assert acc.cpu_seconds == 1.0
+        assert acc.io_seconds == 0.5
+        assert acc.net_seconds == 0.25
+        assert acc.busy_seconds == 1.75
+        assert acc.operator_seconds["scan"] == 1.5
+
+    def test_unknown_bucket(self):
+        with pytest.raises(ValueError):
+            MetricsAccumulator().charge_time("x", 1.0, "gpu")
+
+
+class TestScanCharges:
+    def test_resident_scan_no_disk(self):
+        config, _cat, pool, acc, table = make_env()
+        model = ResourceModel(config, pool, acc)
+        model.scan("file_scan", table, 100, skew=1.0)
+        assert acc.disk_ios == 0
+        assert acc.records_accessed == 10_000
+        assert acc.records_used == 100
+        assert acc.cpu_seconds > 0
+
+    def test_non_resident_scan_reads_pages(self):
+        config, _cat, pool, acc, table = make_env(cache_bytes=10)
+        model = ResourceModel(config, pool, acc)
+        model.scan("file_scan", table, 100, skew=1.0)
+        assert acc.disk_ios == table.page_count(config.page_bytes)
+        assert acc.io_seconds > 0
+
+    def test_skew_slows_elapsed(self):
+        config, _cat, pool, acc1, table = make_env()
+        ResourceModel(config, pool, acc1).scan("s", table, 100, skew=1.0)
+        acc2 = MetricsAccumulator()
+        ResourceModel(config, pool, acc2).scan("s", table, 100, skew=2.0)
+        assert acc2.cpu_seconds == pytest.approx(2 * acc1.cpu_seconds)
+
+
+class TestJoinCharges:
+    def test_small_join_no_spill(self):
+        config, _cat, pool, acc, _t = make_env()
+        model = ResourceModel(config, pool, acc)
+        model.hash_join("hj", 1000, 1000, 32_000.0, 500, 1.0)
+        assert acc.disk_ios == 0
+
+    def test_large_build_spills(self):
+        config, _cat, pool, acc, _t = make_env()
+        model = ResourceModel(config, pool, acc)
+        big = 100 * config.work_mem_bytes * config.n_nodes
+        model.hash_join("hj", 10_000_000, 10_000_000, float(big), 1, 1.0)
+        assert acc.disk_ios > 0
+
+    def test_spill_passes_monotone(self):
+        config, _cat, pool, acc, _t = make_env()
+        model = ResourceModel(config, pool, acc)
+        fits = config.work_mem_bytes * config.n_nodes
+        assert model.spill_passes(fits) == 0
+        assert model.spill_passes(fits * 2) >= 1
+        assert model.spill_passes(fits * 8) > model.spill_passes(fits * 2)
+
+    def test_nested_join_quadratic(self):
+        config, _cat, pool, acc1, _t = make_env()
+        ResourceModel(config, pool, acc1).nested_join("nl", 1000, 1000, 0, 1.0)
+        acc2 = MetricsAccumulator()
+        ResourceModel(config, pool, acc2).nested_join("nl", 2000, 2000, 0, 1.0)
+        assert acc2.cpu_seconds == pytest.approx(4 * acc1.cpu_seconds)
+
+
+class TestExchangeCharges:
+    @pytest.mark.parametrize("kind", ["repartition", "broadcast", "collect"])
+    def test_messages_and_bytes_positive(self, kind):
+        config, _cat, pool, acc, _t = make_env()
+        ResourceModel(config, pool, acc).exchange("ex", 10_000, 32.0, kind)
+        assert acc.message_count > 0
+        assert acc.message_bytes > 0
+
+    def test_broadcast_ships_most(self):
+        config, _cat, pool, _acc, _t = make_env()
+        results = {}
+        for kind in ("repartition", "broadcast", "collect"):
+            acc = MetricsAccumulator()
+            ResourceModel(config, pool, acc).exchange("ex", 10_000, 32.0, kind)
+            results[kind] = acc.message_bytes
+        assert results["broadcast"] > results["collect"] > results["repartition"]
+
+    def test_unknown_kind(self):
+        config, _cat, pool, acc, _t = make_env()
+        with pytest.raises(ValueError):
+            ResourceModel(config, pool, acc).exchange("ex", 1, 1.0, "scatter")
+
+    def test_more_nodes_cost_more_messages(self):
+        few = research_4node()
+        many = production_32node(32)
+        counts = {}
+        for config in (few, many):
+            catalog = Catalog()
+            pool = BufferPool(catalog, 10**9)
+            acc = MetricsAccumulator()
+            ResourceModel(config, pool, acc).exchange(
+                "ex", 10_000, 32.0, "repartition"
+            )
+            counts[config.n_nodes] = acc.message_count
+        assert counts[32] > counts[4]
+
+
+class TestElapsed:
+    def test_includes_startup(self):
+        config, _cat, pool, acc, _t = make_env()
+        model = ResourceModel(config, pool, acc)
+        assert model.elapsed_seconds() == pytest.approx(config.startup_s)
+
+    def test_noise_is_multiplicative_and_seeded(self):
+        config, _cat, pool, acc, table = make_env()
+        model = ResourceModel(config, pool, acc)
+        model.scan("s", table, 100, 1.0)
+        base = model.elapsed_seconds()
+        noisy1 = model.elapsed_seconds(np.random.default_rng(7))
+        noisy2 = model.elapsed_seconds(np.random.default_rng(7))
+        assert noisy1 == noisy2
+        assert noisy1 != base
+        assert 0.5 * base < noisy1 < 2.0 * base
+
+    def test_parallelism_speeds_up(self):
+        """The same work takes less time on more nodes."""
+        times = {}
+        for nodes in (4, 32):
+            config = production_32node(nodes)
+            catalog = Catalog()
+            pool = BufferPool(catalog, 10**9)
+            acc = MetricsAccumulator()
+            model = ResourceModel(config, pool, acc)
+            model.hash_join("hj", 10_000, 10_000, 1000.0, 1000, 1.0)
+            times[nodes] = model.elapsed_seconds()
+        assert times[32] < times[4]
+
+
+class TestSortAndGroupCharges:
+    def test_sort_superlinear(self):
+        config, _cat, pool, _acc, _t = make_env()
+        costs = []
+        for rows in (1000, 2000):
+            acc = MetricsAccumulator()
+            ResourceModel(config, pool, acc).sort("s", rows, 8.0, 1.0)
+            costs.append(acc.cpu_seconds)
+        assert costs[1] > 2 * costs[0]
+
+    def test_zero_rows_free(self):
+        config, _cat, pool, acc, _t = make_env()
+        ResourceModel(config, pool, acc).sort("s", 0, 8.0, 1.0)
+        ResourceModel(config, pool, acc).top_n("t", 0, 5, 1.0)
+        assert acc.busy_seconds == 0
+
+    def test_group_by_spills_with_many_groups(self):
+        config, _cat, pool, acc, _t = make_env()
+        big_state = 100.0 * config.work_mem_bytes * config.n_nodes
+        ResourceModel(config, pool, acc).group_by(
+            "g", 1_000_000, 1_000_000, big_state, 1.0
+        )
+        assert acc.disk_ios > 0

@@ -1,0 +1,141 @@
+"""Experiment functions exercised on a small corpus (structure-level).
+
+The full-size accuracy assertions live in ``benchmarks/``; these tests
+check that every experiment entry point runs, returns well-formed results
+and behaves sensibly on a small executed corpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import METRIC_NAMES
+from repro.experiments.ablations import (
+    ablation_components,
+    ablation_feature_encoding,
+    ablation_model_classes,
+    ablation_regularization,
+    timing_profile,
+)
+from repro.experiments.experiments import (
+    fig2_query_pools,
+    fig3_fig4_regression,
+    fig8_sql_text_features,
+    fig10_to_12_experiment1,
+    fig14_experiment3,
+    fig17_optimizer_cost,
+    tab1_distance_metrics,
+    tab2_neighbor_counts,
+    tab3_weighting_schemes,
+)
+from repro.experiments.harness import split_counts, stratified_split
+from repro.workloads.categories import QueryCategory
+
+
+@pytest.fixture(scope="module")
+def small_split(mini_corpus):
+    """A small train/test split over whatever categories exist."""
+    available = mini_corpus.category_indices()
+    n_feather = len(available.get(QueryCategory.FEATHER, []))
+    n_golf = len(available.get(QueryCategory.GOLF_BALL, []))
+    train_counts, test_counts = split_counts(
+        max(n_feather - 12, 10), max(n_golf - 2, 0), 0, 12, 2, 0
+    )
+    return stratified_split(mini_corpus, train_counts, test_counts, seed=4)
+
+
+class TestFig2:
+    def test_rows_cover_corpus(self, mini_corpus):
+        rows = fig2_query_pools(mini_corpus)
+        assert sum(row.count for row in rows) == len(mini_corpus)
+        for row in rows:
+            assert row.min_s <= row.mean_s <= row.max_s
+
+
+class TestRegressionExperiment:
+    def test_structure(self, small_split):
+        train, _test = small_split
+        results = fig3_fig4_regression(train)
+        assert set(results) == set(METRIC_NAMES)
+        for result in results.values():
+            assert result.n_queries == len(train)
+            assert result.negative_predictions >= 0
+
+
+class TestFeatureAndDesignTables:
+    def test_fig8_returns_both_risks(self, small_split):
+        result = fig8_sql_text_features(small_split)
+        assert set(result.sql_text_risk) == set(METRIC_NAMES)
+        assert set(result.plan_risk) == set(METRIC_NAMES)
+
+    def test_tab1_both_metrics_present(self, small_split):
+        results = tab1_distance_metrics(small_split)
+        assert set(results) == {"euclidean", "cosine"}
+
+    def test_tab2_all_ks(self, small_split):
+        results = tab2_neighbor_counts(small_split, ks=(3, 4, 5))
+        assert set(results) == {3, 4, 5}
+
+    def test_tab3_all_schemes(self, small_split):
+        results = tab3_weighting_schemes(small_split)
+        assert set(results) == {"equal", "ranked", "distance"}
+
+
+class TestExperiment1Style:
+    def test_result_fields(self, small_split):
+        result = fig10_to_12_experiment1(small_split)
+        assert result.n_test == len(small_split[1])
+        assert 0.0 <= result.within_20pct_elapsed <= 1.0
+        assert result.predicted.shape == result.actual.shape
+
+    def test_kcca_beats_sql_features_even_small(self, small_split):
+        """The plan-vs-SQL-text gap should already show on a small corpus."""
+        comparison = fig8_sql_text_features(small_split)
+        assert (
+            comparison.plan_risk["elapsed_time"]
+            > comparison.sql_text_risk["elapsed_time"]
+        )
+
+
+class TestTwoStep:
+    def test_fig14_structure(self, small_split):
+        result = fig14_experiment3(small_split)
+        assert 0.0 <= result.classification_accuracy <= 1.0
+        assert set(result.two_step_risk) == set(METRIC_NAMES)
+
+
+class TestOptimizerCost:
+    def test_fig17_structure(self, small_split):
+        result = fig17_optimizer_cost(small_split)
+        assert -1.0 <= result.log_correlation <= 1.0
+        assert 0.0 <= result.within_10x_of_fit <= 1.0
+        assert result.within_100x_of_fit >= result.within_10x_of_fit
+
+
+class TestAblations:
+    def test_regularization_grid(self, small_split):
+        train, test = small_split
+        results = ablation_regularization(train, test, values=(1e-3, 1e-2))
+        assert set(results) == {1e-3, 1e-2}
+
+    def test_components_grid(self, small_split):
+        train, test = small_split
+        results = ablation_components(train, test, values=(2, 8))
+        assert set(results) == {2, 8}
+
+    def test_feature_encoding_keys(self, small_split):
+        train, test = small_split
+        results = ablation_feature_encoding(train, test)
+        assert "raw (paper)" in results
+        assert "log+standardize" in results
+
+    def test_model_classes(self, small_split):
+        train, test = small_split
+        results = ablation_model_classes(train, test)
+        assert {"kcca+knn", "knn-raw", "linear-cca+knn", "regression"} == set(
+            results
+        )
+
+    def test_timing_profile(self, mini_corpus):
+        profile = timing_profile(mini_corpus, sizes=(40, 80), n_predict=10)
+        assert len(profile.train_sizes) == 2
+        assert profile.predict_seconds_per_query < 1.0

@@ -1,0 +1,105 @@
+"""Numerical robustness of the KCCA stack under adversarial inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kcca import KCCA
+from repro.core.kernels import gaussian_kernel_matrix, scale_factor_heuristic
+from repro.core.predictor import KCCAPredictor
+
+paired_data = st.integers(8, 40).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, (n, 3), elements=st.floats(-1e4, 1e4)),
+        arrays(np.float64, (n, 2), elements=st.floats(-1e4, 1e4)),
+    )
+)
+
+
+class TestKCCAStability:
+    @given(paired_data)
+    @settings(max_examples=30, deadline=None)
+    def test_correlations_always_in_unit_interval(self, data):
+        """Property: canonical correlations stay in [0, 1] and finite for
+        arbitrary (even degenerate) input data."""
+        x, y = data
+        tau_x = scale_factor_heuristic(x, 0.1)
+        tau_y = scale_factor_heuristic(y, 0.2)
+        kx = gaussian_kernel_matrix(x, tau_x)
+        ky = gaussian_kernel_matrix(y, tau_y)
+        model = KCCA(n_components=3).fit(kx, ky)
+        assert np.isfinite(model.correlations).all()
+        assert (model.correlations >= 0).all()
+        assert (model.correlations <= 1).all()
+        assert np.isfinite(model.x_projection).all()
+        assert np.isfinite(model.y_projection).all()
+
+    @given(paired_data)
+    @settings(max_examples=20, deadline=None)
+    def test_projection_of_training_rows_is_finite(self, data):
+        x, y = data
+        kx = gaussian_kernel_matrix(x, scale_factor_heuristic(x, 0.1))
+        ky = gaussian_kernel_matrix(y, scale_factor_heuristic(y, 0.2))
+        model = KCCA(n_components=2).fit(kx, ky)
+        projected = model.project_x(kx)
+        assert np.isfinite(projected).all()
+
+    def test_duplicate_training_rows(self):
+        """Identical rows make the kernel rank-deficient; the regularised
+        solve must still return something sane."""
+        x = np.vstack([np.ones((10, 3)), np.zeros((10, 3))])
+        y = np.vstack([np.full((10, 2), 5.0), np.zeros((10, 2))])
+        kx = gaussian_kernel_matrix(x, 1.0)
+        ky = gaussian_kernel_matrix(y, 1.0)
+        model = KCCA(n_components=2).fit(kx, ky)
+        assert np.isfinite(model.correlations).all()
+
+    def test_constant_performance_metrics(self):
+        """A constant metric column (e.g. disk I/O always zero) must not
+        break training or prediction."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (60, 4))
+        base = x[:, 0] * 10 + 1
+        y = np.column_stack(
+            [base, np.zeros(60), base * 2, base, np.zeros(60), base]
+        )
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        predicted = model.predict(x[:5])
+        assert np.isfinite(predicted).all()
+        assert np.allclose(predicted[:, 1], 0.0)
+        assert np.allclose(predicted[:, 4], 0.0)
+
+    def test_extreme_feature_magnitudes(self):
+        """Cardinality features span 1..1e8; conditioning must cope."""
+        rng = np.random.default_rng(1)
+        x = np.column_stack(
+            [
+                rng.uniform(0, 5, 80),
+                rng.uniform(1, 1e8, 80),
+                rng.uniform(0, 1e-6, 80),
+            ]
+        )
+        y = np.column_stack([x[:, 1] / 1e6 + 1] * 6)
+        model = KCCAPredictor().fit(x, y)
+        predicted = model.predict(x[:10])
+        assert np.isfinite(predicted).all()
+        assert (predicted > 0).all()
+
+    def test_single_feature_column(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, (50, 1))
+        y = np.column_stack([x[:, 0] * 100 + 1] * 6)
+        model = KCCAPredictor(log_features=False).fit(x, y)
+        assert np.isfinite(model.predict(x[:3])).all()
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_components_never_exceed_n_minus_one(self, n_components):
+        x = np.random.default_rng(3).uniform(0, 1, (5, 2))
+        y = x * 2
+        kx = gaussian_kernel_matrix(x, 1.0)
+        ky = gaussian_kernel_matrix(y, 1.0)
+        model = KCCA(n_components=n_components).fit(kx, ky)
+        assert model.alpha.shape[1] <= 4

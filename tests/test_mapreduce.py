@@ -1,0 +1,168 @@
+"""MapReduce substrate tests (paper Section VIII adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import predictive_risk
+from repro.core.predictor import KCCAPredictor
+from repro.errors import ReproError
+from repro.mapreduce import (
+    JOB_FEATURE_NAMES,
+    JOB_METRIC_NAMES,
+    ClusterConfig,
+    MapReduceJob,
+    default_cluster,
+    generate_jobs,
+    job_feature_vector,
+    job_templates,
+    simulate_job,
+)
+from repro.mapreduce.simulator import n_map_tasks
+from repro.rng import child_generator
+
+
+def make_job(**overrides):
+    base = dict(
+        job_id="j1",
+        job_type="sort",
+        input_bytes=4 * 10**9,
+        record_bytes=200,
+        n_reducers=8,
+        declared_map_selectivity=1.0,
+        declared_reduce_selectivity=1.0,
+        map_cpu_class=1.0,
+        reduce_cpu_class=1.0,
+        uses_combiner=False,
+        actual_map_selectivity=1.0,
+        actual_reduce_selectivity=1.0,
+        key_skew=1.0,
+    )
+    base.update(overrides)
+    return MapReduceJob(**base)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_job(input_bytes=0)
+        with pytest.raises(ReproError):
+            make_job(n_reducers=0)
+
+    def test_map_task_count(self):
+        cluster = default_cluster(4)
+        job = make_job(input_bytes=10 * cluster.split_bytes)
+        assert n_map_tasks(job, cluster) == 10
+
+    def test_tiny_job_one_map(self):
+        cluster = default_cluster(4)
+        assert n_map_tasks(make_job(input_bytes=100), cluster) == 1
+
+
+class TestSimulator:
+    def test_metrics_physical(self):
+        metrics = simulate_job(make_job(), default_cluster(8))
+        assert metrics.elapsed_time > 0
+        vector = metrics.as_vector()
+        assert (vector >= 0).all()
+        assert vector.shape == (len(JOB_METRIC_NAMES),)
+
+    def test_hdfs_read_equals_input(self):
+        job = make_job()
+        metrics = simulate_job(job, default_cluster(8))
+        assert metrics.hdfs_read_bytes == job.input_bytes
+
+    def test_bigger_input_slower(self):
+        cluster = default_cluster(8)
+        small = simulate_job(make_job(input_bytes=10**9), cluster)
+        large = simulate_job(make_job(input_bytes=50 * 10**9), cluster)
+        assert large.elapsed_time > small.elapsed_time
+
+    def test_more_nodes_faster(self):
+        job = make_job(input_bytes=50 * 10**9)
+        slow = simulate_job(job, default_cluster(4))
+        fast = simulate_job(job, default_cluster(64))
+        assert fast.elapsed_time < slow.elapsed_time
+
+    def test_combiner_reduces_shuffle(self):
+        cluster = default_cluster(8)
+        without = simulate_job(make_job(uses_combiner=False), cluster)
+        with_combiner = simulate_job(make_job(uses_combiner=True), cluster)
+        assert with_combiner.shuffle_bytes < without.shuffle_bytes
+
+    def test_skew_slows_reduce(self):
+        cluster = default_cluster(8)
+        balanced = simulate_job(make_job(key_skew=1.0), cluster)
+        skewed = simulate_job(make_job(key_skew=3.0), cluster)
+        assert skewed.elapsed_time > balanced.elapsed_time
+
+    def test_spills_when_output_exceeds_buffer(self):
+        cluster = ClusterConfig(name="t", n_nodes=4,
+                                sort_buffer_bytes=1024 * 1024)
+        job = make_job(actual_map_selectivity=5.0)
+        metrics = simulate_job(job, cluster)
+        assert metrics.spilled_records > 0
+
+    def test_noise_seeded(self):
+        job = make_job()
+        cluster = default_cluster(8)
+        a = simulate_job(job, cluster, rng=child_generator(1, "x"))
+        b = simulate_job(job, cluster, rng=child_generator(1, "x"))
+        assert a.elapsed_time == b.elapsed_time
+
+
+class TestFeaturesAndWorkload:
+    def test_feature_vector_shape(self):
+        vector = job_feature_vector(make_job(), default_cluster(8))
+        assert vector.shape == (len(JOB_FEATURE_NAMES),)
+        assert np.isfinite(vector).all()
+
+    def test_features_use_declared_not_actual(self):
+        """The feature vector must only contain pre-execution knowledge."""
+        cluster = default_cluster(8)
+        declared_same = job_feature_vector(
+            make_job(actual_map_selectivity=0.1), cluster
+        )
+        declared_same2 = job_feature_vector(
+            make_job(actual_map_selectivity=9.0), cluster
+        )
+        assert np.array_equal(declared_same, declared_same2)
+
+    def test_generate_jobs_deterministic(self):
+        a = generate_jobs(20, seed=1)
+        b = generate_jobs(20, seed=1)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert a[0].input_bytes == b[0].input_bytes
+
+    def test_all_templates_produce_valid_jobs(self):
+        rng = child_generator(3, "tpl")
+        for template in job_templates():
+            job = template.sampler(rng, f"x_{template.name}")
+            metrics = simulate_job(job, default_cluster(8))
+            assert metrics.elapsed_time > 0
+
+    def test_workload_spans_wide_runtime_range(self):
+        cluster = default_cluster(16)
+        jobs = generate_jobs(60, seed=7)
+        elapsed = [simulate_job(j, cluster).elapsed_time for j in jobs]
+        assert max(elapsed) / min(elapsed) > 50
+
+
+class TestKCCAOnJobs:
+    def test_same_model_predicts_jobs(self):
+        """Section VIII's claim: only the feature vectors change."""
+        cluster = default_cluster(16)
+        jobs = generate_jobs(400, seed=19)
+        features = np.vstack(
+            [job_feature_vector(j, cluster) for j in jobs]
+        )
+        metrics = np.vstack(
+            [
+                simulate_job(j, cluster, rng=child_generator(1, j.job_id))
+                .as_vector()
+                for j in jobs
+            ]
+        )
+        model = KCCAPredictor().fit(features[:330], metrics[:330])
+        predicted = model.predict(features[330:])
+        risk = predictive_risk(predicted[:, 0], metrics[330:, 0])
+        assert risk > 0.5

@@ -1,0 +1,126 @@
+"""Abstract cost model tests (the Figure 17 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import OperatorKind, PlanNode
+from repro.optimizer import plan_cost
+from repro.optimizer.cost import node_cost
+from repro.rng import child_generator
+
+
+class TestNodeCosts:
+    def test_every_operator_kind_costed(self, tpcds_catalog):
+        """node_cost must return a positive finite cost for every kind."""
+        scan = PlanNode(
+            kind=OperatorKind.FILE_SCAN,
+            table_name="item",
+            binding="i",
+            estimated_rows=100.0,
+        )
+        unary_kinds = (
+            OperatorKind.SORT,
+            OperatorKind.HASH_GROUPBY,
+            OperatorKind.SORT_GROUPBY,
+            OperatorKind.SCALAR_AGGREGATE,
+            OperatorKind.DISTINCT,
+            OperatorKind.FILTER,
+            OperatorKind.PROJECT,
+            OperatorKind.TOP_N,
+            OperatorKind.EXCHANGE,
+            OperatorKind.ROOT,
+        )
+        for kind in unary_kinds:
+            node = PlanNode(
+                kind=kind, children=(scan,), estimated_rows=50.0, limit=5
+            )
+            cost = node_cost(node, tpcds_catalog)
+            assert np.isfinite(cost) and cost > 0, kind
+        binary_kinds = (
+            OperatorKind.HASH_JOIN,
+            OperatorKind.MERGE_JOIN,
+            OperatorKind.NESTED_JOIN,
+            OperatorKind.SEMI_JOIN,
+            OperatorKind.ANTI_JOIN,
+        )
+        for kind in binary_kinds:
+            node = PlanNode(
+                kind=kind, children=(scan, scan), estimated_rows=200.0
+            )
+            cost = node_cost(node, tpcds_catalog)
+            assert np.isfinite(cost) and cost > 0, kind
+
+    def test_scan_cost_tracks_table_size(self, tpcds_catalog):
+        small = PlanNode(
+            kind=OperatorKind.FILE_SCAN, table_name="store", binding="s",
+            estimated_rows=10.0,
+        )
+        large = PlanNode(
+            kind=OperatorKind.FILE_SCAN, table_name="store_sales",
+            binding="ss", estimated_rows=10.0,
+        )
+        assert node_cost(large, tpcds_catalog) > node_cost(small, tpcds_catalog)
+
+    def test_nested_join_cost_quadratic(self, tpcds_catalog):
+        def nl(rows):
+            scan = PlanNode(
+                kind=OperatorKind.FILE_SCAN, table_name="item", binding="i",
+                estimated_rows=rows,
+            )
+            return PlanNode(
+                kind=OperatorKind.NESTED_JOIN, children=(scan, scan),
+                estimated_rows=1.0,
+            )
+
+        small = node_cost(nl(1000), tpcds_catalog)
+        large = node_cost(nl(4000), tpcds_catalog)
+        assert large > 10 * small
+
+
+class TestPlanCost:
+    def test_whole_plan_cost_sums_nodes(self, optimizer, tpcds_catalog):
+        plan = optimizer.optimize(
+            "SELECT count(*) AS c FROM store_sales ss, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk"
+        ).plan
+        total = plan_cost(plan, tpcds_catalog)
+        parts = sum(node_cost(node, tpcds_catalog) for node in plan.walk())
+        assert total == pytest.approx(parts)
+
+    def test_cost_units_not_seconds(self, optimizer, executor, tpcds_catalog):
+        """The Figure 17 premise: cost units do not map onto time units —
+        the cost/seconds ratio varies widely across queries."""
+        queries = [
+            "SELECT count(*) AS c FROM date_dim d",
+            "SELECT count(*) AS c FROM store_sales ss",
+            (
+                "SELECT ss1.ss_item_sk, count(*) AS c "
+                "FROM store_sales ss1, store_sales ss2 "
+                "WHERE ss1.ss_customer_sk = ss2.ss_customer_sk "
+                "GROUP BY ss1.ss_item_sk"
+            ),
+        ]
+        ratios = []
+        for sql in queries:
+            optimized = optimizer.optimize(sql)
+            metrics = executor.execute(
+                optimized.plan, rng=child_generator(4, sql)
+            ).metrics
+            ratios.append(optimized.cost / metrics.elapsed_time)
+        assert max(ratios) / min(ratios) > 3.0
+
+    def test_cost_still_correlates_loosely(
+        self, optimizer, executor, tpcds_catalog
+    ):
+        """Cost is not garbage either: bigger plans cost more and run
+        longer (the best-fit line in Figure 17 has positive slope)."""
+        from repro.workloads.generator import generate_pool
+
+        costs, times = [], []
+        for query in generate_pool(25, seed=55, problem_fraction=0.2):
+            optimized = optimizer.optimize(query.sql)
+            result = executor.execute(optimized.plan)
+            costs.append(optimized.cost)
+            times.append(result.metrics.elapsed_time)
+        correlation = np.corrcoef(np.log(costs), np.log(times))[0, 1]
+        assert correlation > 0.3

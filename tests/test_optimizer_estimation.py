@@ -1,0 +1,255 @@
+"""Selectivity, cardinality and join-order estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer.cardinality import (
+    RelEstimate,
+    group_by_estimate,
+    join_estimate,
+    scan_estimate,
+    semi_join_estimate,
+)
+from repro.optimizer.joinorder import JoinEdge, order_joins
+from repro.optimizer.selectivity import (
+    column_fraction_below,
+    predicate_selectivity,
+)
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog, ColumnStats, TableStats
+from repro.storage.table import Column, Schema, Table
+
+
+def where(cond):
+    return parse(f"SELECT * FROM t WHERE {cond}").where
+
+
+@pytest.fixture(scope="module")
+def stats():
+    """Statistics for a table with known distributions."""
+    catalog = Catalog()
+    n = 10_000
+    rng = np.random.default_rng(3)
+    schema = Schema(
+        [Column("id", "int"), Column("u", "float"), Column("c", "str")]
+    )
+    table = Table(
+        "t",
+        schema,
+        {
+            "id": np.arange(n),
+            "u": rng.uniform(0, 100, n),
+            "c": rng.choice(["a", "b", "c", "d"], size=n,
+                            p=[0.7, 0.1, 0.1, 0.1]),
+        },
+    )
+    catalog.register(table)
+    return {"t": catalog.stats("t")}
+
+
+class TestSelectivity:
+    def test_equality_uses_ndv(self, stats):
+        sel = predicate_selectivity(where("t.id = 5"), stats)
+        assert sel == pytest.approx(1 / 10_000)
+
+    def test_string_equality_uses_mcv(self, stats):
+        sel = predicate_selectivity(where("t.c = 'a'"), stats)
+        assert sel == pytest.approx(0.7, rel=0.05)
+
+    def test_range_uses_histogram(self, stats):
+        sel = predicate_selectivity(where("t.u < 25"), stats)
+        assert sel == pytest.approx(0.25, abs=0.05)
+
+    def test_greater_than(self, stats):
+        sel = predicate_selectivity(where("t.u > 90"), stats)
+        assert sel == pytest.approx(0.10, abs=0.05)
+
+    def test_between(self, stats):
+        sel = predicate_selectivity(where("t.u BETWEEN 40 AND 60"), stats)
+        assert sel == pytest.approx(0.2, abs=0.05)
+
+    def test_conjunction_multiplies(self, stats):
+        single = predicate_selectivity(where("t.u < 50"), stats)
+        double = predicate_selectivity(
+            where("t.u < 50 AND t.c = 'b'"), stats
+        )
+        assert double < single
+
+    def test_disjunction_adds(self, stats):
+        either = predicate_selectivity(
+            where("t.c = 'b' OR t.c = 'c'"), stats
+        )
+        assert either == pytest.approx(0.2, abs=0.03)
+
+    def test_negation(self, stats):
+        sel = predicate_selectivity(where("NOT t.c = 'a'"), stats)
+        assert sel == pytest.approx(0.3, abs=0.05)
+
+    def test_in_list_sums(self, stats):
+        sel = predicate_selectivity(where("t.c IN ('b', 'c', 'd')"), stats)
+        assert sel == pytest.approx(0.3, abs=0.05)
+
+    def test_clamped_to_unit_interval(self, stats):
+        sel = predicate_selectivity(
+            where("t.c IN ('a', 'a', 'a', 'a')"), stats
+        )
+        assert 0 < sel <= 1.0
+
+    def test_unknown_column_uses_default(self, stats):
+        sel = predicate_selectivity(where("t.zzz = 1"), stats)
+        assert 0 < sel < 0.1
+
+    def test_flipped_comparison(self, stats):
+        left = predicate_selectivity(where("t.u < 25"), stats)
+        right = predicate_selectivity(where("25 > t.u"), stats)
+        assert left == pytest.approx(right)
+
+
+class TestColumnFraction:
+    def test_below_min_is_zero(self, stats):
+        col = stats["t"].column("u")
+        assert column_fraction_below(col, -5.0) == 0.0
+
+    def test_above_max_is_one(self, stats):
+        col = stats["t"].column("u")
+        assert column_fraction_below(col, 1e9) == 1.0
+
+    def test_monotone(self, stats):
+        col = stats["t"].column("u")
+        values = [column_fraction_below(col, v) for v in (10, 30, 50, 70, 90)]
+        assert values == sorted(values)
+
+
+class TestCardinality:
+    def make_rel(self, binding, rows, ndv):
+        return RelEstimate(
+            rows=rows,
+            row_bytes=32.0,
+            ndv={f"{binding}.k": ndv},
+            bindings=frozenset({binding}),
+        )
+
+    def test_scan_estimate_scales_ndv(self, stats):
+        est = scan_estimate("t", stats["t"], selectivity=0.01)
+        assert est.rows == pytest.approx(100)
+        assert est.ndv_of("t.id") <= 100
+
+    def test_join_estimate_classic_formula(self):
+        left = self.make_rel("a", 10_000, 100)
+        right = self.make_rel("b", 5_000, 50)
+        joined = join_estimate(left, right, [("a.k", "b.k")])
+        assert joined.rows == pytest.approx(10_000 * 5_000 / 100)
+
+    def test_cross_join(self):
+        left = self.make_rel("a", 100, 10)
+        right = self.make_rel("b", 200, 10)
+        assert join_estimate(left, right, []).rows == 20_000
+
+    def test_join_row_bytes_add(self):
+        left = self.make_rel("a", 10, 5)
+        right = self.make_rel("b", 10, 5)
+        assert join_estimate(left, right, []).row_bytes == 64.0
+
+    def test_semi_join_bounded_by_left(self):
+        left = self.make_rel("a", 1000, 100)
+        right = self.make_rel("b", 10, 10)
+        semi = semi_join_estimate(left, right, [("a.k", "b.k")])
+        assert semi.rows <= 1000
+        assert semi.rows == pytest.approx(100)
+
+    def test_group_by_caps_at_half_input(self):
+        child = self.make_rel("a", 1000, 5000)
+        grouped = group_by_estimate(child, ["a.k"], out_row_bytes=24.0)
+        assert grouped.rows <= 500
+
+    def test_ndv_defaults_when_unknown(self):
+        rel = self.make_rel("a", 1000, 10)
+        assert rel.ndv_of("a.unknown") == pytest.approx(100)
+
+
+class TestJoinOrder:
+    def rels(self, sizes):
+        return {
+            name: RelEstimate(
+                rows=rows,
+                row_bytes=16.0,
+                ndv={f"{name}.k": min(rows, 100)},
+                bindings=frozenset({name}),
+            )
+            for name, rows in sizes.items()
+        }
+
+    def test_single_relation(self):
+        order = order_joins(self.rels({"a": 10}), [])
+        assert order == ["a"]
+
+    def test_all_relations_included_exactly_once(self):
+        relations = self.rels({"a": 10, "b": 1000, "c": 100, "d": 10_000})
+        edges = [
+            JoinEdge("a", "b", "a.k", "b.k"),
+            JoinEdge("b", "c", "b.k", "c.k"),
+            JoinEdge("c", "d", "c.k", "d.k"),
+        ]
+        order = order_joins(relations, edges)
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_prefers_connected_expansion(self):
+        """A disconnected relation should come last (cross join penalty)."""
+        relations = self.rels({"a": 100, "b": 100, "lonely": 50})
+        edges = [JoinEdge("a", "b", "a.k", "b.k")]
+        order = order_joins(relations, edges)
+        assert order[-1] == "lonely"
+
+    def test_greedy_path_on_large_join_sets(self):
+        sizes = {f"t{i}": 100 * (i + 1) for i in range(10)}
+        relations = self.rels(sizes)
+        edges = [
+            JoinEdge(f"t{i}", f"t{i+1}", f"t{i}.k", f"t{i+1}.k")
+            for i in range(9)
+        ]
+        order = order_joins(relations, edges)
+        assert sorted(order) == sorted(sizes)
+
+    def test_edge_orientation(self):
+        edge = JoinEdge("a", "b", "a.x", "b.y")
+        assert edge.pair_for("a") == ("a.x", "b.y")
+        assert edge.pair_for("b") == ("b.y", "a.x")
+        with pytest.raises(Exception):
+            edge.pair_for("c")
+
+
+class TestColumnVsColumnSelectivity:
+    """Histogram-based theta-join selectivity (col OP k*col)."""
+
+    def test_responds_to_scale_factor(self, stats):
+        selectivities = [
+            predicate_selectivity(
+                where(f"t.u > t.u * {k}"), {"t": stats["t"], "t2": stats["t"]}
+            )
+            for k in (0.5, 1.0, 2.0, 4.0)
+        ]
+        # Bigger multiplier -> fewer qualifying pairs.
+        assert selectivities == sorted(selectivities, reverse=True)
+
+    def test_symmetric_comparison_near_half(self, stats):
+        sel = predicate_selectivity(where("t.u > t.u * 1.0"), stats)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_less_than_complements_greater(self, stats):
+        greater = predicate_selectivity(where("t.u > t.u * 2"), stats)
+        less_equal = predicate_selectivity(where("t.u <= t.u * 2"), stats)
+        assert greater + less_equal == pytest.approx(1.0, abs=0.05)
+
+    def test_not_equal_near_one(self, stats):
+        sel = predicate_selectivity(where("t.u <> t.u * 1"), stats)
+        assert sel > 0.9
+
+    def test_literal_on_left_of_product(self, stats):
+        right = predicate_selectivity(where("t.u > t.u * 3"), stats)
+        left = predicate_selectivity(where("t.u > 3 * t.u"), stats)
+        assert right == pytest.approx(left)
+
+    def test_string_columns_fall_back(self, stats):
+        # No histograms for strings: the default applies, no crash.
+        sel = predicate_selectivity(where("t.c > t.c"), stats)
+        assert 0 < sel <= 1

@@ -1,0 +1,182 @@
+"""Additional planner shapes and SQL-surface coverage."""
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import OperatorKind
+from repro.errors import OptimizerError
+
+
+def find(plan, kind):
+    return [node for node in plan.walk() if node.kind == kind]
+
+
+class TestJoinSyntaxVariants:
+    def test_explicit_join_on_equals_comma_join(self, optimizer, executor):
+        explicit = (
+            "SELECT count(*) AS c FROM store_sales ss "
+            "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+            "WHERE i.i_current_price > 30"
+        )
+        implicit = (
+            "SELECT count(*) AS c FROM store_sales ss, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk AND i.i_current_price > 30"
+        )
+        a = executor.execute(optimizer.optimize(explicit).plan)
+        b = executor.execute(optimizer.optimize(implicit).plan)
+        assert a.batch.columns["c"][0] == b.batch.columns["c"][0]
+
+    def test_five_way_star_join(self, optimizer, executor):
+        sql = (
+            "SELECT count(*) AS c "
+            "FROM store_sales ss, item i, date_dim d, store s, customer c "
+            "WHERE ss.ss_item_sk = i.i_item_sk "
+            "AND ss.ss_sold_date_sk = d.d_date_sk "
+            "AND ss.ss_store_sk = s.s_store_sk "
+            "AND ss.ss_customer_sk = c.c_customer_sk "
+            "AND d.d_year = 2000"
+        )
+        plan = optimizer.optimize(sql).plan
+        assert len(find(plan, OperatorKind.FILE_SCAN)) == 5
+        assert len(find(plan, OperatorKind.HASH_JOIN)) == 4
+        result = executor.execute(plan)
+        assert result.n_rows == 1
+
+    def test_two_subqueries_in_one_query(self, optimizer, executor):
+        sql = (
+            "SELECT count(*) AS c FROM store_sales ss "
+            "WHERE ss.ss_item_sk IN "
+            "(SELECT i.i_item_sk FROM item i WHERE i.i_category = 'Books') "
+            "AND ss.ss_customer_sk IN "
+            "(SELECT c.c_customer_sk FROM customer c "
+            "WHERE c.c_preferred = 'Y')"
+        )
+        plan = optimizer.optimize(sql).plan
+        assert len(find(plan, OperatorKind.SEMI_JOIN)) == 2
+        result = executor.execute(plan)
+        assert result.n_rows == 1
+
+    def test_in_subquery_with_aggregate_output(self, optimizer, executor):
+        sql = (
+            "SELECT count(*) AS c FROM store_sales ss "
+            "WHERE ss.ss_quantity IN "
+            "(SELECT max(ws.ws_quantity) FROM web_sales ws)"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert result.n_rows == 1
+
+
+class TestOrderingAndAliases:
+    def test_order_by_aggregate_alias(self, optimizer, executor):
+        sql = (
+            "SELECT ss.ss_store_sk, sum(ss.ss_sales_price) AS revenue "
+            "FROM store_sales ss GROUP BY ss.ss_store_sk "
+            "ORDER BY revenue DESC LIMIT 5"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        revenue = result.batch.column("revenue")
+        assert list(revenue) == sorted(revenue, reverse=True)
+
+    def test_order_by_aggregate_expression(self, optimizer, executor):
+        sql = (
+            "SELECT ss.ss_store_sk, sum(ss.ss_quantity) AS q "
+            "FROM store_sales ss GROUP BY ss.ss_store_sk "
+            "ORDER BY sum(ss.ss_quantity)"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        values = result.batch.column("q")
+        assert list(values) == sorted(values)
+
+    def test_order_by_group_key(self, optimizer, executor):
+        sql = (
+            "SELECT d.d_moy, count(*) AS c FROM store_sales ss, date_dim d "
+            "WHERE ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 1999 "
+            "GROUP BY d.d_moy ORDER BY d.d_moy"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        months = result.batch.column("d.d_moy")
+        assert list(months) == sorted(months)
+
+    def test_multiple_aggregates_of_same_column(self, optimizer, executor):
+        sql = (
+            "SELECT min(i.i_current_price) AS lo, "
+            "max(i.i_current_price) AS hi, "
+            "avg(i.i_current_price) AS mid FROM item i"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        lo = result.batch.column("lo")[0]
+        hi = result.batch.column("hi")[0]
+        mid = result.batch.column("mid")[0]
+        assert lo <= mid <= hi
+
+    def test_select_star_with_order_and_limit(self, optimizer, executor):
+        sql = "SELECT * FROM store s ORDER BY s.s_floor_space DESC LIMIT 3"
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert result.n_rows == 3
+        space = result.batch.column("s.s_floor_space")
+        assert list(space) == sorted(space, reverse=True)
+
+
+class TestArithmeticProjection:
+    def test_computed_select_item(self, optimizer, executor):
+        sql = (
+            "SELECT ss.ss_sales_price * ss.ss_quantity AS total "
+            "FROM store_sales ss WHERE ss.ss_item_sk = 10"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert "total" in result.batch.columns
+
+    def test_aggregate_arithmetic_combination(self, optimizer, executor):
+        sql = (
+            "SELECT sum(ss.ss_net_profit) / count(*) AS per_sale "
+            "FROM store_sales ss"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert np.isfinite(result.batch.column("per_sale")[0])
+
+
+class TestPlannerEdgeCases:
+    def test_constant_only_predicate(self, optimizer, executor):
+        result = executor.execute(
+            optimizer.optimize(
+                "SELECT count(*) AS c FROM item i WHERE 1 = 1"
+            ).plan
+        )
+        assert result.batch.column("c")[0] > 0
+
+    def test_empty_result_query(self, optimizer, executor):
+        result = executor.execute(
+            optimizer.optimize(
+                "SELECT i.i_item_sk FROM item i WHERE i.i_current_price < 0"
+            ).plan
+        )
+        assert result.n_rows == 0
+
+    def test_group_by_on_empty_input(self, optimizer, executor):
+        result = executor.execute(
+            optimizer.optimize(
+                "SELECT i.i_category, count(*) AS c FROM item i "
+                "WHERE i.i_current_price < 0 GROUP BY i.i_category"
+            ).plan
+        )
+        assert result.n_rows == 0
+
+    def test_having_without_matching_groups(self, optimizer, executor):
+        result = executor.execute(
+            optimizer.optimize(
+                "SELECT i.i_category, count(*) AS c FROM item i "
+                "GROUP BY i.i_category HAVING count(*) > 1000000"
+            ).plan
+        )
+        assert result.n_rows == 0
+
+    def test_semi_join_then_regular_join(self, optimizer, executor):
+        sql = (
+            "SELECT count(*) AS c FROM store_sales ss, date_dim d "
+            "WHERE ss.ss_sold_date_sk = d.d_date_sk "
+            "AND d.d_year = 2000 "
+            "AND ss.ss_item_sk IN "
+            "(SELECT i.i_item_sk FROM item i WHERE i.i_current_price > 20)"
+        )
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert result.n_rows == 1

@@ -1,0 +1,236 @@
+"""Physical plan shape tests: the optimizer must emit sensible plans."""
+
+import pytest
+
+from repro.engine.plan import OperatorKind
+from repro.errors import OptimizerError
+from repro.optimizer import Optimizer
+from repro.optimizer.physical import rewrite_aggregates, split_conjuncts
+from repro.sql.ast import ColumnRef, FuncCall, SelectItem
+from repro.sql.parser import parse
+
+
+def kinds_of(plan):
+    return [node.kind for node in plan.walk()]
+
+
+def find(plan, kind):
+    return [node for node in plan.walk() if node.kind == kind]
+
+
+class TestPlanShapes:
+    def test_simple_scan_query(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT * FROM item i WHERE i.i_current_price > 10"
+        ).plan
+        assert plan.kind == OperatorKind.ROOT
+        assert plan.child.kind == OperatorKind.EXCHANGE
+        assert plan.child.exchange_kind == "collect"
+        scans = find(plan, OperatorKind.FILE_SCAN)
+        assert len(scans) == 1
+        assert scans[0].predicate is not None
+
+    def test_star_join_uses_hash_joins(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT i.i_category, count(*) AS c "
+            "FROM store_sales ss, item i, date_dim d "
+            "WHERE ss.ss_item_sk = i.i_item_sk "
+            "AND ss.ss_sold_date_sk = d.d_date_sk "
+            "GROUP BY i.i_category"
+        ).plan
+        assert len(find(plan, OperatorKind.HASH_JOIN)) == 2
+        assert len(find(plan, OperatorKind.FILE_SCAN)) == 3
+        assert len(find(plan, OperatorKind.HASH_GROUPBY)) == 1
+
+    def test_theta_join_uses_nested_loop(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT i1.i_item_sk, i2.i_item_sk FROM item i1, item i2 "
+            "WHERE i1.i_current_price > i2.i_current_price * 2"
+        ).plan
+        nested = find(plan, OperatorKind.NESTED_JOIN)
+        assert len(nested) == 1
+        assert nested[0].residual is not None
+
+    def test_in_subquery_becomes_semi_join(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT count(*) AS c FROM store_sales ss WHERE ss.ss_item_sk IN "
+            "(SELECT i.i_item_sk FROM item i WHERE i.i_category = 'Books')"
+        ).plan
+        assert len(find(plan, OperatorKind.SEMI_JOIN)) == 1
+
+    def test_not_exists_becomes_anti_join(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT count(*) AS c FROM customer c WHERE NOT EXISTS "
+            "(SELECT * FROM web_sales ws "
+            "WHERE ws.ws_customer_sk = c.c_customer_sk)"
+        ).plan
+        assert len(find(plan, OperatorKind.ANTI_JOIN)) == 1
+
+    def test_order_by_limit_becomes_top_n(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT ss.ss_item_sk, ss.ss_sales_price FROM store_sales ss "
+            "ORDER BY ss.ss_sales_price DESC LIMIT 10"
+        ).plan
+        top = find(plan, OperatorKind.TOP_N)
+        assert len(top) == 1
+        assert top[0].limit == 10
+        assert not find(plan, OperatorKind.SORT)
+
+    def test_order_without_limit_becomes_sort(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT ss.ss_item_sk, ss.ss_sales_price FROM store_sales ss "
+            "ORDER BY ss.ss_sales_price"
+        ).plan
+        assert len(find(plan, OperatorKind.SORT)) == 1
+
+    def test_scalar_aggregate(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT count(*) AS c, sum(ss.ss_quantity) AS q "
+            "FROM store_sales ss"
+        ).plan
+        agg = find(plan, OperatorKind.SCALAR_AGGREGATE)
+        assert len(agg) == 1
+        assert len(agg[0].aggregates) == 2
+
+    def test_having_adds_filter(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT ss.ss_store_sk, count(*) AS c FROM store_sales ss "
+            "GROUP BY ss.ss_store_sk HAVING count(*) > 100"
+        ).plan
+        assert len(find(plan, OperatorKind.FILTER)) == 1
+
+    def test_distinct_operator(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT DISTINCT ss.ss_store_sk FROM store_sales ss"
+        ).plan
+        assert len(find(plan, OperatorKind.DISTINCT)) == 1
+
+    def test_small_build_side_broadcast(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT count(*) AS c FROM store_sales ss, store s "
+            "WHERE ss.ss_store_sk = s.s_store_sk"
+        ).plan
+        broadcasts = [
+            node
+            for node in find(plan, OperatorKind.EXCHANGE)
+            if node.exchange_kind == "broadcast"
+        ]
+        assert broadcasts  # the tiny store dimension is broadcast
+
+    def test_projection_pushdown_trims_scan(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT sum(ss.ss_sales_price) AS r FROM store_sales ss "
+            "WHERE ss.ss_quantity > 5"
+        ).plan
+        scan = find(plan, OperatorKind.FILE_SCAN)[0]
+        assert scan.scan_columns is not None
+        assert set(scan.scan_columns) == {"ss_sales_price", "ss_quantity"}
+        # The predicate-only column is dropped after filtering.
+        assert set(scan.output_columns) == {"ss_sales_price"}
+
+    def test_select_star_keeps_all_columns(self, optimizer):
+        plan = optimizer.optimize("SELECT * FROM item i").plan
+        scan = find(plan, OperatorKind.FILE_SCAN)[0]
+        assert scan.scan_columns is None
+
+
+class TestEstimates:
+    def test_every_node_has_estimate(self, optimizer):
+        plan = optimizer.optimize(
+            "SELECT i.i_category, count(*) AS c "
+            "FROM store_sales ss, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_quantity > 30 "
+            "GROUP BY i.i_category"
+        ).plan
+        for node in plan.walk():
+            assert node.estimated_rows >= 1.0
+
+    def test_selective_filter_reduces_estimate(self, optimizer, tpcds_catalog):
+        wide = optimizer.optimize("SELECT * FROM store_sales ss").plan
+        narrow = optimizer.optimize(
+            "SELECT * FROM store_sales ss WHERE ss.ss_store_sk = 1"
+        ).plan
+        assert narrow.estimated_rows < wide.estimated_rows
+
+    def test_cost_positive_and_monotone_with_joins(self, optimizer):
+        single = optimizer.optimize("SELECT count(*) AS c FROM store_sales ss")
+        joined = optimizer.optimize(
+            "SELECT count(*) AS c FROM store_sales ss, item i "
+            "WHERE ss.ss_item_sk = i.i_item_sk"
+        )
+        assert 0 < single.cost < joined.cost
+
+
+class TestOptimizerErrors:
+    def test_unknown_table(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize("SELECT * FROM nonexistent n")
+
+    def test_unknown_column(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize("SELECT i.wrong_col FROM item i")
+
+    def test_ambiguous_column(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize(
+                "SELECT ss_item_sk FROM store_sales s1, store_sales s2"
+            )
+
+    def test_duplicate_binding(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize("SELECT * FROM item i, store_sales i")
+
+    def test_order_by_unprojected_expression(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize(
+                "SELECT i.i_item_sk FROM item i ORDER BY i.i_current_price * 2"
+            )
+
+    def test_uncorrelated_exists_rejected(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize(
+                "SELECT count(*) AS c FROM item i WHERE EXISTS "
+                "(SELECT * FROM store s WHERE s.s_state = 'CA')"
+            )
+
+    def test_group_by_expression_rejected(self, optimizer):
+        with pytest.raises(OptimizerError):
+            optimizer.optimize(
+                "SELECT count(*) AS c FROM item i GROUP BY i.i_current_price * 2"
+            )
+
+
+class TestHelperRewrites:
+    def test_split_conjuncts(self):
+        where = parse(
+            "SELECT * FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)"
+        ).where
+        parts = split_conjuncts(where)
+        assert len(parts) == 3
+
+    def test_rewrite_aggregates_dedupes(self):
+        query = parse(
+            "SELECT sum(a) AS s, sum(a) / count(*) AS ratio FROM t"
+        )
+        rewrite = rewrite_aggregates(query.select, None)
+        # sum(a) computed once, count(*) once.
+        assert len(rewrite.aggregates) == 2
+
+    def test_rewrite_preserves_alias(self):
+        query = parse("SELECT sum(a) AS total FROM t")
+        rewrite = rewrite_aggregates(query.select, None)
+        assert rewrite.aggregates[0].alias == "total"
+        assert rewrite.select[0].expr == ColumnRef("total")
+
+    def test_count_star_alias(self):
+        query = parse("SELECT count(*) FROM t")
+        rewrite = rewrite_aggregates(query.select, None)
+        assert rewrite.aggregates[0].alias == "count_star"
+        assert rewrite.aggregates[0].expr is None
+
+    def test_having_aggregate_extracted(self):
+        query = parse(
+            "SELECT a FROM t GROUP BY a HAVING max(b) > 5"
+        )
+        rewrite = rewrite_aggregates(query.select, query.having)
+        assert any(spec.func == "max" for spec in rewrite.aggregates)

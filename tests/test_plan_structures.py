@@ -1,0 +1,99 @@
+"""PlanNode structure tests: arity validation, traversal, rendering."""
+
+import pytest
+
+from repro.engine.plan import AggregateSpec, OperatorKind, PlanNode
+from repro.errors import PlanError
+
+
+def scan(name="t", binding="t", rows=10.0):
+    return PlanNode(
+        kind=OperatorKind.FILE_SCAN,
+        table_name=name,
+        binding=binding,
+        estimated_rows=rows,
+    )
+
+
+class TestArity:
+    def test_scan_takes_no_children(self):
+        with pytest.raises(PlanError):
+            PlanNode(kind=OperatorKind.FILE_SCAN, children=(scan(),))
+
+    def test_join_needs_two_children(self):
+        with pytest.raises(PlanError):
+            PlanNode(kind=OperatorKind.HASH_JOIN, children=(scan(),))
+
+    def test_sort_needs_one_child(self):
+        with pytest.raises(PlanError):
+            PlanNode(kind=OperatorKind.SORT, children=())
+
+    def test_child_accessors(self):
+        node = PlanNode(kind=OperatorKind.SORT, children=(scan(),))
+        assert node.child.kind == OperatorKind.FILE_SCAN
+        with pytest.raises(PlanError):
+            _ = node.left
+
+    def test_left_right(self):
+        join = PlanNode(
+            kind=OperatorKind.HASH_JOIN,
+            children=(scan("a", "a"), scan("b", "b")),
+            join_pairs=(("a.x", "b.y"),),
+        )
+        assert join.left.binding == "a"
+        assert join.right.binding == "b"
+
+
+class TestTraversal:
+    def make_tree(self):
+        join = PlanNode(
+            kind=OperatorKind.HASH_JOIN,
+            children=(scan("a", "a", 100), scan("b", "b", 50)),
+            join_pairs=(("a.x", "b.y"),),
+            estimated_rows=200.0,
+        )
+        return PlanNode(
+            kind=OperatorKind.ROOT, children=(join,), estimated_rows=200.0
+        )
+
+    def test_walk_preorder(self):
+        kinds = [node.kind for node in self.make_tree().walk()]
+        assert kinds == [
+            OperatorKind.ROOT,
+            OperatorKind.HASH_JOIN,
+            OperatorKind.FILE_SCAN,
+            OperatorKind.FILE_SCAN,
+        ]
+
+    def test_operator_counts(self):
+        counts = self.make_tree().operator_counts()
+        assert counts == {"root": 1, "hash_join": 1, "file_scan": 2}
+
+    def test_cardinality_sums(self):
+        sums = self.make_tree().cardinality_sums()
+        assert sums["file_scan"] == 150.0
+        assert sums["hash_join"] == 200.0
+
+    def test_pretty_contains_structure(self):
+        text = self.make_tree().pretty()
+        assert "root" in text
+        assert "hash_join (a.x=b.y)" in text
+        assert "[a as a]" in text
+        assert text.count("\n") == 3
+
+    def test_pretty_shows_exchange_kind(self):
+        node = PlanNode(
+            kind=OperatorKind.EXCHANGE,
+            children=(scan(),),
+            exchange_kind="broadcast",
+        )
+        assert "(broadcast)" in node.pretty()
+
+    def test_pretty_shows_group_keys(self):
+        node = PlanNode(
+            kind=OperatorKind.HASH_GROUPBY,
+            children=(scan(),),
+            group_keys=("t.a",),
+            aggregates=(AggregateSpec("count", None, "c"),),
+        )
+        assert "(by t.a)" in node.pretty()

@@ -1,0 +1,106 @@
+"""Determinism utilities and cross-module property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Executor
+from repro.engine.metrics import METRIC_NAMES
+from repro.optimizer import Optimizer
+from repro.rng import child_generator, derive_seed, generator
+from repro.workloads.generator import generate_pool
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_is_64_bit(self):
+        assert 0 <= derive_seed(123, "anything") < 2**64
+
+    def test_child_generators_independent(self):
+        a = child_generator(1, "x").normal(size=10)
+        b = child_generator(1, "y").normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_generator_reproducible(self):
+        assert generator(5).integers(0, 100) == generator(5).integers(0, 100)
+
+    @given(st.integers(0, 2**31), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_seed_always_valid(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**64
+
+
+class TestCrossModuleInvariants:
+    """Engine-level invariants checked over a sample of generated queries."""
+
+    @pytest.fixture(scope="class")
+    def executed(self, tpcds_catalog, config):
+        optimizer = Optimizer(tpcds_catalog, config)
+        executor = Executor(tpcds_catalog, config)
+        pool = generate_pool(35, seed=31, problem_fraction=0.3)
+        results = []
+        for query in pool:
+            optimized = optimizer.optimize(query.sql)
+            result = executor.execute(
+                optimized.plan, rng=child_generator(2, query.query_id)
+            )
+            results.append((query, optimized, result))
+        return results
+
+    def test_all_metrics_non_negative(self, executed):
+        for _query, _opt, result in executed:
+            assert (result.metrics.as_vector() >= 0).all()
+
+    def test_elapsed_exceeds_startup(self, executed, config):
+        for _query, _opt, result in executed:
+            assert result.metrics.elapsed_time > config.startup_s * 0.5
+
+    def test_records_used_le_accessed(self, executed):
+        for _query, _opt, result in executed:
+            assert result.metrics.records_used <= result.metrics.records_accessed
+
+    def test_optimizer_cost_positive(self, executed):
+        for _query, optimized, _result in executed:
+            assert optimized.cost > 0
+
+    def test_estimates_at_least_one_row(self, executed):
+        for _query, optimized, _result in executed:
+            for node in optimized.plan.walk():
+                assert node.estimated_rows >= 1.0
+
+    def test_feature_vectors_finite_non_negative(self, executed):
+        from repro.core.features import plan_feature_vector
+
+        for _query, optimized, _result in executed:
+            vector = plan_feature_vector(optimized.plan)
+            assert np.isfinite(vector).all()
+            assert (vector >= 0).all()
+
+    def test_message_count_at_least_collect(self, executed, config):
+        """Every top-level query ends in a collect exchange."""
+        for _query, _opt, result in executed:
+            assert result.metrics.message_count >= config.n_nodes
+
+    def test_elapsed_correlates_with_cpu_work(self, executed):
+        """Across the pool, more busy time means more elapsed time."""
+        elapsed = np.array([r.metrics.elapsed_time for _q, _o, r in executed])
+        cpu = np.array([r.metrics.cpu_seconds for _q, _o, r in executed])
+        assert np.corrcoef(np.log1p(elapsed), np.log1p(cpu))[0, 1] > 0.9
+
+    def test_sql_features_parse_for_all(self, executed):
+        from repro.sql.text_features import sql_text_features
+
+        for query, _opt, _result in executed:
+            vector = sql_text_features(query.sql)
+            assert vector.shape == (9,)
+            assert (vector >= 0).all()

@@ -1,0 +1,77 @@
+"""System-sizing helper tests (paper use cases 2 and 3)."""
+
+import pytest
+
+from repro.engine.system import production_32node
+from repro.errors import ReproError
+from repro.sizing import size_system
+from repro.workloads.generator import generate_pool
+from repro.workloads.templates import tpcds_templates
+
+
+@pytest.fixture(scope="module")
+def sizing_inputs(tpcds_catalog):
+    training = generate_pool(60, seed=8, templates=tpcds_templates())
+    workload = [
+        q.sql
+        for q in generate_pool(10, seed=88, templates=tpcds_templates())
+    ]
+    return tpcds_catalog, training, workload
+
+
+class TestSizeSystem:
+    def test_forecast_per_candidate(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        candidates = [production_32node(4), production_32node(16)]
+        result = size_system(
+            catalog, candidates, training, workload, deadline_s=1e9
+        )
+        assert len(result.forecasts) == 2
+        for forecast in result.forecasts:
+            assert forecast.total_elapsed_s > 0
+            assert forecast.max_query_s <= forecast.total_elapsed_s
+
+    def test_bigger_system_predicted_faster(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        result = size_system(
+            catalog,
+            [production_32node(4), production_32node(32)],
+            training,
+            workload,
+            deadline_s=1e9,
+        )
+        small, large = result.forecasts
+        assert large.total_elapsed_s < small.total_elapsed_s
+
+    def test_recommends_cheapest_fitting(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        generous = size_system(
+            catalog,
+            [production_32node(4), production_32node(32)],
+            training,
+            workload,
+            deadline_s=1e9,
+        )
+        assert generous.recommended is not None
+        assert generous.recommended.config.n_nodes == 4
+
+    def test_impossible_deadline_recommends_none(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        result = size_system(
+            catalog,
+            [production_32node(4)],
+            training,
+            workload,
+            deadline_s=1e-6,
+        )
+        assert result.recommended is None
+        assert not result.forecasts[0].fits_deadline
+
+    def test_input_validation(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        with pytest.raises(ReproError):
+            size_system(catalog, [], training, workload, 10.0)
+        with pytest.raises(ReproError):
+            size_system(
+                catalog, [production_32node(4)], training, [], 10.0
+            )

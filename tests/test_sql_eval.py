@@ -1,0 +1,169 @@
+"""Vectorised expression evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sql.ast import ColumnRef
+from repro.sql.eval import evaluate, like_to_regex, resolve_column
+from repro.sql.parser import parse
+
+
+def where_of(sql_condition):
+    return parse(f"SELECT * FROM t WHERE {sql_condition}").where
+
+
+def select_expr(sql_expression):
+    return parse(f"SELECT {sql_expression} FROM t").select[0].expr
+
+
+@pytest.fixture()
+def batch():
+    return {
+        "t.a": np.array([1, 2, 3, 4, 5]),
+        "t.b": np.array([10.0, 20.0, 30.0, 40.0, np.nan]),
+        "t.name": np.array(["alpha", "beta", "gamma", "alphabet", "x"]),
+    }
+
+
+class TestArithmetic:
+    def test_addition(self, batch):
+        result = evaluate(select_expr("t.a + 1"), batch, 5)
+        assert list(result) == [2, 3, 4, 5, 6]
+
+    def test_multiplication_of_columns(self, batch):
+        result = evaluate(select_expr("t.a * t.a"), batch, 5)
+        assert list(result) == [1, 4, 9, 16, 25]
+
+    def test_division(self, batch):
+        result = evaluate(select_expr("t.a / 2"), batch, 5)
+        assert result[1] == pytest.approx(1.0)
+
+    def test_unary_minus(self, batch):
+        result = evaluate(select_expr("-t.a"), batch, 5)
+        assert list(result) == [-1, -2, -3, -4, -5]
+
+    def test_modulo(self, batch):
+        result = evaluate(select_expr("t.a % 2"), batch, 5)
+        assert list(result) == [1, 0, 1, 0, 1]
+
+    def test_literal_broadcast(self, batch):
+        result = evaluate(select_expr("7"), batch, 5)
+        assert list(result) == [7] * 5
+
+
+class TestComparisons:
+    def test_greater(self, batch):
+        result = evaluate(where_of("t.a > 3"), batch, 5)
+        assert list(result) == [False, False, False, True, True]
+
+    def test_equality_on_strings(self, batch):
+        result = evaluate(where_of("t.name = 'beta'"), batch, 5)
+        assert list(result) == [False, True, False, False, False]
+
+    def test_not_equal(self, batch):
+        result = evaluate(where_of("t.a <> 2"), batch, 5)
+        assert result.sum() == 4
+
+    def test_and_or(self, batch):
+        result = evaluate(where_of("t.a > 1 AND t.a < 4"), batch, 5)
+        assert list(result) == [False, True, True, False, False]
+        result = evaluate(where_of("t.a = 1 OR t.a = 5"), batch, 5)
+        assert list(result) == [True, False, False, False, True]
+
+    def test_not(self, batch):
+        result = evaluate(where_of("NOT t.a > 3"), batch, 5)
+        assert list(result) == [True, True, True, False, False]
+
+
+class TestSpecialPredicates:
+    def test_between(self, batch):
+        result = evaluate(where_of("t.a BETWEEN 2 AND 4"), batch, 5)
+        assert list(result) == [False, True, True, True, False]
+
+    def test_not_between(self, batch):
+        result = evaluate(where_of("t.a NOT BETWEEN 2 AND 4"), batch, 5)
+        assert list(result) == [True, False, False, False, True]
+
+    def test_in_list(self, batch):
+        result = evaluate(where_of("t.a IN (1, 3, 5)"), batch, 5)
+        assert list(result) == [True, False, True, False, True]
+
+    def test_in_list_strings(self, batch):
+        result = evaluate(where_of("t.name IN ('alpha', 'x')"), batch, 5)
+        assert list(result) == [True, False, False, False, True]
+
+    def test_in_list_with_negative_literal(self, batch):
+        result = evaluate(where_of("t.a IN (-1, 3)"), batch, 5)
+        assert list(result) == [False, False, True, False, False]
+
+    def test_in_list_with_column_reference(self, batch):
+        columns = dict(batch)
+        columns["t.c"] = np.array([1, 9, 9, 4, 9])
+        result = evaluate(where_of("t.a IN (t.c, 5)"), columns, 5)
+        assert list(result) == [True, False, False, True, True]
+
+    def test_like_prefix(self, batch):
+        result = evaluate(where_of("t.name LIKE 'alpha%'"), batch, 5)
+        assert list(result) == [True, False, False, True, False]
+
+    def test_like_underscore(self, batch):
+        result = evaluate(where_of("t.name LIKE '_eta'"), batch, 5)
+        assert list(result) == [False, True, False, False, False]
+
+    def test_not_like(self, batch):
+        result = evaluate(where_of("t.name NOT LIKE '%a%'"), batch, 5)
+        assert list(result) == [False, False, False, False, True]
+
+    def test_is_null_on_float(self, batch):
+        result = evaluate(where_of("t.b IS NULL"), batch, 5)
+        assert list(result) == [False, False, False, False, True]
+
+    def test_is_not_null(self, batch):
+        result = evaluate(where_of("t.b IS NOT NULL"), batch, 5)
+        assert result.sum() == 4
+
+    def test_is_null_on_int_is_false(self, batch):
+        result = evaluate(where_of("t.a IS NULL"), batch, 5)
+        assert not result.any()
+
+    def test_case_when(self, batch):
+        expr = select_expr("CASE WHEN t.a > 3 THEN 1 ELSE 0 END")
+        result = evaluate(expr, batch, 5)
+        assert list(result) == [0, 0, 0, 1, 1]
+
+    def test_subquery_predicates_rejected(self, batch):
+        with pytest.raises(ExecutionError):
+            evaluate(where_of("t.a IN (SELECT x FROM u)"), batch, 5)
+
+
+class TestColumnResolution:
+    def test_qualified_lookup(self, batch):
+        assert resolve_column(batch, ColumnRef("a", "t"))[0] == 1
+
+    def test_bare_lookup_unique_suffix(self, batch):
+        assert resolve_column(batch, ColumnRef("name"))[1] == "beta"
+
+    def test_unknown_column(self, batch):
+        with pytest.raises(ExecutionError):
+            resolve_column(batch, ColumnRef("zzz", "t"))
+
+    def test_ambiguous_bare_column(self):
+        columns = {"a.x": np.array([1]), "b.x": np.array([2])}
+        with pytest.raises(ExecutionError):
+            resolve_column(columns, ColumnRef("x"))
+
+
+class TestLikeToRegex:
+    def test_percent(self):
+        assert like_to_regex("a%b") == "a.*b"
+
+    def test_underscore(self):
+        assert like_to_regex("a_b") == "a.b"
+
+    def test_escapes_regex_metacharacters(self):
+        import re
+
+        pattern = like_to_regex("a.b+c")
+        assert re.fullmatch(pattern, "a.b+c")
+        assert not re.fullmatch(pattern, "axb+c")

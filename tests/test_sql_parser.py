@@ -1,0 +1,270 @@
+"""Parser tests: structure, precedence, desugaring, errors, round trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        query = parse("SELECT * FROM t")
+        assert len(query.select) == 1
+        assert isinstance(query.select[0].expr, Star)
+
+    def test_column_with_alias(self):
+        query = parse("SELECT a AS x FROM t")
+        assert query.select[0].alias == "x"
+        assert query.select[0].expr == ColumnRef("a")
+
+    def test_implicit_alias(self):
+        query = parse("SELECT a x FROM t")
+        assert query.select[0].alias == "x"
+
+    def test_qualified_column(self):
+        query = parse("SELECT t.a FROM t")
+        assert query.select[0].expr == ColumnRef("a", table="t")
+
+    def test_multiple_items(self):
+        query = parse("SELECT a, b, c FROM t")
+        assert len(query.select) == 3
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+    def test_aggregate_count_star(self):
+        query = parse("SELECT count(*) FROM t")
+        call = query.select[0].expr
+        assert isinstance(call, FuncCall)
+        assert call.name == "count"
+        assert isinstance(call.args[0], Star)
+
+    def test_aggregate_distinct(self):
+        call = parse("SELECT count(DISTINCT a) FROM t").select[0].expr
+        assert call.distinct
+
+    def test_arithmetic_expression(self):
+        expr = parse("SELECT a * b + 2 FROM t").select[0].expr
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert expr.left.op == "*"
+
+
+class TestFromClause:
+    def test_single_table(self):
+        query = parse("SELECT * FROM store_sales")
+        assert query.tables[0].name == "store_sales"
+        assert query.tables[0].binding == "store_sales"
+
+    def test_alias(self):
+        query = parse("SELECT * FROM store_sales ss")
+        assert query.tables[0].alias == "ss"
+        assert query.tables[0].binding == "ss"
+
+    def test_as_alias(self):
+        query = parse("SELECT * FROM store_sales AS ss")
+        assert query.tables[0].alias == "ss"
+
+    def test_comma_join(self):
+        query = parse("SELECT * FROM a, b, c")
+        assert len(query.tables) == 3
+
+    def test_join_on_desugars_to_where(self):
+        query = parse("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 1")
+        # Both the ON condition and the WHERE predicate must be conjuncts.
+        sql = query.where.to_sql()
+        assert "a.x = b.y" in sql
+        assert "a.z = 1" in sql
+
+    def test_inner_join_keyword(self):
+        query = parse("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert len(query.tables) == 2
+        assert query.where is not None
+
+
+class TestPredicates:
+    def test_comparison_operators(self):
+        for op in ("=", "<", "<=", ">", ">=", "<>"):
+            query = parse(f"SELECT * FROM t WHERE a {op} 1")
+            assert query.where.op == op
+
+    def test_bang_equals_normalised(self):
+        assert parse("SELECT * FROM t WHERE a != 1").where.op == "<>"
+
+    def test_and_or_precedence(self):
+        where = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").where
+        # AND binds tighter: OR(a=1, AND(b=2, c=3))
+        assert where.op == "OR"
+        assert where.right.op == "AND"
+
+    def test_not(self):
+        where = parse("SELECT * FROM t WHERE NOT a = 1").where
+        assert isinstance(where, UnaryOp)
+        assert where.op == "NOT"
+
+    def test_between(self):
+        where = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10").where
+        assert isinstance(where, Between)
+        assert not where.negated
+
+    def test_not_between(self):
+        where = parse("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 10").where
+        assert isinstance(where, Between)
+        assert where.negated
+
+    def test_in_list(self):
+        where = parse("SELECT * FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, InList)
+        assert len(where.values) == 3
+
+    def test_in_string_list(self):
+        where = parse("SELECT * FROM t WHERE a IN ('x', 'y')").where
+        assert where.values[0] == Literal("x")
+
+    def test_not_in(self):
+        where = parse("SELECT * FROM t WHERE a NOT IN (1)").where
+        assert where.negated
+
+    def test_like(self):
+        where = parse("SELECT * FROM t WHERE a LIKE 'pre%'").where
+        assert isinstance(where, Like)
+        assert where.pattern == "pre%"
+
+    def test_is_null(self):
+        where = parse("SELECT * FROM t WHERE a IS NULL").where
+        assert isinstance(where, IsNull)
+        assert not where.negated
+
+    def test_is_not_null(self):
+        where = parse("SELECT * FROM t WHERE a IS NOT NULL").where
+        assert where.negated
+
+    def test_in_subquery(self):
+        where = parse(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE u.c = 1)"
+        ).where
+        assert isinstance(where, InSubquery)
+        assert where.query.tables[0].name == "u"
+
+    def test_exists_subquery(self):
+        where = parse(
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.y)"
+        ).where
+        assert isinstance(where, Exists)
+
+    def test_not_exists(self):
+        where = parse(
+            "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)"
+        ).where
+        assert isinstance(where, UnaryOp)
+        assert isinstance(where.operand, Exists)
+
+    def test_unary_minus(self):
+        where = parse("SELECT * FROM t WHERE a > -5").where
+        assert isinstance(where.right, UnaryOp)
+
+    def test_case_when(self):
+        expr = parse(
+            "SELECT CASE WHEN a > 1 THEN 2 ELSE 3 END FROM t"
+        ).select[0].expr
+        assert isinstance(expr, CaseWhen)
+        assert expr.default == Literal(3)
+
+
+class TestClauses:
+    def test_group_by(self):
+        query = parse("SELECT a, count(*) FROM t GROUP BY a")
+        assert query.group_by == (ColumnRef("a"),)
+
+    def test_group_by_multiple(self):
+        query = parse("SELECT a, b FROM t GROUP BY a, b")
+        assert len(query.group_by) == 2
+
+    def test_having(self):
+        query = parse(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 5"
+        )
+        assert query.having is not None
+
+    def test_order_by_default_ascending(self):
+        query = parse("SELECT a FROM t ORDER BY a")
+        assert not query.order_by[0].descending
+
+    def test_order_by_desc(self):
+        query = parse("SELECT a FROM t ORDER BY a DESC")
+        assert query.order_by[0].descending
+
+    def test_order_by_multiple(self):
+        query = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert [o.descending for o in query.order_by] == [True, False]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_no_limit(self):
+        assert parse("SELECT a FROM t").limit is None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t LIMIT 2.5",
+            "SELECT a FROM t LIMIT",
+            "SELECT a FROM t ORDER a",
+            "SELECT a FROM t extra garbage (",
+            "SELECT a FROM t WHERE a LIKE 5",
+            "SELECT a FROM t WHERE a NOT = 1",
+            "SELECT CASE END FROM t",
+        ],
+    )
+    def test_invalid_queries_raise(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT a FROM t WHERE LIMIT")
+        assert excinfo.value.position >= 0
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM t",
+            "SELECT a, b AS c FROM t AS x WHERE (a = 1)",
+            "SELECT count(*) FROM t GROUP BY a HAVING (count(*) > 2)",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 5",
+            "SELECT DISTINCT a FROM t, u WHERE (t.x = u.y)",
+            "SELECT sum(a) AS s FROM t WHERE (a BETWEEN 1 AND 2)",
+            "SELECT a FROM t WHERE (a IN ('x', 'y'))",
+            "SELECT a FROM t WHERE (EXISTS (SELECT * FROM u WHERE (u.i = t.i)))",
+        ],
+    )
+    def test_parse_print_parse_is_stable(self, sql):
+        """to_sql output must itself parse to an identical AST."""
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert first == second

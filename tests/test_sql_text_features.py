@@ -1,0 +1,125 @@
+"""SQL-text feature vector tests (paper Section VI-D.1)."""
+
+import numpy as np
+import pytest
+
+from repro.sql.text_features import SQL_TEXT_FEATURE_NAMES, sql_text_features
+
+
+def feature(sql, name):
+    vector = sql_text_features(sql)
+    return vector[SQL_TEXT_FEATURE_NAMES.index(name)]
+
+
+class TestVectorShape:
+    def test_nine_features(self):
+        vector = sql_text_features("SELECT * FROM t")
+        assert vector.shape == (9,)
+        assert vector.dtype == np.float64
+
+    def test_trivial_query_is_zero(self):
+        assert sql_text_features("SELECT * FROM t").sum() == 0
+
+
+class TestSelectionPredicates:
+    def test_equality_selection(self):
+        sql = "SELECT * FROM t WHERE t.a = 1"
+        assert feature(sql, "equality_selections") == 1
+        assert feature(sql, "nonequality_selections") == 0
+        assert feature(sql, "selection_predicates") == 1
+
+    def test_range_selection(self):
+        sql = "SELECT * FROM t WHERE t.a > 1"
+        assert feature(sql, "nonequality_selections") == 1
+
+    def test_between_counts_as_nonequality(self):
+        sql = "SELECT * FROM t WHERE t.a BETWEEN 1 AND 2"
+        assert feature(sql, "nonequality_selections") == 1
+
+    def test_in_list_counts_as_nonequality(self):
+        sql = "SELECT * FROM t WHERE t.a IN (1, 2)"
+        assert feature(sql, "nonequality_selections") == 1
+
+    def test_like_counts_as_nonequality(self):
+        sql = "SELECT * FROM t WHERE t.a LIKE 'x%'"
+        assert feature(sql, "nonequality_selections") == 1
+
+    def test_conjunction_counts_both(self):
+        sql = "SELECT * FROM t WHERE t.a = 1 AND t.b < 2"
+        assert feature(sql, "selection_predicates") == 2
+
+    def test_disjunction_counts_both(self):
+        sql = "SELECT * FROM t WHERE t.a = 1 OR t.b = 2"
+        assert feature(sql, "equality_selections") == 2
+
+    def test_not_descends(self):
+        sql = "SELECT * FROM t WHERE NOT t.a = 1"
+        assert feature(sql, "equality_selections") == 1
+
+
+class TestJoinPredicates:
+    def test_equijoin(self):
+        sql = "SELECT * FROM a, b WHERE a.x = b.y"
+        assert feature(sql, "equijoin_predicates") == 1
+        assert feature(sql, "join_predicates") == 1
+        assert feature(sql, "equality_selections") == 0
+
+    def test_nonequijoin(self):
+        sql = "SELECT * FROM a, b WHERE a.x < b.y"
+        assert feature(sql, "nonequijoin_predicates") == 1
+
+    def test_mixed(self):
+        sql = "SELECT * FROM a, b WHERE a.x = b.y AND a.z = 3"
+        assert feature(sql, "join_predicates") == 1
+        assert feature(sql, "selection_predicates") == 1
+
+    def test_same_table_comparison_is_selection(self):
+        sql = "SELECT * FROM a, b WHERE a.x = a.y"
+        assert feature(sql, "join_predicates") == 0
+        assert feature(sql, "equality_selections") == 1
+
+
+class TestSortAndAggregation:
+    def test_sort_columns(self):
+        sql = "SELECT a, b FROM t ORDER BY a, b DESC"
+        assert feature(sql, "sort_columns") == 2
+
+    def test_aggregation_columns(self):
+        sql = "SELECT sum(a), count(*), avg(b) FROM t"
+        assert feature(sql, "aggregation_columns") == 3
+
+    def test_nested_aggregate_in_expression(self):
+        sql = "SELECT sum(a) / count(*) FROM t"
+        assert feature(sql, "aggregation_columns") == 2
+
+
+class TestSubqueries:
+    def test_in_subquery_counted(self):
+        sql = "SELECT * FROM t WHERE t.a IN (SELECT b FROM u WHERE u.c = 1)"
+        assert feature(sql, "nested_subqueries") == 1
+        # The subquery's own selection predicate is included.
+        assert feature(sql, "equality_selections") == 1
+
+    def test_exists_counted(self):
+        sql = (
+            "SELECT * FROM t WHERE EXISTS "
+            "(SELECT * FROM u WHERE u.x = t.y AND u.z > 2)"
+        )
+        assert feature(sql, "nested_subqueries") == 1
+        assert feature(sql, "nonequality_selections") >= 1
+
+    def test_identical_text_different_constants_collide(self):
+        """The failure mode that makes SQL-text features weak (Sec VI-D.1):
+        different constants produce identical feature vectors."""
+        v1 = sql_text_features("SELECT * FROM t WHERE t.a > 1")
+        v2 = sql_text_features("SELECT * FROM t WHERE t.a > 999999")
+        assert np.array_equal(v1, v2)
+
+
+class TestAcceptsParsedQueries:
+    def test_query_object_input(self):
+        from repro.sql.parser import parse
+
+        query = parse("SELECT count(*) FROM t WHERE t.a = 1")
+        vector = sql_text_features(query)
+        assert vector[SQL_TEXT_FEATURE_NAMES.index("aggregation_columns")] == 1

@@ -1,0 +1,110 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sql.tokens import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_identifiers_are_lowercased(self):
+        tokens = tokenize("Store_Sales SS")
+        assert [t.value for t in tokens[:-1]] == ["store_sales", "ss"]
+        assert all(t.kind == "IDENT" for t in tokens[:-1])
+
+    def test_ends_with_eof(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("select")[-1].kind == "EOF"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == "NUMBER"
+        assert token.value == "42"
+
+    def test_float_literal(self):
+        token = tokenize("3.14")[0]
+        assert token.kind == "NUMBER"
+        assert token.value == "3.14"
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind == "NUMBER"
+        assert token.value == ".5"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_empty_string_literal(self):
+        token = tokenize("''")[0]
+        assert token.kind == "STRING"
+        assert token.value == ""
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!="])
+    def test_two_char_operators(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1] == Token("OP", op, 2)
+
+    @pytest.mark.parametrize("op", list("<>=+-*/%(),."))
+    def test_single_char_operators(self, op):
+        token = tokenize(op)[0]
+        assert token.kind == "OP"
+        assert token.value == op
+
+    def test_qualified_name_tokens(self):
+        assert values("ss.ss_item_sk") == ["ss", ".", "ss_item_sk"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_is_skipped(self):
+        assert values("select -- a comment\n 1") == ["SELECT", "1"]
+
+    def test_comment_at_end_without_newline(self):
+        assert values("select 1 -- trailing") == ["SELECT", "1"]
+
+    def test_positions_are_character_offsets(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_is_keyword_helper(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("select")
+        assert not token.is_keyword("FROM")
+
+
+class TestTokenizeErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("select 'oops")
+        assert excinfo.value.position == 7
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select #")
+
+    def test_whitespace_only_input(self):
+        tokens = tokenize("   \n\t ")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"

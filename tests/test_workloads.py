@@ -1,0 +1,198 @@
+"""Workload tests: data generation, templates, pools, categories."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor
+from repro.engine.system import research_4node
+from repro.optimizer import Optimizer
+from repro.rng import child_generator
+from repro.workloads.categories import (
+    BOWLING_BALL_MAX_S,
+    FEATHER_MAX_S,
+    GOLF_BALL_MAX_S,
+    QueryCategory,
+    categorize,
+)
+from repro.workloads.customer import (
+    CUSTOMER_TABLE_NAMES,
+    build_customer_catalog,
+    customer_templates,
+)
+from repro.workloads.generator import generate_pool
+from repro.workloads.templates import problem_templates, tpcds_templates
+from repro.workloads.tpcds import TPCDS_TABLE_NAMES, build_tpcds_catalog
+
+
+class TestCategories:
+    def test_boundaries(self):
+        assert categorize(0.5) == QueryCategory.FEATHER
+        assert categorize(FEATHER_MAX_S - 1) == QueryCategory.FEATHER
+        assert categorize(FEATHER_MAX_S) == QueryCategory.GOLF_BALL
+        assert categorize(GOLF_BALL_MAX_S) == QueryCategory.BOWLING_BALL
+        assert categorize(BOWLING_BALL_MAX_S) == QueryCategory.WRECKING_BALL
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            categorize(-1.0)
+
+
+class TestTpcdsData:
+    def test_all_tables_present(self, tpcds_catalog):
+        for name in TPCDS_TABLE_NAMES:
+            assert name in tpcds_catalog
+
+    def test_deterministic_generation(self):
+        a = build_tpcds_catalog(scale_factor=0.05, seed=5)
+        b = build_tpcds_catalog(scale_factor=0.05, seed=5)
+        for name in TPCDS_TABLE_NAMES:
+            col = a.table(name).column_names[0]
+            assert np.array_equal(
+                a.table(name).column(col), b.table(name).column(col)
+            )
+
+    def test_different_seeds_differ(self):
+        a = build_tpcds_catalog(scale_factor=0.05, seed=5)
+        b = build_tpcds_catalog(scale_factor=0.05, seed=6)
+        assert not np.array_equal(
+            a.table("store_sales").column("ss_item_sk"),
+            b.table("store_sales").column("ss_item_sk"),
+        )
+
+    def test_scale_factor_scales_facts_not_dates(self):
+        small = build_tpcds_catalog(scale_factor=0.05, seed=5)
+        large = build_tpcds_catalog(scale_factor=0.1, seed=5)
+        assert (
+            large.table("store_sales").n_rows
+            == 2 * small.table("store_sales").n_rows
+        )
+        assert large.table("date_dim").n_rows == small.table("date_dim").n_rows
+
+    def test_foreign_keys_valid(self, tpcds_catalog):
+        sales = tpcds_catalog.table("store_sales")
+        n_items = tpcds_catalog.table("item").n_rows
+        n_dates = tpcds_catalog.table("date_dim").n_rows
+        item_sk = sales.column("ss_item_sk")
+        date_sk = sales.column("ss_sold_date_sk")
+        assert item_sk.min() >= 1 and item_sk.max() <= n_items
+        assert date_sk.min() >= 1 and date_sk.max() <= n_dates
+
+    def test_item_popularity_is_skewed(self, tpcds_catalog):
+        """Zipfian item popularity: the hottest item is far above average."""
+        item_sk = tpcds_catalog.table("store_sales").column("ss_item_sk")
+        counts = np.bincount(item_sk)
+        assert counts.max() > 5 * counts[counts > 0].mean()
+
+    def test_returns_reference_real_sales(self, tpcds_catalog):
+        """Every (item, customer) in store_returns appears in store_sales."""
+        sales = tpcds_catalog.table("store_sales")
+        returns = tpcds_catalog.table("store_returns")
+        sale_pairs = set(
+            zip(
+                sales.column("ss_item_sk").tolist(),
+                sales.column("ss_customer_sk").tolist(),
+            )
+        )
+        return_pairs = set(
+            zip(
+                returns.column("sr_item_sk").tolist(),
+                returns.column("sr_customer_sk").tolist(),
+            )
+        )
+        assert return_pairs <= sale_pairs
+
+
+class TestTemplates:
+    def test_unique_names(self):
+        templates = tpcds_templates() + problem_templates()
+        names = [t.name for t in templates]
+        assert len(names) == len(set(names))
+
+    def test_families(self):
+        assert all(t.family == "standard" for t in tpcds_templates())
+        assert all(t.family == "problem" for t in problem_templates())
+
+    @pytest.mark.parametrize(
+        "template", tpcds_templates() + problem_templates(),
+        ids=lambda t: t.name,
+    )
+    def test_every_template_plans_and_executes(
+        self, template, tpcds_catalog, optimizer, executor
+    ):
+        """Each template must render, parse, plan and execute."""
+        rng = child_generator(77, template.name)
+        sql, params = template.render(rng)
+        assert params
+        optimized = optimizer.optimize(sql)
+        result = executor.execute(optimized.plan)
+        assert result.metrics.elapsed_time > 0
+        assert result.metrics.records_accessed > 0
+
+    def test_render_is_deterministic_per_rng(self):
+        template = tpcds_templates()[0]
+        sql1, _ = template.render(child_generator(1, "x"))
+        sql2, _ = template.render(child_generator(1, "x"))
+        assert sql1 == sql2
+
+    def test_same_template_different_constants(self):
+        template = tpcds_templates()[0]
+        rng = child_generator(1, "y")
+        rendered = {template.render(rng)[0] for _ in range(10)}
+        assert len(rendered) > 1
+
+
+class TestGeneratePool:
+    def test_pool_size_and_ids_unique(self):
+        pool = generate_pool(50, seed=3)
+        assert len(pool) == 50
+        assert len({q.query_id for q in pool}) == 50
+
+    def test_deterministic(self):
+        a = generate_pool(30, seed=3)
+        b = generate_pool(30, seed=3)
+        assert [q.sql for q in a] == [q.sql for q in b]
+
+    def test_problem_fraction_zero(self):
+        pool = generate_pool(40, seed=3, problem_fraction=0.0)
+        assert all(q.family == "standard" for q in pool)
+
+    def test_problem_fraction_one(self):
+        pool = generate_pool(40, seed=3, problem_fraction=1.0)
+        assert all(q.family == "problem" for q in pool)
+
+    def test_explicit_template_list(self):
+        pool = generate_pool(20, seed=3, templates=customer_templates())
+        names = {t.name for t in customer_templates()}
+        assert all(q.template in names for q in pool)
+
+
+class TestCustomerWorkload:
+    def test_tables_present(self, customer_catalog):
+        for name in CUSTOMER_TABLE_NAMES:
+            assert name in customer_catalog
+
+    def test_schema_disjoint_from_tpcds(self, tpcds_catalog, customer_catalog):
+        assert not set(customer_catalog.table_names) & set(
+            tpcds_catalog.table_names
+        )
+
+    @pytest.mark.parametrize(
+        "template", customer_templates(), ids=lambda t: t.name
+    )
+    def test_customer_templates_execute(self, template, customer_catalog):
+        config = research_4node()
+        optimizer = Optimizer(customer_catalog, config)
+        executor = Executor(customer_catalog, config)
+        sql, _params = template.render(child_generator(5, template.name))
+        result = executor.execute(optimizer.optimize(sql).plan)
+        assert result.metrics.elapsed_time > 0
+
+    def test_customer_queries_are_short(self, customer_catalog):
+        """The paper's customer workload was all mini-feathers."""
+        config = research_4node()
+        optimizer = Optimizer(customer_catalog, config)
+        executor = Executor(customer_catalog, config)
+        pool = generate_pool(16, seed=2, templates=customer_templates())
+        for query in pool:
+            result = executor.execute(optimizer.optimize(query.sql).plan)
+            assert categorize(result.metrics.elapsed_time) == QueryCategory.FEATHER
