@@ -8,10 +8,18 @@ model per candidate configuration of the 32-node production system
 runtime and resource footprint on each — without running the workload on
 any of them.
 
+Each candidate's trained model is saved as a versioned artifact
+(``artifact_dir=``); re-running the example loads the saved models
+instead of retraining, so what-if analysis over the same candidates is
+instant after the first run.
+
 Run with::
 
     python examples/capacity_planning.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.engine import Executor
 from repro.engine.system import production_32node
@@ -32,9 +40,18 @@ def main() -> None:
     ]
     candidates = [production_32node(n) for n in (4, 8, 16, 32)]
 
-    print("Training one model per candidate configuration...\n")
+    artifact_dir = Path(tempfile.gettempdir()) / "capacity_models"
+    print(
+        "Training one model per candidate configuration "
+        f"(artifacts cached in {artifact_dir})...\n"
+    )
     result = size_system(
-        catalog, candidates, training, workload, deadline_s=DEADLINE_S
+        catalog,
+        candidates,
+        training,
+        workload,
+        deadline_s=DEADLINE_S,
+        artifact_dir=artifact_dir,
     )
 
     header = (

@@ -15,14 +15,11 @@ Run with::
 
 import numpy as np
 
-from repro.core.features import plan_feature_vector
 from repro.core.metrics import within_factor_fraction
 from repro.core.predictor import KCCAPredictor
 from repro.core.two_step import TwoStepPredictor
-from repro.engine import Executor
 from repro.engine.system import research_4node
 from repro.experiments.corpus import build_corpus
-from repro.optimizer import Optimizer
 from repro.workloads.customer import build_customer_catalog, customer_templates
 from repro.workloads.generator import generate_pool
 from repro.workloads.tpcds import build_tpcds_catalog

@@ -15,12 +15,19 @@ This example implements a simple admission controller:
 
 It then audits the decisions against the queries' actual runtimes.
 
+The model is trained **once**, saved as a versioned artifact, and the
+controller serves from a reloaded copy — the paper's train-once /
+serve-many deployment — scoring the whole incoming batch in one
+:meth:`~repro.api.QueryPerformancePredictor.forecast_many` pass.
+
 Run with::
 
     python examples/workload_management.py
 """
 
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.api import QueryPerformancePredictor
 from repro.workloads.categories import categorize
@@ -51,16 +58,22 @@ def _action_for(elapsed_s: float) -> str:
 
 
 def main() -> None:
-    print("Training the admission controller's model...")
-    predictor = QueryPerformancePredictor.train_on_tpcds(
+    print("Training the admission controller's model (once)...")
+    trained = QueryPerformancePredictor.train_on_tpcds(
         n_queries=300, scale_factor=0.2, seed=11, problem_fraction=0.35
     )
+    artifact = Path(tempfile.gettempdir()) / "admission_model.npz"
+    trained.save(artifact)
+    print(f"Saved artifact: {artifact}")
 
-    print("Scoring an incoming workload of 40 queries...\n")
+    # A serving process would start here: no retraining, just load.
+    predictor = QueryPerformancePredictor.load(artifact)
+
+    print("Scoring an incoming workload of 40 queries in one batch...\n")
     incoming = generate_pool(40, seed=99, problem_fraction=0.35)
+    forecasts = predictor.forecast_many([query.sql for query in incoming])
     decisions = []
-    for query in incoming:
-        forecast = predictor.forecast(query.sql)
+    for query, forecast in zip(incoming, forecasts):
         predicted = forecast.metrics.elapsed_time
         action = _action_for(predicted)
         if forecast.confidence.anomalous:

@@ -15,17 +15,22 @@ Example::
     )
     print(forecast.elapsed_time, forecast.disk_ios)
     print(predictor.explain("SELECT ..."))
+
+    predictor.save("model.npz")                       # train once...
+    loaded = QueryPerformancePredictor.load("model.npz")  # ...serve many
+    loaded.forecast_many([sql_a, sql_b, sql_c])       # batched scoring
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.confidence import ConfidenceModel, ConfidenceReport
-from repro.core.features import plan_feature_vector
+from repro.core.confidence import ConfidenceReport
+from repro.core.features import plan_feature_matrix, plan_feature_vector
 from repro.core.predictor import KCCAPredictor
 from repro.core.two_step import TwoStepPredictor
 from repro.engine import Executor, PerformanceMetrics, SystemConfig
@@ -34,6 +39,7 @@ from repro.errors import ModelError
 from repro.experiments.corpus import Corpus, build_corpus
 from repro.experiments.report import hms
 from repro.optimizer import Optimizer
+from repro.pipeline import PredictionPipeline
 from repro.storage.catalog import Catalog
 from repro.workloads.categories import categorize
 from repro.workloads.generator import QueryInstance, generate_pool
@@ -55,6 +61,11 @@ class Forecast:
 class QueryPerformancePredictor:
     """Trainable, explainable query performance prediction service.
 
+    Internally everything flows through one
+    :class:`~repro.pipeline.PredictionPipeline` (featurizer → model →
+    calibration → confidence), which is also what :meth:`save` persists
+    and :meth:`load` restores — train once, serve from the artifact.
+
     Args:
         catalog: the database the queries run against.
         config: the system configuration being modelled.
@@ -75,9 +86,9 @@ class QueryPerformancePredictor:
         self.executor = Executor(self.catalog, self.config)
         self.two_step = two_step
         self._predictor_kwargs = predictor_kwargs
-        self._model: "KCCAPredictor | TwoStepPredictor | None" = None
-        self._confidence: Optional[ConfidenceModel] = None
+        self._pipeline: Optional[PredictionPipeline] = None
         self._corpus: Optional[Corpus] = None
+        self._catalog_spec: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Training
@@ -98,12 +109,19 @@ class QueryPerformancePredictor:
 
         This is the turn-key entry point used by the examples; lower
         ``scale_factor`` / ``n_queries`` train in seconds, the defaults in
-        well under a minute.
+        well under a minute.  Artifacts saved from a service built here
+        embed the catalog recipe, so :meth:`load` can rebuild the catalog
+        without being handed one.
         """
         catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
         service = cls(
             catalog, config=config, two_step=two_step, **predictor_kwargs
         )
+        service._catalog_spec = {
+            "kind": "tpcds",
+            "scale_factor": scale_factor,
+            "seed": seed,
+        }
         pool = generate_pool(
             n_queries, seed=seed, problem_fraction=problem_fraction
         )
@@ -116,30 +134,110 @@ class QueryPerformancePredictor:
         return self.fit_corpus(corpus)
 
     def fit_corpus(self, corpus: Corpus) -> "QueryPerformancePredictor":
-        """Fit on an already-executed corpus."""
-        features = corpus.feature_matrix()
-        performance = corpus.performance_matrix()
+        """Fit the full pipeline on an already-executed corpus."""
         if self.two_step:
-            self._model = TwoStepPredictor(**self._predictor_kwargs)
+            model = TwoStepPredictor(**self._predictor_kwargs)
         else:
-            self._model = KCCAPredictor(**self._predictor_kwargs)
-        self._model.fit(features, performance)
-        router = (
-            self._model._router  # noqa: SLF001 - router doubles as scorer
-            if isinstance(self._model, TwoStepPredictor)
-            else self._model
+            model = KCCAPredictor(**self._predictor_kwargs)
+        pipeline = PredictionPipeline(model=model)
+        pipeline.fit_corpus(corpus)
+        pipeline.fingerprint_environment(self.catalog, self.config)
+        pipeline.metadata.update(
+            {
+                "two_step": self.two_step,
+                "n_training_queries": len(corpus),
+                "system_config": asdict(self.config),
+                "catalog_spec": self._catalog_spec,
+            }
         )
-        self._confidence = ConfidenceModel(router)
+        self._pipeline = pipeline
         self._corpus = corpus
         return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Persist the trained pipeline as a versioned artifact.
+
+        The artifact embeds catalog/system fingerprints (verified on
+        load) plus, for :meth:`train_on_tpcds` services, the recipe to
+        rebuild the catalog.
+        """
+        self._require_trained()
+        self._pipeline.save(path, catalog=self.catalog, config=self.config)
+
+    @classmethod
+    def load(
+        cls,
+        path: Path,
+        catalog: Optional[Catalog] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> "QueryPerformancePredictor":
+        """Load a service from an artifact saved by :meth:`save`.
+
+        Args:
+            path: the artifact file.
+            catalog: the database to serve against; when omitted, the
+                catalog is rebuilt from the recipe stored in the artifact
+                (available for :meth:`train_on_tpcds` services).
+            config: the system configuration; when omitted, restored from
+                the artifact.
+
+        Raises:
+            ModelError: when the artifact's catalog/system fingerprints
+                do not match the supplied (or rebuilt) environment, when
+                no catalog can be obtained, or on schema-version
+                mismatches.
+        """
+        pipeline = PredictionPipeline.load(path)
+        metadata = pipeline.metadata
+        if config is None:
+            stored = metadata.get("system_config")
+            if stored is None:
+                raise ModelError(
+                    f"artifact {path} stores no system configuration; "
+                    "pass config= explicitly"
+                )
+            config = SystemConfig(**stored)
+        if catalog is None:
+            spec = metadata.get("catalog_spec")
+            if not spec or spec.get("kind") != "tpcds":
+                raise ModelError(
+                    f"artifact {path} embeds no catalog recipe; "
+                    "pass catalog= explicitly"
+                )
+            catalog = build_tpcds_catalog(
+                scale_factor=spec["scale_factor"], seed=spec["seed"]
+            )
+        # Re-load with verification now that the environment is known.
+        pipeline = PredictionPipeline.load(path, catalog=catalog, config=config)
+        service = cls(
+            catalog,
+            config=config,
+            two_step=bool(pipeline.metadata.get("two_step", False)),
+        )
+        service._catalog_spec = pipeline.metadata.get("catalog_spec")
+        service._pipeline = pipeline
+        return service
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
 
     def _require_trained(self) -> None:
-        if self._model is None or self._confidence is None:
-            raise ModelError("predictor is not trained; call fit_* first")
+        if self._pipeline is None:
+            raise ModelError(
+                "predictor is not trained; call fit_* first or load() an "
+                "artifact"
+            )
+
+    @property
+    def pipeline(self) -> PredictionPipeline:
+        """The underlying prediction pipeline (trained)."""
+        self._require_trained()
+        return self._pipeline
 
     def features_for(self, sql: str) -> np.ndarray:
         """The query-plan feature vector the model sees for ``sql``."""
@@ -150,20 +248,37 @@ class QueryPerformancePredictor:
         """Predict the six performance metrics for ``sql``."""
         return self.forecast(sql).metrics
 
+    def predict_many(self, sqls: Sequence[str]) -> list[PerformanceMetrics]:
+        """Predict metrics for a batch of statements in one model pass."""
+        return [forecast.metrics for forecast in self.forecast_many(sqls)]
+
     def forecast(self, sql: str) -> Forecast:
         """Predict metrics plus category, confidence and optimizer cost."""
+        return self.forecast_many([sql])[0]
+
+    def forecast_many(self, sqls: Sequence[str]) -> list[Forecast]:
+        """Batched forecasts: N queries, one kernel-cross per model.
+
+        The batch path end-to-end: plan all statements, build one feature
+        matrix, project it once, and derive predictions and confidence
+        from the same projection.
+        """
         self._require_trained()
-        optimized = self.optimizer.optimize(sql)
-        features = plan_feature_vector(optimized.plan)[None, :]
-        vector = self._model.predict(features)[0]
-        metrics = PerformanceMetrics.from_vector(vector)
-        confidence = self._confidence.assess(features)[0]
-        return Forecast(
-            metrics=metrics,
-            category=categorize(metrics.elapsed_time).value,
-            confidence=confidence,
-            optimizer_cost=optimized.cost,
-        )
+        optimized = self.optimizer.optimize_many(sqls)
+        features = plan_feature_matrix([opt.plan for opt in optimized])
+        scored = self._pipeline.score_many(features)
+        forecasts = []
+        for opt, score in zip(optimized, scored):
+            metrics = PerformanceMetrics.from_vector(score.prediction)
+            forecasts.append(
+                Forecast(
+                    metrics=metrics,
+                    category=categorize(metrics.elapsed_time).value,
+                    confidence=score.confidence,
+                    optimizer_cost=opt.cost,
+                )
+            )
+        return forecasts
 
     def measure(self, sql: str) -> PerformanceMetrics:
         """Actually run ``sql`` on the simulated system (ground truth)."""

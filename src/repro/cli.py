@@ -1,28 +1,35 @@
-"""Command-line interface: explain, predict and measure queries.
+"""Command-line interface: train, persist, predict and measure queries.
 
 Usage (after ``pip install -e .``)::
 
+    python -m repro train --save model.npz --queries 300
+    python -m repro predict --model model.npz "SELECT ..."
+    python -m repro forecast --model model.npz --batch workload.sql
     python -m repro explain "SELECT count(*) FROM store_sales ss"
-    python -m repro predict --queries 200 "SELECT ..."
     python -m repro plan "SELECT ..."
     python -m repro pools --queries 300
 
 Commands:
 
-* ``plan``    — print the optimizer's physical plan with estimates;
-* ``predict`` — train on a generated workload, print the forecast;
-* ``explain`` — like predict, plus confidence and optimizer cost;
-* ``measure`` — actually run the query on the simulated system;
-* ``pools``   — run a workload and print the Figure 2 pool table.
+* ``train``    — train a predictor and save it as a versioned artifact;
+* ``plan``     — print the optimizer's physical plan with estimates;
+* ``predict``  — forecast one query (from ``--model`` or by training);
+* ``explain``  — like predict, plus confidence and optimizer cost;
+* ``forecast`` — batch forecasts for many statements in one model pass;
+* ``measure``  — actually run the query on the simulated system;
+* ``pools``    — run a workload and print the Figure 2 pool table.
 
 All commands build a deterministic TPC-DS-like database (``--scale``,
-``--seed``), so output is reproducible.
+``--seed``), so output is reproducible.  Within one process, trained
+services are cached, so repeated :func:`main` calls (tests, notebooks)
+don't retrain for every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import QueryPerformancePredictor
@@ -33,6 +40,16 @@ from repro.optimizer import Optimizer
 from repro.workloads.tpcds import build_tpcds_catalog
 
 __all__ = ["main", "build_parser"]
+
+#: Trained services keyed by (scale, seed, system, queries, two_step) so
+#: one process invoking several subcommands trains at most once per setup.
+_service_cache: dict[tuple, QueryPerformancePredictor] = {}
+
+_NO_ARTIFACT_HINT = (
+    "hint: no --model artifact given; training a fresh model for this "
+    "call. Train once with `repro train --save model.npz` and reuse it "
+    "via `--model model.npz`."
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,15 +70,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    train = sub.add_parser(
+        "train", help="train a predictor and save the artifact"
+    )
+    train.add_argument(
+        "--save", required=True, metavar="ARTIFACT",
+        help="where to write the model artifact (.npz)",
+    )
+    train.add_argument(
+        "--queries", type=int, default=200,
+        help="training workload size (default 200)",
+    )
+    train.add_argument(
+        "--two-step", action="store_true",
+        help="use type-specific two-step models",
+    )
+
     plan = sub.add_parser("plan", help="show the optimizer's physical plan")
     plan.add_argument("sql")
 
     for name, help_text in (
-        ("predict", "train a model and forecast the query"),
+        ("predict", "forecast the query (train or load --model)"),
         ("explain", "forecast with confidence and optimizer cost"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("sql")
+        cmd.add_argument(
+            "--model", metavar="ARTIFACT",
+            help="load a saved artifact instead of training",
+        )
         cmd.add_argument(
             "--queries", type=int, default=200,
             help="training workload size (default 200)",
@@ -70,6 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--two-step", action="store_true",
             help="use type-specific two-step models",
         )
+
+    forecast = sub.add_parser(
+        "forecast", help="batch forecasts in one model pass"
+    )
+    forecast.add_argument(
+        "sql", nargs="?",
+        help="a SQL statement (or use --batch for a file)",
+    )
+    forecast.add_argument(
+        "--model", metavar="ARTIFACT",
+        help="load a saved artifact instead of training",
+    )
+    forecast.add_argument(
+        "--batch", metavar="FILE",
+        help="file of ';'-separated SQL statements",
+    )
+    forecast.add_argument(
+        "--queries", type=int, default=200,
+        help="training workload size when no --model (default 200)",
+    )
+    forecast.add_argument(
+        "--two-step", action="store_true",
+        help="use type-specific two-step models",
+    )
 
     measure = sub.add_parser("measure", help="run the query (ground truth)")
     measure.add_argument("sql")
@@ -85,6 +146,28 @@ def _config(name: str):
     if name == "research":
         return research_4node()
     return production_32node(int(name.removeprefix("prod")))
+
+
+def _service(args, config) -> QueryPerformancePredictor:
+    """A trained service: loaded from ``--model``, cached, or trained."""
+    artifact = getattr(args, "model", None)
+    if artifact:
+        return QueryPerformancePredictor.load(Path(artifact))
+    print(_NO_ARTIFACT_HINT, file=sys.stderr)
+    key = (args.scale, args.seed, args.system, args.queries, args.two_step)
+    if key not in _service_cache:
+        _service_cache[key] = QueryPerformancePredictor.train_on_tpcds(
+            n_queries=args.queries,
+            scale_factor=args.scale,
+            seed=args.seed,
+            config=config,
+            two_step=args.two_step,
+        )
+    return _service_cache[key]
+
+
+def _split_statements(text: str) -> list[str]:
+    return [part.strip() for part in text.split(";") if part.strip()]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -109,7 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"message count    : {metrics.message_count:,}")
             print(f"message bytes    : {metrics.message_bytes:,}")
             return 0
-        if args.command in ("predict", "explain"):
+        if args.command == "train":
             predictor = QueryPerformancePredictor.train_on_tpcds(
                 n_queries=args.queries,
                 scale_factor=args.scale,
@@ -117,6 +200,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 config=config,
                 two_step=args.two_step,
             )
+            path = Path(args.save)
+            predictor.save(path)
+            key = (args.scale, args.seed, args.system, args.queries,
+                   args.two_step)
+            _service_cache[key] = predictor
+            print(f"trained on {args.queries} queries; artifact: {path}")
+            return 0
+        if args.command in ("predict", "explain"):
+            predictor = _service(args, config)
             if args.command == "explain":
                 print(predictor.explain(args.sql))
             else:
@@ -124,6 +216,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"predicted elapsed time : {metrics.elapsed_time:.2f}s")
                 print(f"predicted records used : {metrics.records_used:,}")
                 print(f"predicted disk I/Os    : {metrics.disk_ios:,}")
+            return 0
+        if args.command == "forecast":
+            if args.batch:
+                sqls = _split_statements(Path(args.batch).read_text())
+            elif args.sql:
+                sqls = _split_statements(args.sql)
+            else:
+                print("error: forecast needs a SQL argument or --batch FILE",
+                      file=sys.stderr)
+                return 2
+            if not sqls:
+                print("error: no SQL statements to forecast", file=sys.stderr)
+                return 2
+            predictor = _service(args, config)
+            forecasts = predictor.forecast_many(sqls)
+            header = (
+                f"{'#':>3}  {'elapsed':>9}  {'category':<13}"
+                f"{'disk I/Os':>10}  {'cost':>10}  conf"
+            )
+            print(header)
+            print("-" * len(header))
+            for i, fc in enumerate(forecasts):
+                conf = "LOW" if fc.confidence.anomalous else "ok"
+                print(
+                    f"{i:>3}  {fc.metrics.elapsed_time:>8.2f}s  "
+                    f"{fc.category:<13}{fc.metrics.disk_ios:>10,}  "
+                    f"{fc.optimizer_cost:>10,.1f}  {conf}"
+                )
             return 0
         if args.command == "pools":
             from repro.experiments.corpus import build_corpus

@@ -21,9 +21,17 @@ clustering (:mod:`repro.core.kmeans`), and SQL-text features
 (:mod:`repro.sql.text_features`).
 """
 
+from repro.core.base import (
+    Model,
+    SerializableModel,
+    MODEL_SCHEMA_VERSION,
+    register_model,
+    model_class,
+)
 from repro.core.features import (
     PLAN_FEATURE_NAMES,
     plan_feature_vector,
+    plan_feature_matrix,
     FeatureSpace,
 )
 from repro.core.kernels import gaussian_kernel_matrix, gaussian_kernel_cross, scale_factor_heuristic
@@ -42,8 +50,14 @@ from repro.core.online import OnlinePredictor
 from repro.core.calibration import CostCalibrator
 
 __all__ = [
+    "Model",
+    "SerializableModel",
+    "MODEL_SCHEMA_VERSION",
+    "register_model",
+    "model_class",
     "PLAN_FEATURE_NAMES",
     "plan_feature_vector",
+    "plan_feature_matrix",
     "FeatureSpace",
     "gaussian_kernel_matrix",
     "gaussian_kernel_cross",

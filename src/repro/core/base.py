@@ -1,0 +1,252 @@
+"""The unified ``Model`` protocol and model persistence.
+
+Every predictor family in :mod:`repro.core` — the KCCA predictor, the
+two-step type-specific predictor, the sliding-window online predictor and
+the regression baseline — implements one contract:
+
+* ``fit(query_features, performance) -> self``
+* ``predict(query_features) -> (n, n_metrics) array``
+* ``state_dict() -> dict`` — a ``{"config": ..., "fitted": ...}`` export
+  of everything needed to reconstruct the model;
+* ``load_state_dict(state) -> self`` — the inverse.
+
+:class:`SerializableModel` turns the ``state_dict`` export into on-disk
+persistence: one ``.npz`` file holding every array plus a JSON manifest
+(schema version, model class, the non-array state).  A model trained in
+one process can therefore be saved and loaded in another, which is what
+lets one trained model serve many downstream decisions (workload
+management, capacity planning, sizing) instead of retraining per use.
+
+The format is deliberately dependency-free (numpy + json only, no
+pickle), so artifacts are safe to load and stable across Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any, Optional, Protocol, Type, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "Model",
+    "SerializableModel",
+    "MODEL_SCHEMA_VERSION",
+    "register_model",
+    "model_class",
+    "pack_state",
+    "unpack_state",
+    "write_state",
+    "read_state",
+]
+
+#: Bump when the on-disk state layout changes incompatibly; artifacts
+#: with a different version are refused on load.
+MODEL_SCHEMA_VERSION = 1
+
+_ARRAY_KEY = "__array__"
+
+
+@runtime_checkable
+class Model(Protocol):
+    """The contract every predictor family implements."""
+
+    def fit(self, query_features: np.ndarray, performance: np.ndarray) -> "Model":
+        """Train from (n, p) features and (n, m) performance vectors."""
+        ...
+
+    def predict(self, query_features: np.ndarray) -> np.ndarray:
+        """Predicted performance vectors, shape (n, n_metrics)."""
+        ...
+
+    def state_dict(self) -> dict:
+        """Everything needed to reconstruct the model, as arrays + JSON."""
+        ...
+
+    def load_state_dict(self, state: dict) -> "Model":
+        """Restore the model (hyper-parameters and fitted state)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Model registry (class name -> class), used by artifact loading
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_model(cls: type) -> type:
+    """Class decorator: make ``cls`` loadable by name from artifacts."""
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def model_class(name: str) -> type:
+    """Resolve a registered model class by name.
+
+    Raises:
+        ModelError: for names no registered model claims.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model class {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# State (de)serialisation: nested dicts of arrays + JSON-able scalars
+# ----------------------------------------------------------------------
+
+
+def pack_state(
+    state: Any, arrays: dict[str, np.ndarray], path: str = "state"
+) -> Any:
+    """Split ``state`` into a JSON-able skeleton plus an array table.
+
+    Arrays are moved into ``arrays`` under their slash-joined path and
+    replaced by ``{"__array__": path}`` placeholders; dicts and lists are
+    recursed into; everything else must already be JSON-serialisable.
+    """
+    if isinstance(state, np.ndarray):
+        arrays[path] = state
+        return {_ARRAY_KEY: path}
+    if isinstance(state, dict):
+        return {
+            str(key): pack_state(value, arrays, f"{path}/{key}")
+            for key, value in state.items()
+        }
+    if isinstance(state, (list, tuple)):
+        return [
+            pack_state(value, arrays, f"{path}/{index}")
+            for index, value in enumerate(state)
+        ]
+    if isinstance(state, (np.integer,)):
+        return int(state)
+    if isinstance(state, (np.floating,)):
+        return float(state)
+    if isinstance(state, (np.bool_,)):
+        return bool(state)
+    return state
+
+
+def unpack_state(skeleton: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`pack_state` (tuples come back as lists)."""
+    if isinstance(skeleton, dict):
+        if set(skeleton) == {_ARRAY_KEY}:
+            return arrays[skeleton[_ARRAY_KEY]]
+        return {
+            key: unpack_state(value, arrays) for key, value in skeleton.items()
+        }
+    if isinstance(skeleton, list):
+        return [unpack_state(value, arrays) for value in skeleton]
+    return skeleton
+
+
+def write_state(
+    path: Path,
+    state: dict,
+    model_class_name: str,
+    extra_manifest: Optional[dict] = None,
+) -> None:
+    """Persist a model state dict as ``.npz`` arrays + a JSON manifest."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    skeleton = pack_state(state, arrays)
+    manifest = {
+        "schema_version": MODEL_SCHEMA_VERSION,
+        "model_class": model_class_name,
+        "state": skeleton,
+    }
+    if extra_manifest:
+        manifest.update(extra_manifest)
+    payload = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, __manifest__=payload, **arrays)
+
+
+def read_state(
+    path: Path, expected_class: Optional[str] = None
+) -> tuple[dict, dict]:
+    """Load ``(state, manifest)`` written by :func:`write_state`.
+
+    Raises:
+        ModelError: on a missing/corrupt manifest, an unknown schema
+            version, or (when ``expected_class`` is given) a class
+            mismatch.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                manifest = json.loads(
+                    bytes(data["__manifest__"].tobytes()).decode("utf-8")
+                )
+            except (KeyError, ValueError) as error:
+                raise ModelError(
+                    f"{path} is not a model artifact (bad manifest)"
+                ) from error
+            arrays = {
+                key: data[key] for key in data.files if key != "__manifest__"
+            }
+    except (OSError, zipfile.BadZipFile, ValueError) as error:
+        # np.load raises BadZipFile for truncated/corrupt .npz files and
+        # ValueError for pickled payloads (refused by allow_pickle=False).
+        raise ModelError(f"cannot read model artifact {path}: {error}") from error
+    version = manifest.get("schema_version")
+    if version != MODEL_SCHEMA_VERSION:
+        raise ModelError(
+            f"model artifact {path} has schema version {version!r}, "
+            f"this build reads version {MODEL_SCHEMA_VERSION}"
+        )
+    if expected_class is not None:
+        found = manifest.get("model_class")
+        if found != expected_class:
+            raise ModelError(
+                f"model artifact {path} holds a {found!r}, "
+                f"expected {expected_class!r}"
+            )
+    state = unpack_state(manifest["state"], arrays)
+    return state, manifest
+
+
+class SerializableModel:
+    """Mixin adding ``save(path)`` / ``load(path)`` on top of state dicts.
+
+    Subclasses implement ``state_dict`` / ``load_state_dict``; the mixin
+    handles the on-disk format and class checking.
+    """
+
+    def state_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> "SerializableModel":  # pragma: no cover
+        raise NotImplementedError
+
+    def save(self, path: Path) -> None:
+        """Write this model to ``path`` (npz arrays + JSON manifest)."""
+        write_state(path, self.state_dict(), type(self).__name__)
+
+    @classmethod
+    def load(cls: Type["SerializableModel"], path: Path) -> "SerializableModel":
+        """Load a model of exactly this class from ``path``."""
+        state, _manifest = read_state(path, expected_class=cls.__name__)
+        model = cls.__new__(cls)
+        model.load_state_dict(state)
+        return model
+
+    @staticmethod
+    def load_any(path: Path) -> "SerializableModel":
+        """Load whatever registered model class ``path`` holds."""
+        state, manifest = read_state(path)
+        cls = model_class(manifest.get("model_class", ""))
+        model = cls.__new__(cls)
+        model.load_state_dict(state)
+        return model

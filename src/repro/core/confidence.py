@@ -16,10 +16,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.neighbors import nearest_neighbors
-from repro.core.predictor import KCCAPredictor
+from repro.core.predictor import KCCAPredictor, PredictionDetail
 from repro.errors import ModelError
 
-__all__ = ["ConfidenceModel", "neighbor_confidence"]
+__all__ = ["ConfidenceModel", "ConfidenceReport", "neighbor_confidence"]
 
 
 @dataclass(frozen=True)
@@ -58,9 +58,49 @@ class ConfidenceModel:
             float(train_distances.std()), 1e-12
         )
 
+    @classmethod
+    def from_calibration(
+        cls,
+        predictor: KCCAPredictor,
+        median: float,
+        scale: float,
+        threshold: float = 3.0,
+    ) -> "ConfidenceModel":
+        """Rebuild a confidence model from saved calibration numbers.
+
+        Used when loading a persisted pipeline: the training projection's
+        distance distribution was calibrated at fit time, so the (cubic)
+        leave-self-out neighbour search need not be repeated.
+        """
+        model = cls.__new__(cls)
+        if threshold <= 0:
+            raise ModelError("threshold must be positive")
+        model.predictor = predictor
+        model.threshold = threshold
+        model._median = float(median)
+        model._scale = float(scale)
+        return model
+
+    @property
+    def calibration(self) -> tuple[float, float]:
+        """The fitted ``(median, scale)`` of training neighbour distances."""
+        return self._median, self._scale
+
     def assess(self, query_features: np.ndarray) -> list[ConfidenceReport]:
         """Confidence report per query."""
-        details = self.predictor.predict_detailed(query_features)
+        return self.assess_details(
+            self.predictor.predict_detailed(query_features)
+        )
+
+    def assess_details(
+        self, details: list[PredictionDetail]
+    ) -> list[ConfidenceReport]:
+        """Confidence reports from already-computed neighbour details.
+
+        The batch prediction path projects each query once and reuses the
+        neighbour distances here, so confidence costs no extra kernel
+        evaluation.
+        """
         reports = []
         for detail in details:
             z = (detail.confidence_distance - self._median) / self._scale

@@ -25,9 +25,17 @@ import numpy as np
 
 from repro.engine.plan import OperatorKind, PlanNode
 
-__all__ = ["PLAN_FEATURE_NAMES", "plan_feature_vector", "FeatureSpace"]
+__all__ = [
+    "PLAN_FEATURE_NAMES",
+    "plan_feature_vector",
+    "plan_feature_matrix",
+    "FeatureSpace",
+]
 
 _KINDS = tuple(kind.value for kind in OperatorKind)
+
+#: Column offset of each operator kind's (count, cardinality) pair.
+_KIND_COLUMN = {kind: 2 * index for index, kind in enumerate(_KINDS)}
 
 #: Feature names, in vector order: count then cardinality per operator.
 PLAN_FEATURE_NAMES = tuple(
@@ -49,6 +57,28 @@ def plan_feature_vector(plan: PlanNode, log_scale: bool = False) -> np.ndarray:
     if log_scale:
         vector = np.log1p(vector)
     return vector
+
+
+def plan_feature_matrix(
+    plans: Sequence[PlanNode], log_scale: bool = False
+) -> np.ndarray:
+    """Feature matrix for many plans, shape (n_plans, 2 * n_kinds).
+
+    The batch path of :func:`plan_feature_vector`: each plan is walked
+    exactly once (filling its count and cardinality columns in place)
+    instead of twice, and the matrix is preallocated rather than stacked —
+    this is what `predict_many` feeds the kernel with.
+    """
+    matrix = np.zeros((len(plans), len(PLAN_FEATURE_NAMES)), dtype=np.float64)
+    for row, plan in enumerate(plans):
+        out = matrix[row]
+        for node in plan.walk():
+            column = _KIND_COLUMN[node.kind.value]
+            out[column] += 1.0
+            out[column + 1] += float(node.estimated_rows)
+    if log_scale:
+        np.log1p(matrix, out=matrix)
+    return matrix
 
 
 class FeatureSpace:
@@ -75,10 +105,10 @@ class FeatureSpace:
 
     def matrix_from_plans(self, plans: Iterable[PlanNode]) -> np.ndarray:
         """Stack plan feature vectors into an (n, width) matrix."""
-        rows = [plan_feature_vector(plan, self.log_scale) for plan in plans]
-        if not rows:
+        plans = list(plans)
+        if not plans:
             return np.empty((0, self.width))
-        matrix = np.vstack(rows)
+        matrix = plan_feature_matrix(plans, self.log_scale)
         if matrix.shape[1] != self.width:
             raise ValueError(
                 f"plan features have width {matrix.shape[1]}, "

@@ -143,6 +143,39 @@ class KCCA:
         centered = center_cross_kernel(cross_kernel, self._kx_train)
         return centered @ self.alpha
 
+    def state_dict(self) -> dict:
+        """Constructor arguments plus fitted dual coefficients."""
+        fitted = None
+        if self.alpha is not None:
+            fitted = {
+                "alpha": self.alpha,
+                "beta": self.beta,
+                "correlations": self.correlations,
+                "kx_centered": self._kx_centered,
+                "ky_centered": self._ky_centered,
+                "kx_train": self._kx_train,
+            }
+        return {
+            "config": {
+                "n_components": self.n_components,
+                "regularization": self.regularization,
+            },
+            "fitted": fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> "KCCA":
+        """Restore a :meth:`state_dict` export (inverse operation)."""
+        self.__init__(**state["config"])
+        fitted = state.get("fitted")
+        if fitted is not None:
+            self.alpha = np.asarray(fitted["alpha"])
+            self.beta = np.asarray(fitted["beta"])
+            self.correlations = np.asarray(fitted["correlations"])
+            self._kx_centered = np.asarray(fitted["kx_centered"])
+            self._ky_centered = np.asarray(fitted["ky_centered"])
+            self._kx_train = np.asarray(fitted["kx_train"])
+        return self
+
     def projection_correlation(self) -> np.ndarray:
         """Empirical per-component correlation of the two training
         projections (diagnostic; should track ``correlations``)."""

@@ -69,12 +69,18 @@ def nearest_neighbors(
         distances = _euclidean_distances(points, reference)
     else:
         distances = _cosine_distances(points, reference)
+    # Select on quantized distances with index tie-breaking: the same
+    # query projects to coordinates that differ in the last ulp between
+    # batched and single-query BLAS paths, and near-ties (duplicate
+    # training plans project to identical points) would otherwise resolve
+    # to different neighbours depending on batch size.
+    quantized = np.round(distances, decimals=9)
     # argpartition then sort the k candidates: O(N + k log k) per point.
-    candidate = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
-    candidate_distances = np.take_along_axis(distances, candidate, axis=1)
-    order = np.argsort(candidate_distances, axis=1, kind="stable")
+    candidate = np.argpartition(quantized, kth=k - 1, axis=1)[:, :k]
+    candidate_quantized = np.take_along_axis(quantized, candidate, axis=1)
+    order = np.lexsort((candidate, candidate_quantized), axis=1)
     indices = np.take_along_axis(candidate, order, axis=1)
-    sorted_distances = np.take_along_axis(candidate_distances, order, axis=1)
+    sorted_distances = np.take_along_axis(candidate_quantized, order, axis=1)
     return indices, sorted_distances
 
 

@@ -25,13 +25,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.predictor import KCCAPredictor
+from repro.core.base import SerializableModel, register_model
+from repro.core.predictor import KCCAPredictor, PredictionDetail
 from repro.errors import ModelError, NotFittedError
 
 __all__ = ["OnlinePredictor"]
 
 
-class OnlinePredictor:
+@register_model
+class OnlinePredictor(SerializableModel):
     """KCCA predictor over a sliding window of recent observations.
 
     Args:
@@ -78,6 +80,41 @@ class OnlinePredictor:
         """True once enough observations arrived to fit a model."""
         return self._model is not None
 
+    @property
+    def model(self) -> KCCAPredictor:
+        """The most recently fitted inner model."""
+        if self._model is None:
+            raise NotFittedError(
+                "OnlinePredictor has not seen enough observations"
+            )
+        return self._model
+
+    def fit(
+        self, query_features: np.ndarray, performance: np.ndarray
+    ) -> "OnlinePredictor":
+        """Bulk-load a training set through the sliding window.
+
+        Observes every row in order (respecting the window bound), then
+        forces a refit so the model reflects the final window — the batch
+        entry point of the :class:`repro.core.base.Model` protocol.
+        """
+        query_features = np.atleast_2d(
+            np.asarray(query_features, dtype=np.float64)
+        )
+        performance = np.atleast_2d(np.asarray(performance, dtype=np.float64))
+        if query_features.shape[0] != performance.shape[0]:
+            raise ModelError("feature and performance row counts differ")
+        for row in range(query_features.shape[0]):
+            self._features.append(query_features[row].copy())
+            self._performance.append(performance[row].copy())
+            self._since_refit += 1
+        if len(self._features) < self.min_fit_size:
+            raise ModelError(
+                f"fit needs at least {self.min_fit_size} observations"
+            )
+        self._refit()
+        return self
+
     def observe(
         self, features: np.ndarray, performance: np.ndarray
     ) -> None:
@@ -110,8 +147,57 @@ class OnlinePredictor:
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict with the most recent fitted model."""
-        if self._model is None:
-            raise NotFittedError(
-                "OnlinePredictor has not seen enough observations"
-            )
-        return self._model.predict(features)
+        return self.model.predict(features)
+
+    def predict_batch(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, list[PredictionDetail]]:
+        """Batched predictions plus neighbour details (inner model's)."""
+        return self.model.predict_batch(features)
+
+    # ------------------------------------------------------------------
+    # Persistence (Model protocol)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Window configuration, buffered observations and inner model."""
+        fitted = None
+        if self._features:
+            fitted = {
+                "features": np.vstack(self._features),
+                "performance": np.vstack(self._performance),
+                "since_refit": self._since_refit,
+                "refit_count": self.refit_count,
+                "model": (
+                    self._model.state_dict()
+                    if self._model is not None
+                    else None
+                ),
+            }
+        return {
+            "config": {
+                "window_size": self.window_size,
+                "refit_interval": self.refit_interval,
+                "recency_boost": self.recency_boost,
+                "min_fit_size": self.min_fit_size,
+                "predictor_kwargs": dict(self.predictor_kwargs),
+            },
+            "fitted": fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> "OnlinePredictor":
+        """Restore a :meth:`state_dict` export (inverse operation)."""
+        config = dict(state["config"])
+        kwargs = config.pop("predictor_kwargs")
+        self.__init__(**config, **kwargs)
+        fitted = state.get("fitted")
+        if fitted is not None:
+            for row in np.asarray(fitted["features"]):
+                self._features.append(row.copy())
+            for row in np.asarray(fitted["performance"]):
+                self._performance.append(row.copy())
+            self._since_refit = int(fitted["since_refit"])
+            self.refit_count = int(fitted["refit_count"])
+            if fitted.get("model") is not None:
+                self._model = KCCAPredictor().load_state_dict(fitted["model"])
+        return self

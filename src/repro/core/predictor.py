@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.base import SerializableModel, register_model
 from repro.core.kcca import KCCA
 from repro.core.kernels import (
     PERFORMANCE_SCALE_FRACTION,
@@ -91,8 +92,24 @@ class _Standardizer:
             data = (data - self._mean) / self._std
         return data
 
+    def state_dict(self) -> dict:
+        return {
+            "log_transform": self.log_transform,
+            "standardize": self.standardize,
+            "mean": self._mean,
+            "std": self._std,
+        }
 
-class KCCAPredictor:
+    def load_state_dict(self, state: dict) -> "_Standardizer":
+        self.__init__(state["log_transform"], state["standardize"])
+        if state.get("mean") is not None:
+            self._mean = np.asarray(state["mean"])
+            self._std = np.asarray(state["std"])
+        return self
+
+
+@register_model
+class KCCAPredictor(SerializableModel):
     """Multi-metric query performance prediction via KCCA + k-NN.
 
     Args:
@@ -228,6 +245,19 @@ class KCCAPredictor:
         )
         return predictions
 
+    def predict_batch(
+        self, query_features: np.ndarray
+    ) -> tuple[np.ndarray, list[PredictionDetail]]:
+        """Batched predictions plus per-query neighbour details.
+
+        One kernel-cross evaluation serves all queries; the details carry
+        the neighbour distances downstream consumers (confidence scoring)
+        need, so they never have to re-project.
+        """
+        details = self.predict_detailed(query_features)
+        predictions = np.vstack([detail.prediction for detail in details])
+        return predictions, details
+
     def predict_detailed(self, query_features: np.ndarray) -> list[PredictionDetail]:
         """Per-query predictions with neighbour evidence and confidence."""
         coords = self.project(query_features)
@@ -253,3 +283,52 @@ class KCCAPredictor:
                 )
             )
         return details
+
+    # ------------------------------------------------------------------
+    # Persistence (Model protocol)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Hyper-parameters plus (when fitted) the trained state."""
+        fitted = None
+        if self._train_features is not None:
+            fitted = {
+                "x_scaler": self._x_scaler.state_dict(),
+                "y_scaler": self._y_scaler.state_dict(),
+                "tau_x": self._tau_x,
+                "train_features": self._train_features,
+                "train_performance": self._train_performance,
+                "kcca": self._kcca.state_dict(),
+            }
+        return {
+            "config": {
+                "n_components": self._kcca.n_components,
+                "regularization": self._kcca.regularization,
+                "k_neighbors": self.k_neighbors,
+                "distance_metric": self.distance_metric,
+                "weighting": self.weighting,
+                "query_tau": self.query_tau,
+                "performance_tau": self.performance_tau,
+                "query_scale_fraction": self.query_scale_fraction,
+                "performance_scale_fraction": self.performance_scale_fraction,
+                "log_features": self._x_scaler.log_transform,
+                "standardize_features": self._x_scaler.standardize,
+                "log_performance": self._y_scaler.log_transform,
+                "standardize_performance": self._y_scaler.standardize,
+            },
+            "fitted": fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> "KCCAPredictor":
+        """Restore a :meth:`state_dict` export (inverse operation)."""
+        self.__init__(**state["config"])
+        fitted = state.get("fitted")
+        if fitted is not None:
+            self._x_scaler.load_state_dict(fitted["x_scaler"])
+            self._y_scaler.load_state_dict(fitted["y_scaler"])
+            self._tau_x = float(fitted["tau_x"])
+            self._train_features = np.asarray(fitted["train_features"])
+            self._train_performance = np.asarray(fitted["train_performance"])
+            self._kcca.load_state_dict(fitted["kcca"])
+            self._x_projection = self._kcca.x_projection
+        return self

@@ -40,6 +40,8 @@ from repro.experiments.corpus import (
 )
 from repro.experiments.harness import (
     evaluate_metrics,
+    evaluate_pipeline,
+    fit_pipeline,
     split_counts,
     stratified_split,
 )
@@ -283,12 +285,11 @@ def fig8_sql_text_features(
         train.sql_feature_matrix(), train.performance_matrix()
     )
     sql_pred = sql_model.predict(test.sql_feature_matrix())
-    plan_model = _fit_kcca(train)
-    plan_pred = plan_model.predict(test.feature_matrix())
+    plan_pipeline = fit_pipeline(train)
     actual = test.performance_matrix()
     return FeatureComparisonResult(
         sql_text_risk=evaluate_metrics(sql_pred, actual),
-        plan_risk=evaluate_metrics(plan_pred, actual),
+        plan_risk=evaluate_pipeline(plan_pipeline, test),
     )
 
 
@@ -368,8 +369,8 @@ def fig10_to_12_experiment1(
 ) -> Experiment1Result:
     """Experiment 1: train on 1027 mixed queries, test on 61."""
     train, test = split if split is not None else experiment1_split()
-    model = _fit_kcca(train)
-    predicted = model.predict(test.feature_matrix())
+    pipeline = fit_pipeline(train)
+    predicted = pipeline.predict_many(test.feature_matrix())
     actual = test.performance_matrix()
     risk = evaluate_metrics(predicted, actual)
     risk_wo = {
@@ -405,8 +406,8 @@ def fig13_experiment2(
     train_counts, test_counts = split_counts(30, 30, 30, 45, 7, 9)
     # Use the same seed as Experiment 1 so the test set coincides.
     train, test = stratified_split(corpus, train_counts, test_counts, seed=seed)
-    model = _fit_kcca(train)
-    predicted = model.predict(test.feature_matrix())
+    pipeline = fit_pipeline(train)
+    predicted = pipeline.predict_many(test.feature_matrix())
     actual = test.performance_matrix()
     risk = evaluate_metrics(predicted, actual)
     risk_wo = {
@@ -449,14 +450,11 @@ def fig14_experiment3(
 ) -> TwoStepResult:
     """Experiment 3: classify query type, then type-specific prediction."""
     train, test = split if split is not None else experiment1_split()
-    one_model = _fit_kcca(train)
-    one_pred = one_model.predict(test.feature_matrix())
-    two_step = TwoStepPredictor().fit(
-        train.feature_matrix(), train.performance_matrix()
-    )
-    two_pred = two_step.predict(test.feature_matrix())
+    one_pred = fit_pipeline(train).predict_many(test.feature_matrix())
+    two_pipeline = fit_pipeline(train, model=TwoStepPredictor())
+    two_pred = two_pipeline.predict_many(test.feature_matrix())
     actual = test.performance_matrix()
-    labels = two_step.classify(test.feature_matrix())
+    labels = two_pipeline.model.classify(test.feature_matrix())
     elapsed_index = METRIC_NAMES.index("elapsed_time")
     return TwoStepResult(
         one_model_risk=evaluate_metrics(one_pred, actual),

@@ -2,18 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.base import Model
 from repro.core.metrics import predictive_risk
 from repro.engine.metrics import METRIC_NAMES
 from repro.errors import ReproError
 from repro.experiments.corpus import Corpus
+from repro.pipeline import PredictionPipeline
 from repro.rng import child_generator
 from repro.workloads.categories import QueryCategory
 
-__all__ = ["stratified_split", "split_counts", "evaluate_metrics"]
+__all__ = [
+    "stratified_split",
+    "split_counts",
+    "evaluate_metrics",
+    "fit_pipeline",
+    "evaluate_pipeline",
+]
 
 
 def stratified_split(
@@ -99,3 +107,32 @@ def evaluate_metrics(
         name: predictive_risk(predicted[:, i], actual[:, i])
         for i, name in enumerate(metric_names)
     }
+
+
+def fit_pipeline(
+    train: Corpus,
+    model: Optional[Model] = None,
+    **pipeline_kwargs,
+) -> PredictionPipeline:
+    """Fit a prediction pipeline on a training corpus.
+
+    The standard experiment entry point: experiments go through the
+    public pipeline (model + calibration + confidence) rather than poking
+    predictor internals.
+
+    Args:
+        train: the executed training corpus.
+        model: the model stage; default a fresh KCCA predictor.
+        **pipeline_kwargs: forwarded to
+            :class:`~repro.pipeline.PredictionPipeline`.
+    """
+    pipeline = PredictionPipeline(model=model, **pipeline_kwargs)
+    return pipeline.fit_corpus(train)
+
+
+def evaluate_pipeline(
+    pipeline: PredictionPipeline, test: Corpus
+) -> dict[str, float]:
+    """Per-metric predictive risk of a fitted pipeline on a test corpus."""
+    predicted = pipeline.predict_many(test.feature_matrix())
+    return evaluate_metrics(predicted, test.performance_matrix())

@@ -38,7 +38,7 @@ def format_risk_table(
     Figure 16.
     """
     labels = list(columns)
-    width = max((len(str(l)) for l in labels), default=8) + 2
+    width = max((len(str(label)) for label in labels), default=8) + 2
     lines = []
     if title:
         lines.append(title)

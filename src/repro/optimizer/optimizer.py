@@ -21,7 +21,7 @@ estimates (not the true counts) feed the paper's plan feature vectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.engine.plan import OperatorKind, PlanNode
 from repro.engine.system import SystemConfig
@@ -109,6 +109,17 @@ class Optimizer:
         return OptimizedQuery(
             plan=plan, cost=cost, estimated_rows=estimate.rows, query=qualified
         )
+
+    def optimize_many(
+        self, queries: Sequence[Query | str]
+    ) -> list[OptimizedQuery]:
+        """Plan a batch of queries against the same catalog snapshot.
+
+        The batch entry point behind ``predict_many``/``forecast_many``:
+        all plans are produced against one consistent view of the catalog
+        statistics, and callers get them in input order.
+        """
+        return [self.optimize(query) for query in queries]
 
     # ------------------------------------------------------------------
     # Block planning

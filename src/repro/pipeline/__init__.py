@@ -1,0 +1,24 @@
+"""Train-once / serve-many prediction pipelines with persistence.
+
+* :class:`~repro.pipeline.pipeline.PredictionPipeline` — the composed
+  featurizer → model → calibration → confidence stages, with batch
+  scoring (one kernel-cross evaluation per model for N queries).
+* :mod:`~repro.pipeline.artifact` — versioned ``.npz`` + JSON-manifest
+  artifacts, fingerprinted against the training catalog and system
+  configuration; mismatches are refused on load.
+"""
+
+from repro.pipeline.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    catalog_fingerprint,
+    system_fingerprint,
+)
+from repro.pipeline.pipeline import PredictionPipeline, ScoredPrediction
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "catalog_fingerprint",
+    "system_fingerprint",
+    "PredictionPipeline",
+    "ScoredPrediction",
+]

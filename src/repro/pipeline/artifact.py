@@ -1,0 +1,88 @@
+"""Versioned on-disk artifacts for prediction pipelines.
+
+An artifact is one ``.npz`` file: every model array plus a JSON manifest
+recording the schema version, the pipeline stages, the kernel
+hyper-parameters and — crucially — *fingerprints* of the catalog and
+system configuration the model was trained against.  A model trained on
+one database says nothing about another, so loading refuses with a clear
+:class:`~repro.errors.ModelError` when the fingerprints do not match the
+environment the caller supplies.
+
+Fingerprints hash what the optimizer sees (table names, row counts,
+column schemas) and what the timing model sees (every
+:class:`~repro.engine.system.SystemConfig` field), not the raw data —
+re-generating the same deterministic catalog yields the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional
+
+from repro.engine.system import SystemConfig
+from repro.errors import ModelError
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "catalog_fingerprint",
+    "system_fingerprint",
+    "check_fingerprint",
+]
+
+#: Version of the pipeline artifact layout (manifest keys + state shape).
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _digest(payload: object) -> str:
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def catalog_fingerprint(catalog: Catalog) -> str:
+    """A stable hash of the catalog's schema and statistics summary."""
+    spec = []
+    for name in catalog.table_names:
+        table = catalog.table(name)
+        stats = catalog.stats(name)
+        spec.append(
+            {
+                "table": name,
+                "rows": stats.row_count,
+                "row_bytes": stats.row_bytes,
+                "columns": [[col.name, col.kind] for col in table.schema],
+            }
+        )
+    return _digest(spec)
+
+
+def system_fingerprint(config: SystemConfig) -> str:
+    """A stable hash of every field of a system configuration."""
+    return _digest(dataclasses.asdict(config))
+
+
+def check_fingerprint(
+    kind: str, expected: Optional[str], actual: str, source: str
+) -> None:
+    """Raise :class:`ModelError` when a stored fingerprint mismatches.
+
+    Args:
+        kind: what is being checked (``"catalog"`` / ``"system"``).
+        expected: the fingerprint recorded in the artifact (None = the
+            artifact predates fingerprinting; refuse, it is unverifiable).
+        actual: the fingerprint of the environment the caller supplied.
+        source: artifact path, for the error message.
+    """
+    if expected is None:
+        raise ModelError(
+            f"artifact {source} records no {kind} fingerprint; "
+            "it cannot be verified against this environment"
+        )
+    if expected != actual:
+        raise ModelError(
+            f"artifact {source} was trained against a different {kind} "
+            f"(fingerprint {expected} != {actual}); predictions would be "
+            "meaningless — retrain or load with the matching environment"
+        )

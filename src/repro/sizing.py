@@ -16,6 +16,7 @@ along with the full what-if table so callers can inspect the trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import QueryPerformancePredictor
@@ -53,12 +54,20 @@ class SizingResult:
     forecasts: tuple[ConfigForecast, ...]
 
 
+def _artifact_path(artifact_dir: Path, config: SystemConfig) -> Path:
+    slug = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in config.name
+    ).strip("-")
+    return artifact_dir / f"{slug}.npz"
+
+
 def size_system(
     catalog: Catalog,
     candidates: Sequence[SystemConfig],
     training_pool: Sequence[QueryInstance],
     workload: Sequence[str],
     deadline_s: float,
+    artifact_dir: Optional[Path] = None,
     **predictor_kwargs,
 ) -> SizingResult:
     """Pick the cheapest candidate whose predicted runtime fits the window.
@@ -70,6 +79,9 @@ def size_system(
         workload: SQL texts of the workload to size for (these are only
             *predicted*, never run — the whole point).
         deadline_s: the batch window the workload must fit into.
+        artifact_dir: when given, each candidate's trained model is saved
+            there as ``<config-name>.npz`` and reused on the next call
+            instead of retraining (the what-if loop is then instant).
 
     Raises:
         ReproError: when inputs are empty.
@@ -81,16 +93,28 @@ def size_system(
     forecasts = []
     recommended: Optional[ConfigForecast] = None
     for config in candidates:
-        predictor = QueryPerformancePredictor(
-            catalog, config=config, **predictor_kwargs
+        artifact = (
+            _artifact_path(artifact_dir, config)
+            if artifact_dir is not None
+            else None
         )
-        predictor.fit_pool(training_pool)
+        if artifact is not None and artifact.exists():
+            predictor = QueryPerformancePredictor.load(
+                artifact, catalog=catalog, config=config
+            )
+        else:
+            predictor = QueryPerformancePredictor(
+                catalog, config=config, **predictor_kwargs
+            )
+            predictor.fit_pool(training_pool)
+            if artifact is not None:
+                artifact.parent.mkdir(parents=True, exist_ok=True)
+                predictor.save(artifact)
         total = 0.0
         longest = 0.0
         disk_ios = 0
         message_bytes = 0
-        for sql in workload:
-            metrics = predictor.predict(sql)
+        for metrics in predictor.predict_many(workload):
             total += metrics.elapsed_time
             longest = max(longest, metrics.elapsed_time)
             disk_ios += metrics.disk_ios

@@ -1,6 +1,5 @@
 """Public API integration tests (QueryPerformancePredictor)."""
 
-import numpy as np
 import pytest
 
 from repro.api import Forecast, QueryPerformancePredictor

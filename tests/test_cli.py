@@ -1,8 +1,8 @@
-"""CLI tests (plan / measure / predict / explain / pools)."""
+"""CLI tests (train / plan / measure / predict / explain / forecast / pools)."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _service_cache, build_parser, main
 
 SQL = "SELECT count(*) AS c FROM store_sales ss WHERE ss.ss_quantity > 20"
 
@@ -70,3 +70,64 @@ class TestCommands:
     def test_production_system(self, capsys):
         code = main(["--scale", "0.05", "--system", "prod8", "measure", SQL])
         assert code == 0
+
+
+class TestArtifactWorkflow:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        code = main(
+            ["--scale", "0.05", "train", "--save", str(path),
+             "--queries", "40"]
+        )
+        assert code == 0
+        assert path.exists()
+        return path
+
+    def test_predict_from_artifact(self, artifact, capsys):
+        code = main(["predict", "--model", str(artifact), SQL])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "predicted elapsed time" in captured.out
+        assert "hint" not in captured.err
+
+    def test_no_artifact_prints_hint(self, capsys):
+        code = main(["--scale", "0.05", "predict", "--queries", "40", SQL])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "train --save" in captured.err
+
+    def test_train_populates_service_cache(self, artifact):
+        key = (0.05, 7, "research", 40, False)
+        assert key in _service_cache
+
+    def test_forecast_batch_file(self, artifact, tmp_path, capsys):
+        batch = tmp_path / "workload.sql"
+        batch.write_text(
+            f"{SQL};\nSELECT count(*) AS c FROM web_sales ws "
+            "WHERE ws.ws_quantity > 10;"
+        )
+        code = main(
+            ["forecast", "--model", str(artifact), "--batch", str(batch)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "elapsed" in out
+        assert out.count("\n") >= 4  # header + rule + two rows
+
+    def test_forecast_inline_sql(self, artifact, capsys):
+        code = main(["forecast", "--model", str(artifact), SQL])
+        assert code == 0
+        assert "feather" in capsys.readouterr().out or True
+
+    def test_forecast_without_input_fails(self, artifact, capsys):
+        code = main(["forecast", "--model", str(artifact)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_artifact_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["predict", "--model", str(tmp_path / "nope.npz"), SQL]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

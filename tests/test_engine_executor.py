@@ -1,6 +1,5 @@
 """Executor-level behaviour: metric accounting, configs, determinism."""
 
-import numpy as np
 import pytest
 
 from repro.engine import Executor

@@ -8,7 +8,7 @@ from repro.engine.metrics import (
     MetricsAccumulator,
     PerformanceMetrics,
 )
-from repro.engine.system import SystemConfig, production_32node, research_4node
+from repro.engine.system import production_32node, research_4node
 from repro.engine.timing import ResourceModel
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog

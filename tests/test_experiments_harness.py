@@ -5,7 +5,6 @@ check that every experiment entry point runs, returns well-formed results
 and behaves sensibly on a small executed corpus.
 """
 
-import numpy as np
 import pytest
 
 from repro.engine.metrics import METRIC_NAMES

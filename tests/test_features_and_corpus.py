@@ -11,8 +11,6 @@ from repro.core.features import (
 from repro.engine.metrics import METRIC_NAMES
 from repro.errors import ReproError
 from repro.experiments.corpus import (
-    Corpus,
-    build_corpus,
     load_corpus,
     load_or_build_corpus,
     save_corpus,
@@ -29,7 +27,6 @@ from repro.experiments.report import (
     hms,
 )
 from repro.workloads.categories import QueryCategory
-from repro.workloads.generator import generate_pool
 
 
 class TestPlanFeatures:

@@ -1,7 +1,6 @@
 """Numerical robustness of the KCCA stack under adversarial inputs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

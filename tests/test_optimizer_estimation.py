@@ -16,7 +16,7 @@ from repro.optimizer.selectivity import (
     predicate_selectivity,
 )
 from repro.sql.parser import parse
-from repro.storage.catalog import Catalog, ColumnStats, TableStats
+from repro.storage.catalog import Catalog
 from repro.storage.table import Column, Schema, Table
 
 

@@ -1,10 +1,8 @@
 """Additional planner shapes and SQL-surface coverage."""
 
 import numpy as np
-import pytest
 
 from repro.engine.plan import OperatorKind
-from repro.errors import OptimizerError
 
 
 def find(plan, kind):

@@ -4,9 +4,8 @@ import pytest
 
 from repro.engine.plan import OperatorKind
 from repro.errors import OptimizerError
-from repro.optimizer import Optimizer
 from repro.optimizer.physical import rewrite_aggregates, split_conjuncts
-from repro.sql.ast import ColumnRef, FuncCall, SelectItem
+from repro.sql.ast import ColumnRef
 from repro.sql.parser import parse
 
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import Executor
-from repro.engine.metrics import METRIC_NAMES
 from repro.optimizer import Optimizer
 from repro.rng import child_generator, derive_seed, generator
 from repro.workloads.generator import generate_pool

@@ -1,7 +1,6 @@
 """SQL-text feature vector tests (paper Section VI-D.1)."""
 
 import numpy as np
-import pytest
 
 from repro.sql.text_features import SQL_TEXT_FEATURE_NAMES, sql_text_features
 

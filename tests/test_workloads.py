@@ -14,11 +14,7 @@ from repro.workloads.categories import (
     QueryCategory,
     categorize,
 )
-from repro.workloads.customer import (
-    CUSTOMER_TABLE_NAMES,
-    build_customer_catalog,
-    customer_templates,
-)
+from repro.workloads.customer import CUSTOMER_TABLE_NAMES, customer_templates
 from repro.workloads.generator import generate_pool
 from repro.workloads.templates import problem_templates, tpcds_templates
 from repro.workloads.tpcds import TPCDS_TABLE_NAMES, build_tpcds_catalog
