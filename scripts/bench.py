@@ -1,0 +1,54 @@
+"""Run the performance benchmark suite and record the perf trajectory.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/bench.py                 # full run
+    PYTHONPATH=src python scripts/bench.py --quick         # CI smoke
+    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_pr2.json
+
+Writes a machine-readable JSON report (see docs/PERFORMANCE.md for the
+schema and the current baseline) and prints a human summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.bench import format_report, run_benchmarks  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark corpus build, KCCA fit and predict latency."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: tiny workloads, a few seconds total",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker count for the parallel corpus-build point (default 4)",
+    )
+    parser.add_argument(
+        "--label", default="pr2", help="report label (default pr2)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the JSON report here (e.g. BENCH_pr2.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(
+        quick=args.quick, jobs=args.jobs, label=args.label, out=args.out
+    )
+    print(format_report(report))
+    if args.out is not None:
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,7 @@ class QueryPerformancePredictor:
         config: Optional[SystemConfig] = None,
         two_step: bool = False,
         problem_fraction: float = 0.25,
+        jobs: Optional[int] = None,
         **predictor_kwargs,
     ) -> "QueryPerformancePredictor":
         """Build a TPC-DS-like database, run a workload, train on it.
@@ -111,7 +112,9 @@ class QueryPerformancePredictor:
         ``scale_factor`` / ``n_queries`` train in seconds, the defaults in
         well under a minute.  Artifacts saved from a service built here
         embed the catalog recipe, so :meth:`load` can rebuild the catalog
-        without being handed one.
+        without being handed one.  ``jobs`` fans the training workload's
+        execution out across worker processes (deterministic: the corpus
+        is bitwise identical to a serial build).
         """
         catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
         service = cls(
@@ -125,12 +128,14 @@ class QueryPerformancePredictor:
         pool = generate_pool(
             n_queries, seed=seed, problem_fraction=problem_fraction
         )
-        service.fit_pool(pool)
+        service.fit_pool(pool, jobs=jobs)
         return service
 
-    def fit_pool(self, pool: Sequence[QueryInstance]) -> "QueryPerformancePredictor":
+    def fit_pool(
+        self, pool: Sequence[QueryInstance], jobs: Optional[int] = None
+    ) -> "QueryPerformancePredictor":
         """Execute a training pool and fit the model on the measurements."""
-        corpus = build_corpus(self.catalog, self.config, pool)
+        corpus = build_corpus(self.catalog, self.config, pool, jobs=jobs)
         return self.fit_corpus(corpus)
 
     def fit_corpus(self, corpus: Corpus) -> "QueryPerformancePredictor":

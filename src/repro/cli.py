@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--system", choices=["research", "prod4", "prod8", "prod16", "prod32"],
         default="research", help="system configuration (default research)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for training-workload execution "
+             "(default serial, -1 = one per CPU); results are bitwise "
+             "identical to a serial run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser(
@@ -162,6 +168,7 @@ def _service(args, config) -> QueryPerformancePredictor:
             seed=args.seed,
             config=config,
             two_step=args.two_step,
+            jobs=args.jobs,
         )
     return _service_cache[key]
 
@@ -199,6 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
                 config=config,
                 two_step=args.two_step,
+                jobs=args.jobs,
             )
             path = Path(args.save)
             predictor.save(path)
@@ -253,7 +261,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             catalog = build_tpcds_catalog(args.scale, args.seed)
             pool = generate_pool(args.queries, seed=args.seed)
-            corpus = build_corpus(catalog, config, pool)
+            corpus = build_corpus(catalog, config, pool, jobs=args.jobs)
             print(format_pool_table(fig2_query_pools(corpus)))
             return 0
     except ReproError as error:

@@ -12,6 +12,20 @@ in the paper but numerically far better behaved.  The dual coefficient
 matrices ``alpha`` and ``beta`` project kernel rows onto the *query
 projection* ``Kx @ alpha`` and *performance projection* ``Ky @ beta``.
 
+Two fit paths are implemented:
+
+* ``approximation="exact"`` — the dense solve above: two symmetric
+  N x N solves plus an N x N SVD, O(N^3).  Fine at the paper's ~1k-query
+  corpora, prohibitive beyond.
+* ``approximation="nystrom"`` — a low-rank Nyström solve in the subspace
+  spanned by ``rank`` landmark rows (Bach & Jordan-style low-rank kernel
+  approximation).  Each centred kernel is factored ``K ≈ Z Z^T`` with
+  ``Z = K[:, L] W^{-1/2}`` (``W`` the landmark-landmark block), the
+  push-through identity moves every inverse into the rank-r Gram space,
+  and the SVD shrinks to r x r — O(N r^2) once the kernels exist.  With
+  ``rank == N`` the factorisation is exact and the solve reproduces the
+  dense path to numerical precision.
+
 Regularisation is essential here: Gaussian kernel matrices are nearly
 low-rank, and unregularised KCCA returns meaningless perfectly-correlated
 directions.
@@ -25,8 +39,24 @@ import numpy as np
 import scipy.linalg
 
 from repro.errors import ModelError, NotFittedError
+from repro.rng import child_generator
 
-__all__ = ["KCCA", "center_kernel", "center_cross_kernel"]
+__all__ = [
+    "KCCA",
+    "center_kernel",
+    "center_cross_kernel",
+    "APPROXIMATIONS",
+    "DEFAULT_NYSTROM_RANK",
+]
+
+APPROXIMATIONS = ("exact", "nystrom")
+
+#: Landmark count used when ``approximation="nystrom"`` and no explicit
+#: ``rank`` is given (clamped to N).
+DEFAULT_NYSTROM_RANK = 256
+
+#: Relative eigenvalue cutoff when pseudo-inverting the landmark block.
+_EIG_RTOL = 1e-10
 
 
 def center_kernel(kernel: np.ndarray) -> np.ndarray:
@@ -54,6 +84,27 @@ def center_cross_kernel(
     return cross - new_row_means - train_col_means + total_mean
 
 
+def _nystrom_factor(kernel_c: np.ndarray, landmarks: np.ndarray) -> np.ndarray:
+    """Low-rank factor ``Z`` with ``Z Z^T ≈ K`` from landmark columns.
+
+    ``Z = C V Λ^{-1/2}`` where ``C = K[:, L]`` and ``V Λ V^T`` is the
+    eigendecomposition of the landmark block ``W = K[L][:, L]``;
+    eigenvalues below the relative cutoff are dropped (pseudo-inverse),
+    so near-duplicate landmarks cannot blow the factor up.
+    """
+    columns = kernel_c[:, landmarks]
+    block = columns[landmarks]
+    eigenvalues, eigenvectors = scipy.linalg.eigh(block)
+    cutoff = max(float(eigenvalues[-1]), 0.0) * _EIG_RTOL
+    keep = eigenvalues > cutoff
+    if not keep.any():
+        # Degenerate (e.g. constant data): a single zero column keeps the
+        # downstream algebra well-defined and yields zero projections.
+        return np.zeros((kernel_c.shape[0], 1))
+    basis = eigenvectors[:, keep] / np.sqrt(eigenvalues[keep])
+    return columns @ basis
+
+
 class KCCA:
     """Regularised KCCA over precomputed kernel matrices.
 
@@ -62,26 +113,53 @@ class KCCA:
         regularization: ridge fraction; the actual ridge added to each
             kernel is ``regularization * N`` (scaling with N keeps the
             effective smoothing comparable across training-set sizes).
+        approximation: ``exact`` (dense O(N^3) solve) or ``nystrom``
+            (landmark subspace solve, O(N * rank^2)).
+        rank: landmark count for the Nyström path; default
+            ``min(N, DEFAULT_NYSTROM_RANK)``.  ``rank == N`` reproduces
+            the exact solve.
+        landmark_seed: seed for the deterministic landmark subsample.
 
     Attributes (after :meth:`fit`):
         alpha: N x d dual coefficients for the X (query) side.
         beta: N x d dual coefficients for the Y (performance) side.
         correlations: the d canonical correlations, descending.
+        landmarks: landmark row indices (Nyström fits), else None.
     """
 
-    def __init__(self, n_components: int = 8, regularization: float = 1e-3):
+    def __init__(
+        self,
+        n_components: int = 8,
+        regularization: float = 1e-3,
+        approximation: str = "exact",
+        rank: Optional[int] = None,
+        landmark_seed: int = 0,
+    ):
         if n_components < 1:
             raise ModelError("n_components must be >= 1")
         if regularization <= 0:
             raise ModelError("regularization must be positive")
+        if approximation not in APPROXIMATIONS:
+            raise ModelError(
+                f"unknown approximation {approximation!r}; "
+                f"expected one of {APPROXIMATIONS}"
+            )
+        if rank is not None and rank < 1:
+            raise ModelError("rank must be >= 1 (or None for the default)")
         self.n_components = n_components
         self.regularization = regularization
+        self.approximation = approximation
+        self.rank = rank
+        self.landmark_seed = landmark_seed
         self.alpha: Optional[np.ndarray] = None
         self.beta: Optional[np.ndarray] = None
         self.correlations: Optional[np.ndarray] = None
+        self.landmarks: Optional[np.ndarray] = None
         self._kx_centered: Optional[np.ndarray] = None
         self._ky_centered: Optional[np.ndarray] = None
         self._kx_train: Optional[np.ndarray] = None
+        self._x_proj: Optional[np.ndarray] = None
+        self._y_proj: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
 
@@ -99,6 +177,24 @@ class KCCA:
         kx_c = center_kernel(kx)
         ky_c = center_kernel(ky)
         ridge = self.regularization * n
+        if self.approximation == "nystrom":
+            self._fit_nystrom(kx_c, ky_c, ridge, d)
+        else:
+            self._fit_exact(kx_c, ky_c, ridge, d)
+        self._kx_centered = kx_c
+        self._ky_centered = ky_c
+        self._kx_train = kx
+        # Project the training set once; fit already paid for the centred
+        # kernels, so downstream consumers (predictor, confidence) reuse
+        # these buffers instead of redoing the N x N @ N x d product.
+        self._x_proj = kx_c @ self.alpha
+        self._y_proj = ky_c @ self.beta
+        return self
+
+    def _fit_exact(
+        self, kx_c: np.ndarray, ky_c: np.ndarray, ridge: float, d: int
+    ) -> None:
+        n = kx_c.shape[0]
         ax = kx_c + ridge * np.eye(n)
         ay = ky_c + ridge * np.eye(n)
 
@@ -111,10 +207,49 @@ class KCCA:
         self.alpha = scipy.linalg.solve(ax, u[:, :d], assume_a="pos")
         self.beta = scipy.linalg.solve(ay, vt[:d].T, assume_a="pos")
         self.correlations = np.clip(s[:d], 0.0, 1.0)
-        self._kx_centered = kx_c
-        self._ky_centered = ky_c
-        self._kx_train = kx
-        return self
+        self.landmarks = None
+
+    def _fit_nystrom(
+        self, kx_c: np.ndarray, ky_c: np.ndarray, ridge: float, d: int
+    ) -> None:
+        """Solve the same problem restricted to the landmark subspace.
+
+        With ``K ≈ Z Z^T`` the push-through identity gives
+        ``(K + rI)^-1 K = Z (G + rI)^-1 Z^T`` for the rank-r Gram matrix
+        ``G = Z^T Z``, so ``M = Zx (Gx+rI)^-1 (Zx^T Zy) (Gy+rI)^-1 Zy^T``.
+        Thin QR of each factor reduces the SVD to r x r, and Woodbury
+        turns ``alpha = (Kx + rI)^-1 u`` into rank-r solves — no N x N
+        linear algebra anywhere.
+        """
+        n = kx_c.shape[0]
+        rank = min(self.rank or DEFAULT_NYSTROM_RANK, n)
+        rng = child_generator(self.landmark_seed, "kcca-nystrom-landmarks")
+        landmarks = np.sort(rng.permutation(n)[:rank])
+
+        zx = _nystrom_factor(kx_c, landmarks)  # N x rx
+        zy = _nystrom_factor(ky_c, landmarks)  # N x ry
+        qx, rx = np.linalg.qr(zx)
+        qy, ry = np.linalg.qr(zy)
+        gx = zx.T @ zx + ridge * np.eye(zx.shape[1])
+        gy = zy.T @ zy + ridge * np.eye(zy.shape[1])
+        cross = zx.T @ zy  # rx x ry
+        inner = scipy.linalg.solve(gx, cross, assume_a="pos")
+        inner = scipy.linalg.solve(gy, inner.T, assume_a="pos").T
+        small = rx @ inner @ ry.T
+        u_s, s, vt_s = np.linalg.svd(small, full_matrices=False)
+
+        d = min(d, s.shape[0])
+        u = qx @ u_s[:, :d]
+        v = qy @ vt_s[:d].T
+        # Woodbury: (Z Z^T + rI)^-1 u = (u - Z (G + rI)^-1 Z^T u) / r.
+        self.alpha = (
+            u - zx @ scipy.linalg.solve(gx, zx.T @ u, assume_a="pos")
+        ) / ridge
+        self.beta = (
+            v - zy @ scipy.linalg.solve(gy, zy.T @ v, assume_a="pos")
+        ) / ridge
+        self.correlations = np.clip(s[:d], 0.0, 1.0)
+        self.landmarks = landmarks
 
     # ------------------------------------------------------------------
 
@@ -124,15 +259,19 @@ class KCCA:
 
     @property
     def x_projection(self) -> np.ndarray:
-        """Training points in the query projection (N x d)."""
+        """Training points in the query projection (N x d), cached."""
         self._require_fitted()
-        return self._kx_centered @ self.alpha
+        if self._x_proj is None:
+            self._x_proj = self._kx_centered @ self.alpha
+        return self._x_proj
 
     @property
     def y_projection(self) -> np.ndarray:
-        """Training points in the performance projection (N x d)."""
+        """Training points in the performance projection (N x d), cached."""
         self._require_fitted()
-        return self._ky_centered @ self.beta
+        if self._y_proj is None:
+            self._y_proj = self._ky_centered @ self.beta
+        return self._y_proj
 
     def project_x(self, cross_kernel: np.ndarray) -> np.ndarray:
         """Project new points given their M x N kernel against training X.
@@ -155,10 +294,15 @@ class KCCA:
                 "ky_centered": self._ky_centered,
                 "kx_train": self._kx_train,
             }
+            if self.landmarks is not None:
+                fitted["landmarks"] = self.landmarks
         return {
             "config": {
                 "n_components": self.n_components,
                 "regularization": self.regularization,
+                "approximation": self.approximation,
+                "rank": self.rank,
+                "landmark_seed": self.landmark_seed,
             },
             "fitted": fitted,
         }
@@ -174,6 +318,8 @@ class KCCA:
             self._kx_centered = np.asarray(fitted["kx_centered"])
             self._ky_centered = np.asarray(fitted["ky_centered"])
             self._kx_train = np.asarray(fitted["kx_train"])
+            if fitted.get("landmarks") is not None:
+                self.landmarks = np.asarray(fitted["landmarks"])
         return self
 
     def projection_correlation(self) -> np.ndarray:

@@ -95,7 +95,12 @@ def gaussian_kernel_matrix(data: np.ndarray, tau: float) -> np.ndarray:
     """
     if tau <= 0:
         raise ValueError("tau must be positive")
-    kernel = np.exp(-squared_distances(data) / tau)
+    # Reuse the distance buffer end-to-end: for the N in the thousands the
+    # train path works at, an extra N x N temporary is the difference
+    # between fitting in cache and not.
+    kernel = squared_distances(data)
+    np.divide(kernel, -tau, out=kernel)
+    np.exp(kernel, out=kernel)
     np.fill_diagonal(kernel, 1.0)
     return kernel
 
@@ -106,4 +111,7 @@ def gaussian_kernel_cross(
     """M x N kernel evaluations between new points and training points."""
     if tau <= 0:
         raise ValueError("tau must be positive")
-    return np.exp(-cross_squared_distances(new_data, train_data) / tau)
+    kernel = cross_squared_distances(new_data, train_data)
+    np.divide(kernel, -tau, out=kernel)
+    np.exp(kernel, out=kernel)
+    return kernel

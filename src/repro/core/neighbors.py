@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import cross_squared_distances
 from repro.errors import ModelError
 
 __all__ = [
@@ -31,8 +32,10 @@ _EPSILON = 1e-12
 
 
 def _euclidean_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
-    diff = reference[None, :, :] - points[:, None, :]
-    return np.sqrt(np.einsum("mnp,mnp->mn", diff, diff))
+    # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b keeps the working set at
+    # (m, n) instead of materialising the (m, n, d) broadcast tensor.
+    distances = cross_squared_distances(points, reference)
+    return np.sqrt(distances, out=distances)
 
 
 def _cosine_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:

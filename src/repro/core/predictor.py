@@ -118,6 +118,11 @@ class KCCAPredictor(SerializableModel):
         k_neighbors: neighbours used for prediction (paper: 3).
         distance_metric: ``euclidean`` (paper's choice) or ``cosine``.
         weighting: ``equal`` (paper's choice), ``ranked`` or ``distance``.
+        approximation: KCCA fit path — ``exact`` (dense O(N^3) solve) or
+            ``nystrom`` (landmark subspace solve, O(N * rank^2)).
+        rank: Nyström landmark count; None picks the default (256,
+            clamped to N).  ``rank == N`` reproduces the exact solve.
+        landmark_seed: seed for the deterministic landmark subsample.
         query_tau / performance_tau: explicit Gaussian scale factors;
             derived from the paper's fraction heuristic when None.
         log_features / standardize_features: query-side conditioning.
@@ -132,6 +137,9 @@ class KCCAPredictor(SerializableModel):
         k_neighbors: int = 3,
         distance_metric: str = "euclidean",
         weighting: str = "equal",
+        approximation: str = "exact",
+        rank: Optional[int] = None,
+        landmark_seed: int = 0,
         query_tau: Optional[float] = None,
         performance_tau: Optional[float] = None,
         query_scale_fraction: float = QUERY_SCALE_FRACTION,
@@ -148,13 +156,18 @@ class KCCAPredictor(SerializableModel):
         self.performance_tau = performance_tau
         self.query_scale_fraction = query_scale_fraction
         self.performance_scale_fraction = performance_scale_fraction
-        self._kcca = KCCA(n_components=n_components, regularization=regularization)
+        self._kcca = KCCA(
+            n_components=n_components,
+            regularization=regularization,
+            approximation=approximation,
+            rank=rank,
+            landmark_seed=landmark_seed,
+        )
         self._x_scaler = _Standardizer(log_features, standardize_features)
         self._y_scaler = _Standardizer(log_performance, standardize_performance)
         self._train_features: Optional[np.ndarray] = None
         self._train_performance: Optional[np.ndarray] = None
         self._tau_x: Optional[float] = None
-        self._x_projection: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
 
@@ -190,7 +203,6 @@ class KCCAPredictor(SerializableModel):
         self._kcca.fit(kx, ky)
         self._train_features = fx
         self._train_performance = performance.copy()
-        self._x_projection = self._kcca.x_projection
         return self
 
     # ------------------------------------------------------------------
@@ -198,6 +210,13 @@ class KCCAPredictor(SerializableModel):
     def _require_fitted(self) -> None:
         if self._train_features is None:
             raise NotFittedError("KCCAPredictor is not fitted")
+
+    @property
+    def _x_projection(self) -> np.ndarray:
+        # The KCCA caches the training projection it computed at fit time
+        # from the centred-kernel buffers it already holds; keeping a
+        # second copy here would double the memory for nothing.
+        return self._kcca.x_projection
 
     @property
     def query_projection(self) -> np.ndarray:
@@ -304,6 +323,9 @@ class KCCAPredictor(SerializableModel):
             "config": {
                 "n_components": self._kcca.n_components,
                 "regularization": self._kcca.regularization,
+                "approximation": self._kcca.approximation,
+                "rank": self._kcca.rank,
+                "landmark_seed": self._kcca.landmark_seed,
                 "k_neighbors": self.k_neighbors,
                 "distance_metric": self.distance_metric,
                 "weighting": self.weighting,
@@ -330,5 +352,4 @@ class KCCAPredictor(SerializableModel):
             self._train_features = np.asarray(fitted["train_features"])
             self._train_performance = np.asarray(fitted["train_performance"])
             self._kcca.load_state_dict(fitted["kcca"])
-            self._x_projection = self._kcca.x_projection
         return self

@@ -9,8 +9,12 @@
   three design-choice tables; each returns a result object the benchmark
   suite prints and EXPERIMENTS.md records.
 * :mod:`repro.experiments.report` — plain-text table rendering.
+* :mod:`repro.experiments.bench` — the perf benchmark harness behind
+  ``scripts/bench.py`` (corpus-build throughput, exact-vs-Nyström KCCA
+  fit, predict latency percentiles).
 """
 
+from repro.experiments.bench import format_report, run_benchmarks
 from repro.experiments.corpus import Corpus, ExecutedQuery, build_corpus, load_or_build_corpus
 from repro.experiments.harness import (
     evaluate_metrics,
@@ -26,4 +30,6 @@ __all__ = [
     "evaluate_metrics",
     "split_counts",
     "stratified_split",
+    "run_benchmarks",
+    "format_report",
 ]

@@ -1,0 +1,323 @@
+"""Performance benchmark harness for the train/serve hot path.
+
+Three benchmarks, one machine-readable JSON report:
+
+* **corpus build** — end-to-end optimize+execute throughput of
+  :func:`~repro.experiments.corpus.build_corpus`, serial vs. a
+  ``jobs=N`` process fan-out, with a bitwise-identity check between the
+  two corpora (the parallel path must be a pure speedup, never a
+  different measurement);
+* **KCCA fit** — the exact dense O(N^3) solve vs. the low-rank Nyström
+  solve at several training-set sizes;
+* **predict latency** — ``predict_many`` wall-clock percentiles (p50 /
+  p95) at serving-representative batch sizes.
+
+``python scripts/bench.py`` runs all three and writes ``BENCH_pr2.json``;
+every future PR reruns it to extend the perf trajectory.  ``--quick``
+shrinks the workload for CI smoke coverage.  All numbers are wall-clock
+seconds from ``time.perf_counter`` on the reporting machine; the report
+embeds the CPU count and library versions so runs are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.kcca import KCCA
+from repro.core.kernels import gaussian_kernel_matrix, scale_factor_heuristic
+from repro.core.predictor import KCCAPredictor
+from repro.engine.system import research_4node
+from repro.experiments.corpus import build_corpus
+from repro.workloads.generator import generate_pool
+from repro.workloads.tpcds import build_tpcds_catalog
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "machine_info",
+    "bench_corpus_build",
+    "bench_kcca_fit",
+    "bench_predict_latency",
+    "run_benchmarks",
+    "format_report",
+]
+
+#: Bump when the report layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+def machine_info() -> dict:
+    """The environment the numbers were measured on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def _synthetic_training_data(
+    n: int, seed: int = 0, n_features: int = 12, n_metrics: int = 6
+) -> tuple[np.ndarray, np.ndarray]:
+    """Corpus-shaped synthetic data: log-normal cardinality-like features
+    and positive, feature-correlated performance metrics."""
+    rng = np.random.default_rng(seed)
+    features = rng.lognormal(mean=3.0, sigma=1.5, size=(n, n_features))
+    weights = rng.uniform(0.2, 1.0, size=(n_features, n_metrics))
+    performance = np.log1p(features) @ weights
+    performance *= rng.lognormal(0.0, 0.1, size=performance.shape)
+    return features, performance
+
+
+# ----------------------------------------------------------------------
+# Corpus-build throughput
+# ----------------------------------------------------------------------
+
+
+def bench_corpus_build(
+    n_queries: int = 96,
+    scale_factor: float = 0.15,
+    seed: int = 7,
+    jobs_list: Sequence[int] = (1, 4),
+    noise_seed: int = 1,
+) -> dict:
+    """Time ``build_corpus`` at each worker count on one shared pool.
+
+    The serial run is the reference: every parallel corpus is checked for
+    bitwise equality against it, and speedups are relative to it.
+    """
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
+    config = research_4node()
+    pool = generate_pool(n_queries, seed=seed)
+    runs = []
+    reference = None
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        corpus = build_corpus(
+            catalog, config, pool, noise_seed=noise_seed, jobs=jobs
+        )
+        elapsed = time.perf_counter() - start
+        identical = None
+        if reference is None:
+            reference = corpus
+        else:
+            identical = bool(
+                np.array_equal(
+                    corpus.feature_matrix(), reference.feature_matrix()
+                )
+                and np.array_equal(
+                    corpus.performance_matrix(),
+                    reference.performance_matrix(),
+                )
+                and np.array_equal(
+                    corpus.optimizer_costs(), reference.optimizer_costs()
+                )
+            )
+        runs.append(
+            {
+                "jobs": jobs,
+                "seconds": elapsed,
+                "queries_per_second": n_queries / elapsed,
+                "identical_to_serial": identical,
+            }
+        )
+    serial_s = runs[0]["seconds"]
+    return {
+        "n_queries": n_queries,
+        "scale_factor": scale_factor,
+        "runs": runs,
+        "speedup_at_max_jobs": serial_s / runs[-1]["seconds"],
+    }
+
+
+# ----------------------------------------------------------------------
+# KCCA fit: exact vs. Nyström
+# ----------------------------------------------------------------------
+
+
+def bench_kcca_fit(
+    sizes: Sequence[int] = (250, 1000, 2000),
+    rank: int = 256,
+    n_components: int = 8,
+    seed: int = 0,
+) -> list[dict]:
+    """Time the exact and Nyström fits on identical kernel matrices.
+
+    Kernel construction is shared (both paths need it) and timed
+    separately; the fit numbers isolate the solve itself.  The
+    ``correlation_gap`` column is the largest absolute difference in
+    canonical correlations — a cheap fidelity check on each point.
+    """
+    results = []
+    for n in sizes:
+        features, performance = _synthetic_training_data(n, seed=seed)
+        fx = np.log1p(features)
+        fy = np.log1p(performance)
+        start = time.perf_counter()
+        kx = gaussian_kernel_matrix(fx, scale_factor_heuristic(fx, 0.1))
+        ky = gaussian_kernel_matrix(fy, scale_factor_heuristic(fy, 0.2))
+        kernel_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        exact = KCCA(n_components=n_components).fit(kx, ky)
+        exact_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        nystrom = KCCA(
+            n_components=n_components, approximation="nystrom", rank=rank
+        ).fit(kx, ky)
+        nystrom_s = time.perf_counter() - start
+
+        width = min(
+            exact.correlations.shape[0], nystrom.correlations.shape[0]
+        )
+        gap = float(
+            np.abs(
+                exact.correlations[:width] - nystrom.correlations[:width]
+            ).max()
+        )
+        results.append(
+            {
+                "n": n,
+                "rank": min(rank, n),
+                "kernel_seconds": kernel_s,
+                "exact_seconds": exact_s,
+                "nystrom_seconds": nystrom_s,
+                "speedup": exact_s / nystrom_s,
+                "correlation_gap": gap,
+            }
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Serving latency
+# ----------------------------------------------------------------------
+
+
+def bench_predict_latency(
+    n_train: int = 800,
+    batch_sizes: Sequence[int] = (1, 16, 128),
+    repeats: int = 50,
+    seed: int = 3,
+) -> dict:
+    """``predict`` wall-clock percentiles per batch size on a fitted model."""
+    features, performance = _synthetic_training_data(
+        n_train + max(batch_sizes), seed=seed
+    )
+    model = KCCAPredictor().fit(features[:n_train], performance[:n_train])
+    held_out = features[n_train:]
+    batches = []
+    for batch in batch_sizes:
+        queries = held_out[:batch]
+        model.predict(queries)  # warm caches outside the timed region
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            model.predict(queries)
+            samples.append(time.perf_counter() - start)
+        p50, p95 = np.percentile(samples, [50, 95])
+        batches.append(
+            {
+                "batch": batch,
+                "p50_ms": float(p50) * 1e3,
+                "p95_ms": float(p95) * 1e3,
+                "p50_us_per_query": float(p50) / batch * 1e6,
+            }
+        )
+    return {"n_train": n_train, "repeats": repeats, "batches": batches}
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def run_benchmarks(
+    quick: bool = False,
+    jobs: int = 4,
+    label: str = "pr2",
+    out: Optional[Path] = None,
+) -> dict:
+    """Run every benchmark and (optionally) write the JSON report.
+
+    ``quick`` shrinks all three benchmarks to CI-smoke size (a couple of
+    seconds total); the full run is sized for a dev box and takes on the
+    order of a minute.
+    """
+    if quick:
+        corpus = bench_corpus_build(
+            n_queries=16, scale_factor=0.05, jobs_list=(1, jobs)
+        )
+        kcca = bench_kcca_fit(sizes=(120, 240), rank=64)
+        predict = bench_predict_latency(
+            n_train=200, batch_sizes=(1, 16), repeats=10
+        )
+    else:
+        corpus = bench_corpus_build(jobs_list=(1, jobs))
+        kcca = bench_kcca_fit()
+        predict = bench_predict_latency()
+    report = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "quick": quick,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_info(),
+        "corpus_build": corpus,
+        "kcca_fit": kcca,
+        "predict_latency": predict,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_benchmarks` report."""
+    lines = [
+        f"bench {report['label']}  "
+        f"({report['machine']['cpus']} cpu, numpy {report['machine']['numpy']}"
+        f"{', quick' if report['quick'] else ''})",
+        "",
+        "corpus build "
+        f"({report['corpus_build']['n_queries']} queries, "
+        f"scale {report['corpus_build']['scale_factor']}):",
+    ]
+    for run in report["corpus_build"]["runs"]:
+        identical = run["identical_to_serial"]
+        note = "" if identical is None else (
+            "  bitwise-identical" if identical else "  MISMATCH"
+        )
+        lines.append(
+            f"  jobs={run['jobs']:<3} {run['seconds']:8.2f}s  "
+            f"{run['queries_per_second']:7.1f} q/s{note}"
+        )
+    lines.append(
+        f"  speedup at max jobs: "
+        f"{report['corpus_build']['speedup_at_max_jobs']:.2f}x"
+    )
+    lines.append("")
+    lines.append("KCCA fit (exact vs nystrom):")
+    for row in report["kcca_fit"]:
+        lines.append(
+            f"  N={row['n']:<5} rank={row['rank']:<4} "
+            f"exact {row['exact_seconds']:7.3f}s  "
+            f"nystrom {row['nystrom_seconds']:7.3f}s  "
+            f"{row['speedup']:6.1f}x  corr gap {row['correlation_gap']:.2e}"
+        )
+    lines.append("")
+    predict = report["predict_latency"]
+    lines.append(f"predict latency (n_train={predict['n_train']}):")
+    for row in predict["batches"]:
+        lines.append(
+            f"  batch={row['batch']:<4} p50 {row['p50_ms']:7.2f}ms  "
+            f"p95 {row['p95_ms']:7.2f}ms  "
+            f"{row['p50_us_per_query']:8.1f}us/query"
+        )
+    return "\n".join(lines)

@@ -11,11 +11,19 @@ balls are real multi-million-row joins), so corpora are cached as ``.npz``
 files under ``data/corpora/`` — exactly like the paper's measured training
 data, which was also collected once and reused.  Delete the cache or set
 ``rebuild=True`` to re-measure.
+
+Corpus generation fans out across worker processes when ``jobs > 1``
+(``build_corpus(..., jobs=4)``): each query's executor noise stream is
+seeded independently from the pool seed and the query's identity, so a
+parallel build is **bitwise identical** to the serial one regardless of
+worker count or scheduling order.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -124,37 +132,133 @@ class Corpus:
         return result
 
 
+def _execute_instance(
+    optimizer: Optimizer,
+    executor: Executor,
+    config_name: str,
+    noise_seed: int,
+    instance: QueryInstance,
+) -> ExecutedQuery:
+    """Optimize + execute one query — the single code path both the
+    serial loop and the worker processes run, so their outputs are
+    bitwise identical.
+
+    The executor's noise generator is derived from ``(noise_seed,
+    config_name, query_id)`` alone — never from loop order or worker
+    identity — which is what makes the fan-out deterministic.
+    """
+    optimized = optimizer.optimize(instance.sql)
+    rng = child_generator(noise_seed, f"{config_name}:{instance.query_id}")
+    result = executor.execute(optimized.plan, rng=rng)
+    return ExecutedQuery(
+        query_id=instance.query_id,
+        template=instance.template,
+        family=instance.family,
+        sql=instance.sql,
+        features=plan_feature_vector(optimized.plan),
+        sql_features=sql_text_features(optimized.query),
+        performance=result.metrics.as_vector(),
+        optimizer_cost=optimized.cost,
+        estimated_rows=optimized.estimated_rows,
+    )
+
+
+#: Per-worker state built once by the pool initializer: the optimizer and
+#: executor are constructed from the (pickled-once) catalog + config at
+#: worker start instead of per query.
+_WORKER: dict = {}
+
+
+def _worker_init(catalog: Catalog, config: SystemConfig, noise_seed: int) -> None:
+    _WORKER["optimizer"] = Optimizer(catalog, config)
+    _WORKER["executor"] = Executor(catalog, config)
+    _WORKER["config_name"] = config.name
+    _WORKER["noise_seed"] = noise_seed
+
+
+def _worker_execute(instance: QueryInstance) -> ExecutedQuery:
+    return _execute_instance(
+        _WORKER["optimizer"],
+        _WORKER["executor"],
+        _WORKER["config_name"],
+        _WORKER["noise_seed"],
+        instance,
+    )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument to a concrete worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``-1`` means one worker per
+    available CPU; anything else is taken literally.
+    """
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
 def build_corpus(
     catalog: Catalog,
     config: SystemConfig,
     pool: Sequence[QueryInstance],
     noise_seed: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: Optional[int] = None,
 ) -> Corpus:
-    """Optimize and execute every query in ``pool`` on ``config``."""
-    optimizer = Optimizer(catalog, config)
-    executor = Executor(catalog, config)
-    executed = []
-    for index, instance in enumerate(pool):
-        optimized = optimizer.optimize(instance.sql)
-        rng = child_generator(noise_seed, f"{config.name}:{instance.query_id}")
-        result = executor.execute(optimized.plan, rng=rng)
-        executed.append(
-            ExecutedQuery(
-                query_id=instance.query_id,
-                template=instance.template,
-                family=instance.family,
-                sql=instance.sql,
-                features=plan_feature_vector(optimized.plan),
-                sql_features=sql_text_features(optimized.query),
-                performance=result.metrics.as_vector(),
-                optimizer_cost=optimized.cost,
-                estimated_rows=optimized.estimated_rows,
+    """Optimize and execute every query in ``pool`` on ``config``.
+
+    Args:
+        jobs: worker processes to fan the pool out across (``None``/``1``
+            serial, ``-1`` one per CPU).  Results are bitwise identical
+            to the serial build for any worker count.
+    """
+    pool = list(pool)
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(pool) > 1:
+        executed = _build_parallel(catalog, config, pool, noise_seed,
+                                   progress, jobs)
+    else:
+        optimizer = Optimizer(catalog, config)
+        executor = Executor(catalog, config)
+        executed = []
+        for index, instance in enumerate(pool):
+            executed.append(
+                _execute_instance(
+                    optimizer, executor, config.name, noise_seed, instance
+                )
             )
-        )
-        if progress is not None:
-            progress(index + 1, len(pool))
+            if progress is not None:
+                progress(index + 1, len(pool))
     return Corpus(executed, config.name)
+
+
+def _build_parallel(
+    catalog: Catalog,
+    config: SystemConfig,
+    pool: Sequence[QueryInstance],
+    noise_seed: int,
+    progress: Optional[Callable[[int, int], None]],
+    jobs: int,
+) -> list[ExecutedQuery]:
+    """Fan the pool out over worker processes, preserving pool order."""
+    jobs = min(jobs, len(pool))
+    # Small chunks keep workers balanced (bowling balls take ~1000x a
+    # feather); map() yields results in submission order, so the corpus
+    # layout is independent of completion order.
+    chunksize = max(1, len(pool) // (jobs * 8))
+    executed: list[ExecutedQuery] = []
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(catalog, config, noise_seed),
+    ) as workers:
+        for record in workers.map(_worker_execute, pool, chunksize=chunksize):
+            executed.append(record)
+            if progress is not None:
+                progress(len(executed), len(pool))
+    return executed
 
 
 # ----------------------------------------------------------------------
@@ -223,16 +327,23 @@ def load_corpus(path: Path) -> Corpus:
 
 def load_or_build_corpus(
     path: Path,
-    builder: Callable[[], Corpus],
+    builder: Callable[..., Corpus],
     rebuild: bool = False,
+    jobs: Optional[int] = None,
 ) -> Corpus:
-    """Load the cached corpus at ``path``, building and caching if needed."""
+    """Load the cached corpus at ``path``, building and caching if needed.
+
+    Args:
+        jobs: forwarded to ``builder(jobs=...)`` when given, so cache
+            misses fan out without the caller re-plumbing the argument
+            (the builder must accept a ``jobs`` keyword in that case).
+    """
     path = Path(path)
     if not rebuild and path.exists():
         try:
             return load_corpus(path)
         except (ReproError, OSError, KeyError, json.JSONDecodeError):
             pass  # stale or corrupt cache: rebuild below
-    corpus = builder()
+    corpus = builder() if jobs is None else builder(jobs=jobs)
     save_corpus(corpus, path)
     return corpus

@@ -109,48 +109,57 @@ def _customer_catalog():
     return build_customer_catalog(seed=99, scale=0.12)
 
 
-def research_corpus(rebuild: bool = False) -> Corpus:
+def research_corpus(
+    rebuild: bool = False, jobs: Optional[int] = None
+) -> Corpus:
     """The main 4-node research-system corpus (1800 mixed queries)."""
-    def build() -> Corpus:
+    def build(jobs: Optional[int] = None) -> Corpus:
         pool = generate_pool(
             _RESEARCH_POOL_SIZE, seed=_RESEARCH_POOL_SEED, problem_fraction=0.5
         )
-        return build_corpus(_tpcds_catalog(), research_4node(), pool)
+        return build_corpus(_tpcds_catalog(), research_4node(), pool,
+                            jobs=jobs)
 
     return load_or_build_corpus(
-        data_dir() / "research_4node.npz", build, rebuild=rebuild
+        data_dir() / "research_4node.npz", build, rebuild=rebuild, jobs=jobs
     )
 
 
-def customer_corpus(rebuild: bool = False) -> Corpus:
+def customer_corpus(
+    rebuild: bool = False, jobs: Optional[int] = None
+) -> Corpus:
     """The different-schema customer workload (Experiment 4 test set)."""
-    def build() -> Corpus:
+    def build(jobs: Optional[int] = None) -> Corpus:
         pool = generate_pool(
             _CUSTOMER_POOL_SIZE,
             seed=_CUSTOMER_POOL_SEED,
             templates=customer_templates(),
         )
-        return build_corpus(_customer_catalog(), research_4node(), pool)
+        return build_corpus(_customer_catalog(), research_4node(), pool,
+                            jobs=jobs)
 
     return load_or_build_corpus(
-        data_dir() / "customer_4node.npz", build, rebuild=rebuild
+        data_dir() / "customer_4node.npz", build, rebuild=rebuild, jobs=jobs
     )
 
 
-def production_corpus(nodes_used: int, rebuild: bool = False) -> Corpus:
+def production_corpus(
+    nodes_used: int, rebuild: bool = False, jobs: Optional[int] = None
+) -> Corpus:
     """The TPC-DS pool rerun on one production-system configuration."""
-    def build() -> Corpus:
+    def build(jobs: Optional[int] = None) -> Corpus:
         pool = generate_pool(
             _PRODUCTION_POOL_SIZE,
             seed=_PRODUCTION_POOL_SEED,
             templates=tpcds_templates(),
         )
         return build_corpus(
-            _tpcds_catalog(), production_32node(nodes_used), pool
+            _tpcds_catalog(), production_32node(nodes_used), pool, jobs=jobs
         )
 
     return load_or_build_corpus(
-        data_dir() / f"production_{nodes_used}cpu.npz", build, rebuild=rebuild
+        data_dir() / f"production_{nodes_used}cpu.npz", build, rebuild=rebuild,
+        jobs=jobs,
     )
 
 

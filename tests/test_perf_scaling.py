@@ -1,0 +1,262 @@
+"""Determinism and correctness of the scaled train/serve hot paths:
+
+* parallel corpus generation is bitwise identical to the serial build;
+* Nyström KCCA tracks the exact solve (and reproduces it at rank = N);
+* Nyström pipelines round-trip through save/load;
+* the rewritten distance/kernel kernels match their reference formulas;
+* the benchmark harness runs and emits a valid, JSON-able report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.kcca import KCCA
+from repro.core.kernels import (
+    cross_squared_distances,
+    gaussian_kernel_cross,
+    gaussian_kernel_matrix,
+)
+from repro.core.neighbors import nearest_neighbors
+from repro.core.predictor import KCCAPredictor
+from repro.errors import ModelError
+from repro.experiments.bench import run_benchmarks
+from repro.experiments.corpus import (
+    build_corpus,
+    load_or_build_corpus,
+    resolve_jobs,
+)
+from repro.pipeline import PredictionPipeline
+from repro.workloads.generator import generate_pool
+
+
+def _synthetic(n, seed=5, n_features=10, n_metrics=6):
+    rng = np.random.default_rng(seed)
+    features = rng.lognormal(3.0, 1.5, (n, n_features))
+    weights = rng.uniform(0.2, 1.0, (n_features, n_metrics))
+    performance = np.log1p(features) @ weights
+    performance *= rng.lognormal(0.0, 0.05, performance.shape)
+    return features, performance
+
+
+# ----------------------------------------------------------------------
+# Parallel corpus generation
+# ----------------------------------------------------------------------
+
+
+class TestParallelCorpus:
+    def test_jobs4_bitwise_identical_to_serial(self, tpcds_catalog, config):
+        pool = generate_pool(12, seed=31)
+        serial = build_corpus(tpcds_catalog, config, pool)
+        parallel = build_corpus(tpcds_catalog, config, pool, jobs=4)
+        assert np.array_equal(
+            serial.feature_matrix(), parallel.feature_matrix()
+        )
+        assert np.array_equal(
+            serial.sql_feature_matrix(), parallel.sql_feature_matrix()
+        )
+        assert np.array_equal(
+            serial.performance_matrix(), parallel.performance_matrix()
+        )
+        assert np.array_equal(
+            serial.optimizer_costs(), parallel.optimizer_costs()
+        )
+        assert [q.query_id for q in serial.queries] == [
+            q.query_id for q in parallel.queries
+        ]
+        assert serial.config_name == parallel.config_name
+
+    def test_parallel_progress_reports_every_query(self, tpcds_catalog, config):
+        pool = generate_pool(6, seed=32)
+        seen = []
+        build_corpus(
+            tpcds_catalog, config, pool,
+            progress=lambda done, total: seen.append((done, total)),
+            jobs=2,
+        )
+        assert seen == [(i + 1, 6) for i in range(6)]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(-1) >= 1
+
+    def test_load_or_build_forwards_jobs(self, tpcds_catalog, config, tmp_path):
+        pool = generate_pool(4, seed=33)
+        calls = []
+
+        def builder(jobs=None):
+            calls.append(jobs)
+            return build_corpus(tpcds_catalog, config, pool, jobs=jobs)
+
+        path = tmp_path / "corpus.npz"
+        built = load_or_build_corpus(path, builder, jobs=2)
+        assert calls == [2]
+        # Cache hit: builder not called again, jobs irrelevant.
+        cached = load_or_build_corpus(path, builder, jobs=2)
+        assert calls == [2]
+        assert np.array_equal(
+            built.performance_matrix(), cached.performance_matrix()
+        )
+
+
+# ----------------------------------------------------------------------
+# Nyström KCCA
+# ----------------------------------------------------------------------
+
+
+class TestNystromKCCA:
+    def test_rank_n_reproduces_dense_solve(self):
+        features, performance = _synthetic(120)
+        exact = KCCAPredictor().fit(features[:100], performance[:100])
+        full = KCCAPredictor(approximation="nystrom", rank=100).fit(
+            features[:100], performance[:100]
+        )
+        held_out = features[100:]
+        assert np.allclose(
+            full.predict(held_out), exact.predict(held_out),
+            rtol=1e-9, atol=1e-12,
+        )
+        assert np.allclose(
+            full.canonical_correlations,
+            exact.canonical_correlations,
+            atol=1e-10,
+        )
+
+    def test_low_rank_within_tolerance_at_n300(self):
+        features, performance = _synthetic(340)
+        train_f, train_p = features[:300], performance[:300]
+        exact = KCCAPredictor().fit(train_f, train_p)
+        nystrom = KCCAPredictor(approximation="nystrom", rank=128).fit(
+            train_f, train_p
+        )
+        predicted_exact = exact.predict(features[300:])
+        predicted_nystrom = nystrom.predict(features[300:])
+        assert np.allclose(predicted_nystrom, predicted_exact, rtol=0.25)
+        relative = np.abs(predicted_nystrom - predicted_exact) / np.abs(
+            predicted_exact
+        )
+        assert relative.mean() < 0.05
+
+    def test_landmarks_deterministic_and_recorded(self):
+        features, performance = _synthetic(150)
+        kx = gaussian_kernel_matrix(np.log1p(features), 10.0)
+        ky = gaussian_kernel_matrix(np.log1p(performance), 10.0)
+        first = KCCA(approximation="nystrom", rank=40).fit(kx, ky)
+        second = KCCA(approximation="nystrom", rank=40).fit(kx, ky)
+        assert np.array_equal(first.landmarks, second.landmarks)
+        assert first.landmarks.shape == (40,)
+        assert np.array_equal(first.alpha, second.alpha)
+        other_seed = KCCA(
+            approximation="nystrom", rank=40, landmark_seed=1
+        ).fit(kx, ky)
+        assert not np.array_equal(first.landmarks, other_seed.landmarks)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ModelError):
+            KCCA(approximation="cholesky")
+        with pytest.raises(ModelError):
+            KCCA(approximation="nystrom", rank=0)
+
+    def test_nystrom_pipeline_artifact_roundtrip(self, tmp_path):
+        features, performance = _synthetic(160)
+        model = KCCAPredictor(approximation="nystrom", rank=64)
+        pipeline = PredictionPipeline(model=model).fit(
+            features[:140], performance[:140],
+            optimizer_costs=performance[:140, 0],
+        )
+        path = tmp_path / "nystrom.npz"
+        pipeline.save(path)
+
+        loaded = PredictionPipeline.load(path)
+        assert isinstance(loaded.model, KCCAPredictor)
+        state = loaded.model.state_dict()
+        assert state["config"]["approximation"] == "nystrom"
+        assert state["config"]["rank"] == 64
+        held_out = features[140:]
+        assert np.array_equal(
+            loaded.predict_many(held_out), pipeline.predict_many(held_out)
+        )
+        # The artifact manifest advertises the approximation for ops.
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(
+                bytes(data["__manifest__"].tobytes()).decode("utf-8")
+            )
+        assert manifest["artifact"]["kernel"]["approximation"] == "nystrom"
+
+    def test_projection_cached_once_per_fit(self):
+        features, performance = _synthetic(80)
+        model = KCCAPredictor().fit(features, performance)
+        first = model.query_projection
+        assert model.query_projection is first  # no recompute per access
+
+
+# ----------------------------------------------------------------------
+# Rewritten numeric kernels
+# ----------------------------------------------------------------------
+
+
+class TestNumericRewrites:
+    def test_gaussian_kernels_match_reference_formula(self, rng):
+        data = rng.normal(size=(30, 5))
+        new = rng.normal(size=(7, 5))
+        tau = 2.5
+        reference = np.exp(
+            -((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2) / tau
+        )
+        np.fill_diagonal(reference, 1.0)
+        assert np.allclose(gaussian_kernel_matrix(data, tau), reference)
+        reference_cross = np.exp(
+            -((new[:, None, :] - data[None, :, :]) ** 2).sum(axis=2) / tau
+        )
+        assert np.allclose(
+            gaussian_kernel_cross(new, data, tau), reference_cross
+        )
+
+    def test_euclidean_neighbors_match_brute_force(self, rng):
+        points = rng.normal(size=(9, 4))
+        reference = rng.normal(size=(25, 4))
+        indices, distances = nearest_neighbors(points, reference, k=3)
+        brute = np.linalg.norm(
+            points[:, None, :] - reference[None, :, :], axis=2
+        )
+        for i in range(points.shape[0]):
+            expected = np.sort(np.round(brute[i], 9))[:3]
+            assert np.allclose(distances[i], expected)
+            assert set(indices[i]) <= set(np.argsort(brute[i])[:5])
+
+    def test_cross_squared_distances_never_negative(self, rng):
+        # Duplicated points stress the ||a||²+||b||²-2ab cancellation.
+        data = np.repeat(rng.normal(size=(5, 3)), 4, axis=0)
+        assert (cross_squared_distances(data, data) >= 0.0).all()
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+
+
+class TestBenchHarness:
+    def test_quick_run_emits_valid_report(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_benchmarks(quick=True, jobs=2, label="test", out=out)
+        # The on-disk report is valid JSON and matches the return value.
+        loaded = json.loads(out.read_text())
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["label"] == "test"
+        assert loaded["machine"]["cpus"] >= 1
+        runs = loaded["corpus_build"]["runs"]
+        assert [run["jobs"] for run in runs] == [1, 2]
+        assert runs[1]["identical_to_serial"] is True
+        assert len(loaded["kcca_fit"]) == 2
+        for row in loaded["kcca_fit"]:
+            assert row["exact_seconds"] > 0
+            assert row["nystrom_seconds"] > 0
+            assert row["correlation_gap"] < 0.5
+        for batch in loaded["predict_latency"]["batches"]:
+            assert batch["p95_ms"] >= batch["p50_ms"] > 0
