@@ -19,6 +19,17 @@ Example::
     predictor.save("model.npz")                       # train once...
     loaded = QueryPerformancePredictor.load("model.npz")  # ...serve many
     loaded.forecast_many([sql_a, sql_b, sql_c])       # batched scoring
+
+Observability (off by default; see docs/OBSERVABILITY.md)::
+
+    from repro import api, obs
+
+    api.set_tracing(True)
+    predictor.forecast(sql)
+    print(obs.pretty_trace())     # optimize → featurize → project → knn
+    api.set_metrics(True)
+    predictor.forecast_many(sqls)
+    print(api.get_metrics())      # registry snapshot (latencies, totals)
 """
 
 from __future__ import annotations
@@ -38,6 +49,8 @@ from repro.engine.system import research_4node
 from repro.errors import ModelError
 from repro.experiments.corpus import Corpus, build_corpus
 from repro.experiments.report import hms
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.optimizer import Optimizer
 from repro.pipeline import PredictionPipeline
 from repro.storage.catalog import Catalog
@@ -45,7 +58,57 @@ from repro.workloads.categories import categorize
 from repro.workloads.generator import QueryInstance, generate_pool
 from repro.workloads.tpcds import build_tpcds_catalog
 
-__all__ = ["QueryPerformancePredictor", "Forecast"]
+__all__ = [
+    "QueryPerformancePredictor",
+    "Forecast",
+    "set_tracing",
+    "trace_enabled",
+    "set_metrics",
+    "metrics_enabled",
+    "get_metrics",
+    "get_metrics_text",
+]
+
+
+# ----------------------------------------------------------------------
+# Observability façade (thin wrappers so embedders need only repro.api)
+# ----------------------------------------------------------------------
+
+
+def set_tracing(enabled: bool) -> None:
+    """Turn span recording on or off process-wide."""
+    if enabled:
+        _obs_trace.enable_tracing()
+    else:
+        _obs_trace.disable_tracing()
+
+
+def trace_enabled() -> bool:
+    """Whether hot-path spans are currently being recorded."""
+    return _obs_trace.tracing_enabled()
+
+
+def set_metrics(enabled: bool) -> None:
+    """Turn metric recording on or off process-wide."""
+    if enabled:
+        _obs_metrics.enable_metrics()
+    else:
+        _obs_metrics.disable_metrics()
+
+
+def metrics_enabled() -> bool:
+    """Whether hot-path metrics are currently being recorded."""
+    return _obs_metrics.metrics_enabled()
+
+
+def get_metrics() -> dict:
+    """Snapshot of every recorded metric (``{name: state}``)."""
+    return _obs_metrics.get_registry().snapshot()
+
+
+def get_metrics_text() -> str:
+    """Prometheus text exposition of the metrics registry."""
+    return _obs_metrics.get_registry().render_prometheus()
 
 
 @dataclass(frozen=True)
@@ -269,9 +332,13 @@ class QueryPerformancePredictor:
         from the same projection.
         """
         self._require_trained()
-        optimized = self.optimizer.optimize_many(sqls)
-        features = plan_feature_matrix([opt.plan for opt in optimized])
-        scored = self._pipeline.score_many(features)
+        with _obs_trace.span("api.forecast_many", n=len(sqls)):
+            optimized = self.optimizer.optimize_many(sqls)
+            with _obs_trace.span("api.featurize", n=len(optimized)):
+                features = plan_feature_matrix(
+                    [opt.plan for opt in optimized]
+                )
+            scored = self._pipeline.score_many(features)
         forecasts = []
         for opt, score in zip(optimized, scored):
             metrics = PerformanceMetrics.from_vector(score.prediction)

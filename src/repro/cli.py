@@ -17,21 +17,31 @@ Commands:
 * ``explain``  — like predict, plus confidence and optimizer cost;
 * ``forecast`` — batch forecasts for many statements in one model pass;
 * ``measure``  — actually run the query on the simulated system;
-* ``pools``    — run a workload and print the Figure 2 pool table.
+* ``pools``    — run a workload and print the Figure 2 pool table;
+* ``metrics``  — print the process metrics registry (with ``--demo``
+  to populate it first).
 
 All commands build a deterministic TPC-DS-like database (``--scale``,
 ``--seed``), so output is reproducible.  Within one process, trained
 services are cached, so repeated :func:`main` calls (tests, notebooks)
 don't retrain for every subcommand.
+
+Observability: the global ``--trace-out FILE`` flag enables hot-path
+tracing for any command and writes the resulting span tree as JSON
+(``-`` for a pretty rendering on stderr); ``--metrics`` turns on the
+metrics registry and dumps it after the command.  See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.api import QueryPerformancePredictor
 from repro.engine import Executor
 from repro.engine.system import production_32node, research_4node
@@ -73,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for training-workload execution "
              "(default serial, -1 = one per CPU); results are bitwise "
              "identical to a serial run",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="enable hot-path tracing and write the span tree as JSON "
+             "to FILE ('-' prints a pretty tree to stderr instead)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the metrics registry and print it (Prometheus text) "
+             "to stderr after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -145,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
     pools.add_argument(
         "--queries", type=int, default=200, help="workload size"
     )
+
+    metrics = sub.add_parser(
+        "metrics", help="print the process metrics registry"
+    )
+    metrics.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="output format (default Prometheus text)",
+    )
+    metrics.add_argument(
+        "--demo", action="store_true",
+        help="train a small model and score a few queries first so the "
+             "registry has something to show",
+    )
     return parser
 
 
@@ -177,96 +210,147 @@ def _split_statements(text: str) -> list[str]:
     return [part.strip() for part in text.split(";") if part.strip()]
 
 
+def _write_trace(destination: str) -> None:
+    """Dump the recorded trace: pretty to stderr for ``-``, else JSON."""
+    if destination == "-":
+        rendering = obs.pretty_trace()
+        if rendering:
+            print(rendering, file=sys.stderr)
+        obs.drain_trace()
+        return
+    payload = obs.export_trace(drain=True)
+    Path(destination).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trace written to {destination}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = _config(args.system)
+    if args.trace_out:
+        obs.enable_tracing()
+    if args.metrics:
+        obs.enable_metrics()
     try:
-        if args.command == "plan":
-            catalog = build_tpcds_catalog(args.scale, args.seed)
-            optimized = Optimizer(catalog, config).optimize(args.sql)
-            print(optimized.plan.pretty())
-            print(f"\nestimated rows : {optimized.estimated_rows:,.0f}")
-            print(f"optimizer cost : {optimized.cost:,.1f} (abstract units)")
-            return 0
-        if args.command == "measure":
-            catalog = build_tpcds_catalog(args.scale, args.seed)
-            optimized = Optimizer(catalog, config).optimize(args.sql)
-            metrics = Executor(catalog, config).execute(optimized.plan).metrics
-            print(f"elapsed time     : {metrics.elapsed_time:.2f}s")
-            print(f"records accessed : {metrics.records_accessed:,}")
-            print(f"records used     : {metrics.records_used:,}")
-            print(f"disk I/Os        : {metrics.disk_ios:,}")
-            print(f"message count    : {metrics.message_count:,}")
-            print(f"message bytes    : {metrics.message_bytes:,}")
-            return 0
-        if args.command == "train":
-            predictor = QueryPerformancePredictor.train_on_tpcds(
-                n_queries=args.queries,
-                scale_factor=args.scale,
-                seed=args.seed,
-                config=config,
-                two_step=args.two_step,
-                jobs=args.jobs,
-            )
-            path = Path(args.save)
-            predictor.save(path)
-            key = (args.scale, args.seed, args.system, args.queries,
-                   args.two_step)
-            _service_cache[key] = predictor
-            print(f"trained on {args.queries} queries; artifact: {path}")
-            return 0
-        if args.command in ("predict", "explain"):
-            predictor = _service(args, config)
-            if args.command == "explain":
-                print(predictor.explain(args.sql))
-            else:
-                metrics = predictor.predict(args.sql)
-                print(f"predicted elapsed time : {metrics.elapsed_time:.2f}s")
-                print(f"predicted records used : {metrics.records_used:,}")
-                print(f"predicted disk I/Os    : {metrics.disk_ios:,}")
-            return 0
-        if args.command == "forecast":
-            if args.batch:
-                sqls = _split_statements(Path(args.batch).read_text())
-            elif args.sql:
-                sqls = _split_statements(args.sql)
-            else:
-                print("error: forecast needs a SQL argument or --batch FILE",
-                      file=sys.stderr)
-                return 2
-            if not sqls:
-                print("error: no SQL statements to forecast", file=sys.stderr)
-                return 2
-            predictor = _service(args, config)
-            forecasts = predictor.forecast_many(sqls)
-            header = (
-                f"{'#':>3}  {'elapsed':>9}  {'category':<13}"
-                f"{'disk I/Os':>10}  {'cost':>10}  conf"
-            )
-            print(header)
-            print("-" * len(header))
-            for i, fc in enumerate(forecasts):
-                conf = "LOW" if fc.confidence.anomalous else "ok"
-                print(
-                    f"{i:>3}  {fc.metrics.elapsed_time:>8.2f}s  "
-                    f"{fc.category:<13}{fc.metrics.disk_ios:>10,}  "
-                    f"{fc.optimizer_cost:>10,.1f}  {conf}"
-                )
-            return 0
-        if args.command == "pools":
-            from repro.experiments.corpus import build_corpus
-            from repro.experiments.experiments import fig2_query_pools
-            from repro.experiments.report import format_pool_table
-            from repro.workloads.generator import generate_pool
-
-            catalog = build_tpcds_catalog(args.scale, args.seed)
-            pool = generate_pool(args.queries, seed=args.seed)
-            corpus = build_corpus(catalog, config, pool, jobs=args.jobs)
-            print(format_pool_table(fig2_query_pools(corpus)))
-            return 0
+        return _dispatch(args, config)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace_out:
+            _write_trace(args.trace_out)
+        if args.metrics:
+            text = obs.get_registry().render_prometheus()
+            if text:
+                print(text, file=sys.stderr, end="")
+
+
+def _dispatch(args, config) -> int:
+    if args.command == "plan":
+        catalog = build_tpcds_catalog(args.scale, args.seed)
+        optimized = Optimizer(catalog, config).optimize(args.sql)
+        print(optimized.plan.pretty())
+        print(f"\nestimated rows : {optimized.estimated_rows:,.0f}")
+        print(f"optimizer cost : {optimized.cost:,.1f} (abstract units)")
+        return 0
+    if args.command == "measure":
+        catalog = build_tpcds_catalog(args.scale, args.seed)
+        optimized = Optimizer(catalog, config).optimize(args.sql)
+        metrics = Executor(catalog, config).execute(optimized.plan).metrics
+        print(f"elapsed time     : {metrics.elapsed_time:.2f}s")
+        print(f"records accessed : {metrics.records_accessed:,}")
+        print(f"records used     : {metrics.records_used:,}")
+        print(f"disk I/Os        : {metrics.disk_ios:,}")
+        print(f"message count    : {metrics.message_count:,}")
+        print(f"message bytes    : {metrics.message_bytes:,}")
+        return 0
+    if args.command == "train":
+        predictor = QueryPerformancePredictor.train_on_tpcds(
+            n_queries=args.queries,
+            scale_factor=args.scale,
+            seed=args.seed,
+            config=config,
+            two_step=args.two_step,
+            jobs=args.jobs,
+        )
+        path = Path(args.save)
+        predictor.save(path)
+        key = (args.scale, args.seed, args.system, args.queries,
+               args.two_step)
+        _service_cache[key] = predictor
+        print(f"trained on {args.queries} queries; artifact: {path}")
+        return 0
+    if args.command in ("predict", "explain"):
+        predictor = _service(args, config)
+        if args.command == "explain":
+            print(predictor.explain(args.sql))
+        else:
+            metrics = predictor.predict(args.sql)
+            print(f"predicted elapsed time : {metrics.elapsed_time:.2f}s")
+            print(f"predicted records used : {metrics.records_used:,}")
+            print(f"predicted disk I/Os    : {metrics.disk_ios:,}")
+        return 0
+    if args.command == "forecast":
+        if args.batch:
+            sqls = _split_statements(Path(args.batch).read_text())
+        elif args.sql:
+            sqls = _split_statements(args.sql)
+        else:
+            print("error: forecast needs a SQL argument or --batch FILE",
+                  file=sys.stderr)
+            return 2
+        if not sqls:
+            print("error: no SQL statements to forecast", file=sys.stderr)
+            return 2
+        predictor = _service(args, config)
+        forecasts = predictor.forecast_many(sqls)
+        header = (
+            f"{'#':>3}  {'elapsed':>9}  {'category':<13}"
+            f"{'disk I/Os':>10}  {'cost':>10}  conf"
+        )
+        print(header)
+        print("-" * len(header))
+        for i, fc in enumerate(forecasts):
+            conf = "LOW" if fc.confidence.anomalous else "ok"
+            print(
+                f"{i:>3}  {fc.metrics.elapsed_time:>8.2f}s  "
+                f"{fc.category:<13}{fc.metrics.disk_ios:>10,}  "
+                f"{fc.optimizer_cost:>10,.1f}  {conf}"
+            )
+        return 0
+    if args.command == "pools":
+        from repro.experiments.corpus import build_corpus
+        from repro.experiments.experiments import fig2_query_pools
+        from repro.experiments.report import format_pool_table
+        from repro.workloads.generator import generate_pool
+
+        catalog = build_tpcds_catalog(args.scale, args.seed)
+        pool = generate_pool(args.queries, seed=args.seed)
+        corpus = build_corpus(catalog, config, pool, jobs=args.jobs)
+        print(format_pool_table(fig2_query_pools(corpus)))
+        return 0
+    if args.command == "metrics":
+        if args.demo:
+            obs.enable_metrics()
+            service = QueryPerformancePredictor.train_on_tpcds(
+                n_queries=40,
+                scale_factor=args.scale,
+                seed=args.seed,
+                config=config,
+                jobs=args.jobs,
+            )
+            service.forecast_many(
+                [
+                    "SELECT count(*) AS c FROM store_sales ss "
+                    "WHERE ss.ss_quantity > 30",
+                    "SELECT count(*) AS c FROM customer c "
+                    "WHERE c.c_birth_year > 1970",
+                ]
+            )
+        if args.format == "json":
+            print(json.dumps(obs.metrics_snapshot(), indent=2, default=str))
+        else:
+            print(obs.get_registry().render_prometheus(), end="")
+        return 0
     return 2
 
 

@@ -24,7 +24,9 @@ pickle), so artifacts are safe to load and stable across Python versions.
 from __future__ import annotations
 
 import json
+import struct
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Any, Optional, Protocol, Type, runtime_checkable
 
@@ -196,9 +198,18 @@ def read_state(
             arrays = {
                 key: data[key] for key in data.files if key != "__manifest__"
             }
-    except (OSError, zipfile.BadZipFile, ValueError) as error:
-        # np.load raises BadZipFile for truncated/corrupt .npz files and
-        # ValueError for pickled payloads (refused by allow_pickle=False).
+    except (
+        OSError,
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+        EOFError,
+        ValueError,
+    ) as error:
+        # np.load raises BadZipFile for truncated/corrupt .npz files,
+        # ValueError for pickled payloads (refused by allow_pickle=False),
+        # and leaks zlib.error / struct.error / EOFError when the damage
+        # hits a member's compressed payload instead of the zip directory.
         raise ModelError(f"cannot read model artifact {path}: {error}") from error
     version = manifest.get("schema_version")
     if version != MODEL_SCHEMA_VERSION:

@@ -39,6 +39,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.errors import ModelError, NotFittedError
+from repro.obs.trace import span
 from repro.rng import child_generator
 
 __all__ = [
@@ -174,21 +175,27 @@ class KCCA:
             raise ModelError("KCCA needs at least two training points")
         d = min(self.n_components, n - 1)
 
-        kx_c = center_kernel(kx)
-        ky_c = center_kernel(ky)
-        ridge = self.regularization * n
-        if self.approximation == "nystrom":
-            self._fit_nystrom(kx_c, ky_c, ridge, d)
-        else:
-            self._fit_exact(kx_c, ky_c, ridge, d)
-        self._kx_centered = kx_c
-        self._ky_centered = ky_c
-        self._kx_train = kx
-        # Project the training set once; fit already paid for the centred
-        # kernels, so downstream consumers (predictor, confidence) reuse
-        # these buffers instead of redoing the N x N @ N x d product.
-        self._x_proj = kx_c @ self.alpha
-        self._y_proj = ky_c @ self.beta
+        with span(
+            "kcca.fit", n=n, approximation=self.approximation, rank=self.rank
+        ):
+            kx_c = center_kernel(kx)
+            ky_c = center_kernel(ky)
+            ridge = self.regularization * n
+            if self.approximation == "nystrom":
+                with span("kcca.fit.nystrom"):
+                    self._fit_nystrom(kx_c, ky_c, ridge, d)
+            else:
+                with span("kcca.fit.exact"):
+                    self._fit_exact(kx_c, ky_c, ridge, d)
+            self._kx_centered = kx_c
+            self._ky_centered = ky_c
+            self._kx_train = kx
+            # Project the training set once; fit already paid for the
+            # centred kernels, so downstream consumers (predictor,
+            # confidence) reuse these buffers instead of redoing the
+            # N x N @ N x d product.
+            self._x_proj = kx_c @ self.alpha
+            self._y_proj = ky_c @ self.beta
         return self
 
     def _fit_exact(
@@ -279,8 +286,9 @@ class KCCA:
         Returns M x d coordinates in the query projection.
         """
         self._require_fitted()
-        centered = center_cross_kernel(cross_kernel, self._kx_train)
-        return centered @ self.alpha
+        with span("kcca.project", n=int(np.asarray(cross_kernel).shape[0])):
+            centered = center_cross_kernel(cross_kernel, self._kx_train)
+            return centered @ self.alpha
 
     def state_dict(self) -> dict:
         """Constructor arguments plus fitted dual coefficients."""

@@ -69,6 +69,9 @@ class OnlinePredictor(SerializableModel):
         self._since_refit = 0
         self._model: Optional[KCCAPredictor] = None
         self.refit_count = 0
+        # Runtime-only wiring (not persisted): a DriftMonitor fed with
+        # each observation's pre-refit residual; see set_monitor().
+        self._monitor = None
 
     # ------------------------------------------------------------------
 
@@ -115,6 +118,24 @@ class OnlinePredictor(SerializableModel):
         self._refit()
         return self
 
+    def set_monitor(self, monitor) -> "OnlinePredictor":
+        """Attach a :class:`repro.obs.drift.DriftMonitor` (or None).
+
+        Every subsequent :meth:`observe` first predicts the incoming
+        query with the *current* model and feeds the (predicted, actual)
+        pair to the monitor — the residual a live deployment would see,
+        measured before the observation can influence a refit.  The
+        monitor is runtime wiring and is not persisted by
+        :meth:`state_dict`; re-attach after :meth:`load_state_dict`.
+        """
+        self._monitor = monitor
+        return self
+
+    @property
+    def monitor(self):
+        """The attached drift monitor, or None."""
+        return self._monitor
+
     def observe(
         self, features: np.ndarray, performance: np.ndarray
     ) -> None:
@@ -123,6 +144,9 @@ class OnlinePredictor(SerializableModel):
         performance = np.asarray(performance, dtype=float).ravel()
         if self._features and len(features) != len(self._features[0]):
             raise ModelError("feature width changed mid-stream")
+        if self._monitor is not None and self._model is not None:
+            predicted = self._model.predict(features[None, :])[0]
+            self._monitor.record(predicted, performance)
         self._features.append(features)
         self._performance.append(performance)
         self._since_refit += 1

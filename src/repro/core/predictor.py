@@ -39,6 +39,7 @@ from repro.core.kernels import (
 )
 from repro.core.neighbors import combine_neighbors, nearest_neighbors
 from repro.errors import ModelError, NotFittedError
+from repro.obs.trace import span
 
 __all__ = ["KCCAPredictor", "PredictionDetail"]
 
@@ -186,23 +187,25 @@ class KCCAPredictor(SerializableModel):
                 "training set must exceed the neighbour count "
                 f"({query_features.shape[0]} <= {self.k_neighbors})"
             )
-        fx = self._x_scaler.fit_transform(query_features)
-        fy = self._y_scaler.fit_transform(performance)
-        self._tau_x = (
-            self.query_tau
-            if self.query_tau is not None
-            else scale_factor_heuristic(fx, self.query_scale_fraction)
-        )
-        tau_y = (
-            self.performance_tau
-            if self.performance_tau is not None
-            else scale_factor_heuristic(fy, self.performance_scale_fraction)
-        )
-        kx = gaussian_kernel_matrix(fx, self._tau_x)
-        ky = gaussian_kernel_matrix(fy, tau_y)
-        self._kcca.fit(kx, ky)
-        self._train_features = fx
-        self._train_performance = performance.copy()
+        with span("predictor.fit", n=query_features.shape[0]):
+            fx = self._x_scaler.fit_transform(query_features)
+            fy = self._y_scaler.fit_transform(performance)
+            self._tau_x = (
+                self.query_tau
+                if self.query_tau is not None
+                else scale_factor_heuristic(fx, self.query_scale_fraction)
+            )
+            tau_y = (
+                self.performance_tau
+                if self.performance_tau is not None
+                else scale_factor_heuristic(fy, self.performance_scale_fraction)
+            )
+            with span("predictor.kernels"):
+                kx = gaussian_kernel_matrix(fx, self._tau_x)
+                ky = gaussian_kernel_matrix(fy, tau_y)
+            self._kcca.fit(kx, ky)
+            self._train_features = fx
+            self._train_performance = performance.copy()
         return self
 
     # ------------------------------------------------------------------
@@ -238,20 +241,26 @@ class KCCAPredictor(SerializableModel):
     def project(self, query_features: np.ndarray) -> np.ndarray:
         """Coordinates of new queries in the query projection."""
         self._require_fitted()
-        features = np.atleast_2d(np.asarray(query_features, dtype=np.float64))
-        fx = self._x_scaler.transform(features)
-        cross = gaussian_kernel_cross(fx, self._train_features, self._tau_x)
-        return self._kcca.project_x(cross)
+        with span("predictor.project"):
+            features = np.atleast_2d(
+                np.asarray(query_features, dtype=np.float64)
+            )
+            fx = self._x_scaler.transform(features)
+            cross = gaussian_kernel_cross(
+                fx, self._train_features, self._tau_x
+            )
+            return self._kcca.project_x(cross)
 
     def predict(self, query_features: np.ndarray) -> np.ndarray:
         """Predicted performance vectors, shape (m, n_metrics)."""
         coords = self.project(query_features)
-        indices, distances = nearest_neighbors(
-            coords,
-            self._x_projection,
-            self.k_neighbors,
-            metric=self.distance_metric,
-        )
+        with span("predictor.knn", n=coords.shape[0], k=self.k_neighbors):
+            indices, distances = nearest_neighbors(
+                coords,
+                self._x_projection,
+                self.k_neighbors,
+                metric=self.distance_metric,
+            )
         predictions = np.vstack(
             [
                 combine_neighbors(
@@ -280,12 +289,13 @@ class KCCAPredictor(SerializableModel):
     def predict_detailed(self, query_features: np.ndarray) -> list[PredictionDetail]:
         """Per-query predictions with neighbour evidence and confidence."""
         coords = self.project(query_features)
-        indices, distances = nearest_neighbors(
-            coords,
-            self._x_projection,
-            self.k_neighbors,
-            metric=self.distance_metric,
-        )
+        with span("predictor.knn", n=coords.shape[0], k=self.k_neighbors):
+            indices, distances = nearest_neighbors(
+                coords,
+                self._x_projection,
+                self.k_neighbors,
+                metric=self.distance_metric,
+            )
         details = []
         for i in range(coords.shape[0]):
             prediction = combine_neighbors(

@@ -32,6 +32,12 @@ from repro.engine.operators import (
 from repro.engine.plan import OperatorKind, PlanNode
 from repro.engine.system import SystemConfig
 from repro.engine.timing import ResourceModel
+
+# Submodule imports on purpose: the repro.obs package pulls in the drift
+# monitor, which imports repro.engine.metrics — importing the package
+# here would close an import cycle through repro.engine.__init__.
+from repro.obs.metrics import get_registry, metrics_enabled, timed
+from repro.obs.trace import span
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.partition import partition_counts, skew_factor
@@ -85,20 +91,32 @@ class Executor:
             plan: physical plan (usually rooted at a ROOT operator).
             rng: source of timing noise; pass None for deterministic time.
         """
-        acc = MetricsAccumulator()
-        model = ResourceModel(self.config, self.buffer_pool, acc)
-        batch = self._run(plan, model)
-        metrics = PerformanceMetrics(
-            elapsed_time=model.elapsed_seconds(rng),
-            records_accessed=acc.records_accessed,
-            records_used=acc.records_used,
-            disk_ios=acc.disk_ios,
-            message_count=acc.message_count,
-            message_bytes=acc.message_bytes,
-            cpu_seconds=acc.cpu_seconds,
-            rows_returned=batch.n_rows,
-        )
-        return ExecutionResult(batch, metrics)
+        with span("engine.execute") as current, timed(
+            "repro_execute_seconds", "repro_execute_queries_total"
+        ):
+            acc = MetricsAccumulator()
+            model = ResourceModel(self.config, self.buffer_pool, acc)
+            batch = self._run(plan, model)
+            metrics = PerformanceMetrics(
+                elapsed_time=model.elapsed_seconds(rng),
+                records_accessed=acc.records_accessed,
+                records_used=acc.records_used,
+                disk_ios=acc.disk_ios,
+                message_count=acc.message_count,
+                message_bytes=acc.message_bytes,
+                cpu_seconds=acc.cpu_seconds,
+                rows_returned=batch.n_rows,
+            )
+            current.set(
+                simulated_elapsed=metrics.elapsed_time,
+                rows_returned=batch.n_rows,
+            )
+            if metrics_enabled():
+                get_registry().histogram(
+                    "repro_simulated_elapsed_seconds",
+                    "simulated per-query elapsed time",
+                ).observe(metrics.elapsed_time)
+            return ExecutionResult(batch, metrics)
 
     # ------------------------------------------------------------------
 

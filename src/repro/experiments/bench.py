@@ -35,6 +35,8 @@ from repro.core.kernels import gaussian_kernel_matrix, scale_factor_heuristic
 from repro.core.predictor import KCCAPredictor
 from repro.engine.system import research_4node
 from repro.experiments.corpus import build_corpus
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.workloads.generator import generate_pool
 from repro.workloads.tpcds import build_tpcds_catalog
 
@@ -44,6 +46,7 @@ __all__ = [
     "bench_corpus_build",
     "bench_kcca_fit",
     "bench_predict_latency",
+    "bench_observability_overhead",
     "run_benchmarks",
     "format_report",
 ]
@@ -235,6 +238,71 @@ def bench_predict_latency(
 
 
 # ----------------------------------------------------------------------
+# Observability overhead
+# ----------------------------------------------------------------------
+
+
+def bench_observability_overhead(
+    n_train: int = 800,
+    batch: int = 16,
+    repeats: int = 50,
+    seed: int = 3,
+) -> dict:
+    """Predict latency with observability off vs. fully on.
+
+    The obs layer's contract is "safe to leave in the hot path": the
+    disabled cost is one flag check per instrumented call site.  This
+    measures both sides of that claim — the *disabled* overhead is what
+    the acceptance criterion bounds (p95 within 5 % of the pre-obs
+    baseline), and the *enabled* column documents the price of turning
+    tracing + metrics on (spans are drained every iteration so the trace
+    tree cannot grow across repeats).
+    """
+    features, performance = _synthetic_training_data(
+        n_train + batch, seed=seed
+    )
+    pipeline_model = KCCAPredictor().fit(
+        features[:n_train], performance[:n_train]
+    )
+    queries = features[n_train:n_train + batch]
+
+    def measure() -> tuple[float, float]:
+        pipeline_model.predict(queries)  # warm
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pipeline_model.predict(queries)
+            samples.append(time.perf_counter() - start)
+            _obs_trace.drain_trace()
+        p50, p95 = np.percentile(samples, [50, 95])
+        return float(p50) * 1e3, float(p95) * 1e3
+
+    was_tracing = _obs_trace.tracing_enabled()
+    was_metrics = _obs_metrics.metrics_enabled()
+    try:
+        _obs_trace.disable_tracing()
+        _obs_metrics.disable_metrics()
+        off_p50, off_p95 = measure()
+        _obs_trace.enable_tracing()
+        _obs_metrics.enable_metrics()
+        on_p50, on_p95 = measure()
+    finally:
+        if not was_tracing:
+            _obs_trace.disable_tracing()
+        if not was_metrics:
+            _obs_metrics.disable_metrics()
+        _obs_trace.drain_trace()
+    return {
+        "n_train": n_train,
+        "batch": batch,
+        "repeats": repeats,
+        "disabled": {"p50_ms": off_p50, "p95_ms": off_p95},
+        "enabled": {"p50_ms": on_p50, "p95_ms": on_p95},
+        "enabled_overhead_pct": (on_p95 / off_p95 - 1.0) * 100.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -259,10 +327,14 @@ def run_benchmarks(
         predict = bench_predict_latency(
             n_train=200, batch_sizes=(1, 16), repeats=10
         )
+        observability = bench_observability_overhead(
+            n_train=200, batch=16, repeats=10
+        )
     else:
         corpus = bench_corpus_build(jobs_list=(1, jobs))
         kcca = bench_kcca_fit()
         predict = bench_predict_latency()
+        observability = bench_observability_overhead()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -272,6 +344,7 @@ def run_benchmarks(
         "corpus_build": corpus,
         "kcca_fit": kcca,
         "predict_latency": predict,
+        "observability": observability,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -319,5 +392,21 @@ def format_report(report: dict) -> str:
             f"  batch={row['batch']:<4} p50 {row['p50_ms']:7.2f}ms  "
             f"p95 {row['p95_ms']:7.2f}ms  "
             f"{row['p50_us_per_query']:8.1f}us/query"
+        )
+    observability = report.get("observability")
+    if observability is not None:
+        lines.append("")
+        lines.append(
+            f"observability overhead "
+            f"(batch={observability['batch']}, predict):"
+        )
+        lines.append(
+            f"  disabled  p50 {observability['disabled']['p50_ms']:7.2f}ms  "
+            f"p95 {observability['disabled']['p95_ms']:7.2f}ms"
+        )
+        lines.append(
+            f"  enabled   p50 {observability['enabled']['p50_ms']:7.2f}ms  "
+            f"p95 {observability['enabled']['p95_ms']:7.2f}ms  "
+            f"(+{observability['enabled_overhead_pct']:.1f}% p95)"
         )
     return "\n".join(lines)

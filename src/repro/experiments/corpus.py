@@ -34,6 +34,14 @@ from repro.core.features import plan_feature_vector
 from repro.engine import Executor, PerformanceMetrics, SystemConfig
 from repro.engine.metrics import METRIC_NAMES
 from repro.errors import ReproError
+from repro.obs.trace import (
+    attach_spans,
+    enable_tracing,
+    export_trace,
+    reset_trace,
+    span,
+    tracing_enabled,
+)
 from repro.optimizer import Optimizer
 from repro.rng import child_generator
 from repro.sql.text_features import sql_text_features
@@ -147,9 +155,10 @@ def _execute_instance(
     config_name, query_id)`` alone — never from loop order or worker
     identity — which is what makes the fan-out deterministic.
     """
-    optimized = optimizer.optimize(instance.sql)
-    rng = child_generator(noise_seed, f"{config_name}:{instance.query_id}")
-    result = executor.execute(optimized.plan, rng=rng)
+    with span("corpus.execute", query_id=instance.query_id):
+        optimized = optimizer.optimize(instance.sql)
+        rng = child_generator(noise_seed, f"{config_name}:{instance.query_id}")
+        result = executor.execute(optimized.plan, rng=rng)
     return ExecutedQuery(
         query_id=instance.query_id,
         template=instance.template,
@@ -169,11 +178,22 @@ def _execute_instance(
 _WORKER: dict = {}
 
 
-def _worker_init(catalog: Catalog, config: SystemConfig, noise_seed: int) -> None:
+def _worker_init(
+    catalog: Catalog,
+    config: SystemConfig,
+    noise_seed: int,
+    trace: bool = False,
+) -> None:
     _WORKER["optimizer"] = Optimizer(catalog, config)
     _WORKER["executor"] = Executor(catalog, config)
     _WORKER["config_name"] = config.name
     _WORKER["noise_seed"] = noise_seed
+    if trace:
+        # Under spawn the parent's tracing flag does not propagate; under
+        # fork the worker inherits the parent's *open* span stack, which
+        # would swallow worker spans.  Reset, then enable.
+        reset_trace()
+        enable_tracing()
 
 
 def _worker_execute(instance: QueryInstance) -> ExecutedQuery:
@@ -184,6 +204,20 @@ def _worker_execute(instance: QueryInstance) -> ExecutedQuery:
         _WORKER["noise_seed"],
         instance,
     )
+
+
+def _worker_execute_traced(
+    instance: QueryInstance,
+) -> tuple[ExecutedQuery, list[dict]]:
+    """Traced worker path: ship the record plus its span dicts back.
+
+    Span objects are not pickled — :func:`export_trace` flattens them to
+    plain dicts, which the parent grafts into its own live trace with
+    :func:`attach_spans` so a parallel build's trace reads like a serial
+    one's.
+    """
+    record = _worker_execute(instance)
+    return record, export_trace(drain=True)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -216,21 +250,24 @@ def build_corpus(
     """
     pool = list(pool)
     jobs = resolve_jobs(jobs)
-    if jobs > 1 and len(pool) > 1:
-        executed = _build_parallel(catalog, config, pool, noise_seed,
-                                   progress, jobs)
-    else:
-        optimizer = Optimizer(catalog, config)
-        executor = Executor(catalog, config)
-        executed = []
-        for index, instance in enumerate(pool):
-            executed.append(
-                _execute_instance(
-                    optimizer, executor, config.name, noise_seed, instance
+    with span(
+        "corpus.build", n=len(pool), jobs=jobs, config=config.name
+    ):
+        if jobs > 1 and len(pool) > 1:
+            executed = _build_parallel(catalog, config, pool, noise_seed,
+                                       progress, jobs)
+        else:
+            optimizer = Optimizer(catalog, config)
+            executor = Executor(catalog, config)
+            executed = []
+            for index, instance in enumerate(pool):
+                executed.append(
+                    _execute_instance(
+                        optimizer, executor, config.name, noise_seed, instance
+                    )
                 )
-            )
-            if progress is not None:
-                progress(index + 1, len(pool))
+                if progress is not None:
+                    progress(index + 1, len(pool))
     return Corpus(executed, config.name)
 
 
@@ -248,13 +285,20 @@ def _build_parallel(
     # feather); map() yields results in submission order, so the corpus
     # layout is independent of completion order.
     chunksize = max(1, len(pool) // (jobs * 8))
+    traced = tracing_enabled()
+    work = _worker_execute_traced if traced else _worker_execute
     executed: list[ExecutedQuery] = []
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_worker_init,
-        initargs=(catalog, config, noise_seed),
+        initargs=(catalog, config, noise_seed, traced),
     ) as workers:
-        for record in workers.map(_worker_execute, pool, chunksize=chunksize):
+        for result in workers.map(work, pool, chunksize=chunksize):
+            if traced:
+                record, worker_spans = result
+                attach_spans(worker_spans)
+            else:
+                record = result
             executed.append(record)
             if progress is not None:
                 progress(len(executed), len(pool))

@@ -1,0 +1,83 @@
+"""Observability for the train/serve path: tracing, metrics, drift.
+
+Three zero-dependency building blocks (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.trace` — nestable :func:`span` context managers
+  recording wall/CPU time and attributes into a thread-local trace tree,
+  exportable as JSON and mergeable across worker processes;
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
+  gauges and fixed-bucket histograms with :func:`metrics_snapshot` and a
+  Prometheus text export;
+* :mod:`repro.obs.drift` — :class:`DriftMonitor`, tracking the paper's
+  within-20 %-relative-error fraction over a sliding window of live
+  (predicted, actual) pairs and flagging degradation.
+
+Everything is **disabled by default**: the instrumented hot path costs a
+flag check per call site until :func:`enable_tracing` /
+:func:`enable_metrics` opt in, so observability can ship inside the
+production code rather than bolted onto benchmarks.
+"""
+
+from repro.obs.drift import DriftMonitor, relative_errors
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    reset_metrics,
+    timed,
+)
+from repro.obs.trace import (
+    Span,
+    attach_spans,
+    disable_tracing,
+    drain_trace,
+    enable_tracing,
+    export_trace,
+    pretty_trace,
+    reset_trace,
+    span,
+    trace_roots,
+    tracing_enabled,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "trace_roots",
+    "drain_trace",
+    "export_trace",
+    "attach_spans",
+    "pretty_trace",
+    "reset_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "metrics_snapshot",
+    "reset_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "timed",
+    # drift
+    "DriftMonitor",
+    "relative_errors",
+]
+
+
+def metrics_snapshot() -> dict:
+    """Snapshot of the default registry (``{name: state}``)."""
+    return get_registry().snapshot()

@@ -1,0 +1,206 @@
+"""Prediction-accuracy drift monitoring over live traffic.
+
+The paper's headline result is that 85 % of test queries land within
+20 % relative error on elapsed time (Section VII-A).  That number is a
+*training-time* promise; the LinkedIn operability study (PAPERS.md) found
+that what actually breaks deployed predictors is the serving distribution
+drifting away from it — new plan shapes, changed hardware, the paper's
+own post-OS-upgrade bowling balls (Figure 10).
+
+:class:`DriftMonitor` turns the headline metric into a live signal: feed
+it windowed (predicted, actual) pairs — e.g. from
+:meth:`repro.core.online.OnlinePredictor.observe` — and it tracks, per
+performance metric, the fraction of recent queries within ``tolerance``
+relative error.  When that fraction falls below ``floor`` for any watched
+metric the monitor flips ``degraded``; when the window recovers, the flag
+clears.  ``status()`` gives the full picture for dashboards, and when
+metric recording is enabled the monitor mirrors its fractions into the
+global registry as gauges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.metrics import METRIC_NAMES
+from repro.errors import ModelError
+from repro.obs import metrics as _metrics
+
+__all__ = ["DriftMonitor", "relative_errors"]
+
+#: Denominator floor so zero-valued actuals do not produce infinities.
+_EPSILON = 1e-9
+
+
+def relative_errors(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Element-wise ``|predicted - actual| / max(|actual|, eps)``."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    return np.abs(predicted - actual) / np.maximum(np.abs(actual), _EPSILON)
+
+
+class DriftMonitor:
+    """Windowed within-tolerance accuracy tracking with a degradation flag.
+
+    Args:
+        floor: minimum acceptable within-tolerance fraction (the paper's
+            envelope: 0.85).
+        tolerance: relative-error bound counted as "within" (paper: 0.20).
+        window: number of recent observations the fraction is computed
+            over.
+        min_samples: observations required before the flag may flip —
+            a cold window says nothing yet.
+        metric_names: performance metrics to monitor; defaults to all six
+            paper metrics (prediction vectors must carry them in
+            :data:`~repro.engine.metrics.METRIC_NAMES` order).
+    """
+
+    def __init__(
+        self,
+        floor: float = 0.85,
+        tolerance: float = 0.20,
+        window: int = 200,
+        min_samples: int = 20,
+        metric_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not 0.0 < floor <= 1.0:
+            raise ModelError("floor must be in (0, 1]")
+        if tolerance <= 0:
+            raise ModelError("tolerance must be positive")
+        if window < 1:
+            raise ModelError("window must be >= 1")
+        if not 1 <= min_samples <= window:
+            raise ModelError("min_samples must be in [1, window]")
+        self.floor = floor
+        self.tolerance = tolerance
+        self.window = window
+        self.min_samples = min_samples
+        self.metric_names = tuple(metric_names or METRIC_NAMES)
+        #: Per metric: deque of bools (within tolerance?) bounded by window.
+        self._within: dict[str, deque] = {
+            name: deque(maxlen=window) for name in self.metric_names
+        }
+        self.total_observations = 0
+
+    # ------------------------------------------------------------------
+
+    def record(self, predicted: np.ndarray, actual: np.ndarray) -> None:
+        """Record one or more (predicted, actual) performance pairs.
+
+        Accepts single vectors of ``len(metric_names)`` or matrices of
+        such rows.  This is the hook :class:`OnlinePredictor` calls with
+        its pre-refit residuals.
+        """
+        predicted = np.atleast_2d(np.asarray(predicted, dtype=np.float64))
+        actual = np.atleast_2d(np.asarray(actual, dtype=np.float64))
+        if predicted.shape != actual.shape:
+            raise ModelError("predicted and actual shapes differ")
+        if predicted.shape[1] < len(self.metric_names):
+            raise ModelError(
+                f"expected >= {len(self.metric_names)} metrics per row, "
+                f"got {predicted.shape[1]}"
+            )
+        errors = relative_errors(predicted, actual)
+        within = errors <= self.tolerance
+        for row in within:
+            for index, name in enumerate(self.metric_names):
+                self._within[name].append(bool(row[index]))
+        self.total_observations += predicted.shape[0]
+        self._publish(predicted.shape[0])
+
+    def _publish(self, new_observations: int) -> None:
+        """Mirror the current state into the global metrics registry."""
+        if not _metrics.metrics_enabled():
+            return
+        registry = _metrics.get_registry()
+        registry.counter(
+            "repro_drift_observations_total",
+            "prediction/actual pairs fed to the drift monitor",
+        ).inc(new_observations)
+        for name in self.metric_names:
+            fraction = self.accuracy(name)
+            if not np.isnan(fraction):
+                registry.gauge(
+                    f"repro_drift_within_fraction_{name}",
+                    f"windowed fraction of {name} predictions within "
+                    f"{self.tolerance:.0%} relative error",
+                ).set(fraction)
+        registry.gauge(
+            "repro_drift_degraded",
+            "1 while any monitored metric is below the accuracy floor",
+        ).set(1.0 if self.degraded else 0.0)
+
+    # ------------------------------------------------------------------
+
+    def accuracy(self, metric: Optional[str] = None) -> float:
+        """Windowed within-tolerance fraction for ``metric``.
+
+        With ``metric=None`` returns the *worst* fraction across watched
+        metrics (the one that governs :attr:`degraded`).  NaN while the
+        window is empty.
+        """
+        if metric is not None:
+            if metric not in self._within:
+                raise ModelError(f"unmonitored metric {metric!r}")
+            window = self._within[metric]
+            if not window:
+                return float("nan")
+            return sum(window) / len(window)
+        fractions = [
+            self.accuracy(name)
+            for name in self.metric_names
+            if self._within[name]
+        ]
+        return min(fractions) if fractions else float("nan")
+
+    def _metric_degraded(self, name: str) -> bool:
+        window = self._within[name]
+        if len(window) < self.min_samples:
+            return False
+        return (sum(window) / len(window)) < self.floor
+
+    @property
+    def degraded_metrics(self) -> list[str]:
+        """Watched metrics currently below the floor (window permitting)."""
+        return [n for n in self.metric_names if self._metric_degraded(n)]
+
+    @property
+    def degraded(self) -> bool:
+        """True while any watched metric's windowed accuracy < floor.
+
+        Self-clearing: once enough accurate observations push the window
+        fraction back above the floor, the flag drops.
+        """
+        return bool(self.degraded_metrics)
+
+    def status(self) -> dict:
+        """Full JSON-able state for dashboards / the CLI."""
+        return {
+            "floor": self.floor,
+            "tolerance": self.tolerance,
+            "window": self.window,
+            "min_samples": self.min_samples,
+            "total_observations": self.total_observations,
+            "degraded": self.degraded,
+            "metrics": {
+                name: {
+                    "samples": len(self._within[name]),
+                    "within_fraction": (
+                        sum(self._within[name]) / len(self._within[name])
+                        if self._within[name]
+                        else None
+                    ),
+                    "degraded": self._metric_degraded(name),
+                }
+                for name in self.metric_names
+            },
+        }
+
+    def reset(self) -> None:
+        """Empty the window (e.g. after an intentional model swap)."""
+        for window in self._within.values():
+            window.clear()
+        self.total_observations = 0

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.engine.plan import OperatorKind, PlanNode
 from repro.engine.system import SystemConfig
 from repro.errors import OptimizerError
+from repro.obs.trace import span
 from repro.optimizer.cardinality import (
     RelEstimate,
     group_by_estimate,
@@ -102,13 +103,22 @@ class Optimizer:
 
     def optimize(self, query: Query | str) -> OptimizedQuery:
         """Plan ``query`` (AST or SQL text) into a physical plan."""
-        if isinstance(query, str):
-            query = parse(query)
-        plan, estimate, qualified = self._plan_block(query, top_level=True)
-        cost = plan_cost(plan, self.catalog)
-        return OptimizedQuery(
-            plan=plan, cost=cost, estimated_rows=estimate.rows, query=qualified
-        )
+        with span("optimizer.optimize") as current:
+            if isinstance(query, str):
+                query = parse(query)
+            plan, estimate, qualified = self._plan_block(query, top_level=True)
+            cost = plan_cost(plan, self.catalog)
+            current.set(
+                tables=len(qualified.tables),
+                cost=float(cost),
+                estimated_rows=float(estimate.rows),
+            )
+            return OptimizedQuery(
+                plan=plan,
+                cost=cost,
+                estimated_rows=estimate.rows,
+                query=qualified,
+            )
 
     def optimize_many(
         self, queries: Sequence[Query | str]
@@ -119,7 +129,8 @@ class Optimizer:
         all plans are produced against one consistent view of the catalog
         statistics, and callers get them in input order.
         """
-        return [self.optimize(query) for query in queries]
+        with span("optimizer.optimize_many", n=len(queries)):
+            return [self.optimize(query) for query in queries]
 
     # ------------------------------------------------------------------
     # Block planning

@@ -43,6 +43,8 @@ from repro.engine.metrics import METRIC_NAMES
 from repro.engine.plan import PlanNode
 from repro.engine.system import SystemConfig
 from repro.errors import ModelError
+from repro.obs.metrics import get_registry, metrics_enabled, timed
+from repro.obs.trace import span
 from repro.pipeline.artifact import (
     ARTIFACT_SCHEMA_VERSION,
     catalog_fingerprint,
@@ -126,7 +128,8 @@ class PredictionPipeline:
 
     def featurize(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Stage 1: plans to the (n, width) feature matrix."""
-        return self.feature_space.matrix_from_plans(plans)
+        with span("pipeline.featurize", n=len(plans)):
+            return self.feature_space.matrix_from_plans(plans)
 
     # ------------------------------------------------------------------
     # Training
@@ -146,18 +149,29 @@ class PredictionPipeline:
             optimizer_costs: per-query abstract optimizer costs; enables
                 the calibration stage when given.
         """
-        self.model.fit(features, performance)
-        scorer = self.scorer
-        self.confidence = (
-            ConfidenceModel(scorer, threshold=self.confidence_threshold)
-            if scorer is not None
-            else None
-        )
-        if optimizer_costs is not None and len(optimizer_costs) >= 3:
-            elapsed = np.asarray(performance, dtype=np.float64)[
-                :, _ELAPSED_INDEX
-            ]
-            self.calibrator = CostCalibrator().fit(optimizer_costs, elapsed)
+        with span(
+            "pipeline.fit",
+            n=int(np.asarray(features).shape[0]),
+            model=type(self.model).__name__,
+        ), timed("repro_pipeline_fit_seconds"):
+            self.model.fit(features, performance)
+            scorer = self.scorer
+            with span("pipeline.fit.confidence"):
+                self.confidence = (
+                    ConfidenceModel(scorer, threshold=self.confidence_threshold)
+                    if scorer is not None
+                    else None
+                )
+            if optimizer_costs is not None and len(optimizer_costs) >= 3:
+                elapsed = np.asarray(performance, dtype=np.float64)[
+                    :, _ELAPSED_INDEX
+                ]
+                self.calibrator = CostCalibrator().fit(optimizer_costs, elapsed)
+            if metrics_enabled():
+                get_registry().gauge(
+                    "repro_model_train_size",
+                    "training rows behind the active pipeline model",
+                ).set(np.asarray(features).shape[0])
         return self
 
     def fit_corpus(self, corpus: "Corpus") -> "PredictionPipeline":
@@ -175,7 +189,12 @@ class PredictionPipeline:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predicted performance vectors, shape (n, n_metrics)."""
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        return self.model.predict(features)
+        with span("pipeline.predict", n=features.shape[0]), timed(
+            "repro_predict_seconds",
+            "repro_predict_queries_total",
+            features.shape[0],
+        ):
+            return self.model.predict(features)
 
     def predict_many(self, features: np.ndarray) -> np.ndarray:
         """Batch alias of :meth:`predict` (one kernel-cross per model)."""
@@ -190,21 +209,37 @@ class PredictionPipeline:
         rather than 2N.
         """
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        predict_batch = getattr(self.model, "predict_batch", None)
-        if predict_batch is not None:
-            predictions, details = predict_batch(features)
-        else:
-            predictions, details = self.model.predict(features), None
-        if self.confidence is not None and details is not None:
-            reports: Sequence[Optional[ConfidenceReport]] = (
-                self.confidence.assess_details(details)
-            )
-        else:
-            reports = [None] * predictions.shape[0]
-        return [
-            ScoredPrediction(prediction=predictions[i], confidence=reports[i])
-            for i in range(predictions.shape[0])
-        ]
+        with span("pipeline.score_many", n=features.shape[0]), timed(
+            "repro_predict_seconds",
+            "repro_predict_queries_total",
+            features.shape[0],
+        ):
+            predict_batch = getattr(self.model, "predict_batch", None)
+            if predict_batch is not None:
+                predictions, details = predict_batch(features)
+            else:
+                predictions, details = self.model.predict(features), None
+            with span("pipeline.confidence"):
+                if self.confidence is not None and details is not None:
+                    reports: Sequence[Optional[ConfidenceReport]] = (
+                        self.confidence.assess_details(details)
+                    )
+                else:
+                    reports = [None] * predictions.shape[0]
+            if metrics_enabled():
+                anomalous = sum(
+                    1 for r in reports if r is not None and r.anomalous
+                )
+                get_registry().counter(
+                    "repro_confidence_anomalous_total",
+                    "queries flagged far from the training distribution",
+                ).inc(anomalous)
+            return [
+                ScoredPrediction(
+                    prediction=predictions[i], confidence=reports[i]
+                )
+                for i in range(predictions.shape[0])
+            ]
 
     def calibrated_seconds(self, optimizer_costs: np.ndarray) -> np.ndarray:
         """Stage 3: optimizer cost units to calibrated wall-clock seconds."""

@@ -1,0 +1,146 @@
+"""ConfidenceModel / ConfidenceReport tests (paper Section VII-C.3).
+
+The confidence machinery flags queries whose projection lands far from
+everything seen in training (the paper's post-OS-upgrade bowling balls).
+These tests pin the calibration round-trip, the threshold semantics and
+the near/far behaviour on controlled fixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import (
+    ConfidenceModel,
+    ConfidenceReport,
+    neighbor_confidence,
+)
+from repro.core.predictor import KCCAPredictor, PredictionDetail
+from repro.errors import ModelError
+
+
+def _training_data(n=60, n_features=6, n_metrics=6, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.lognormal(mean=2.0, sigma=1.0, size=(n, n_features))
+    weights = rng.uniform(0.3, 1.0, size=(n_features, n_metrics))
+    performance = np.log1p(features) @ weights
+    return features, performance
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor():
+    features, performance = _training_data()
+    return KCCAPredictor(n_components=4).fit(features, performance)
+
+
+def _detail(distance: float) -> PredictionDetail:
+    return PredictionDetail(
+        prediction=np.zeros(6),
+        neighbor_indices=np.arange(3),
+        neighbor_distances=np.full(3, distance),
+        confidence_distance=distance,
+    )
+
+
+class TestThresholdSemantics:
+    """assess_details against a hand-set calibration: exact z-scores."""
+
+    def _model(self, threshold=3.0):
+        # predictor is only consulted by assess(), not assess_details().
+        return ConfidenceModel.from_calibration(
+            predictor=None, median=1.0, scale=0.5, threshold=threshold
+        )
+
+    def test_zscore_formula(self):
+        (report,) = self._model().assess_details([_detail(2.0)])
+        assert isinstance(report, ConfidenceReport)
+        assert report.distance == 2.0
+        assert report.zscore == pytest.approx((2.0 - 1.0) / 0.5)
+        assert not report.anomalous
+
+    def test_at_threshold_not_anomalous(self):
+        # z == threshold exactly: strict inequality, still ok.
+        (report,) = self._model(threshold=2.0).assess_details([_detail(2.0)])
+        assert report.zscore == pytest.approx(2.0)
+        assert not report.anomalous
+
+    def test_beyond_threshold_anomalous(self):
+        (report,) = self._model(threshold=2.0).assess_details([_detail(2.01)])
+        assert report.anomalous
+
+    def test_below_median_negative_zscore(self):
+        (report,) = self._model().assess_details([_detail(0.5)])
+        assert report.zscore < 0
+        assert not report.anomalous
+
+    def test_batch_order_preserved(self):
+        reports = self._model().assess_details(
+            [_detail(d) for d in (0.5, 1.0, 9.0)]
+        )
+        assert [r.distance for r in reports] == [0.5, 1.0, 9.0]
+        assert [r.anomalous for r in reports] == [False, False, True]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ModelError):
+            ConfidenceModel.from_calibration(
+                predictor=None, median=1.0, scale=0.5, threshold=0.0
+            )
+
+
+class TestCalibration:
+    def test_fit_time_calibration_round_trips(self, fitted_predictor):
+        model = ConfidenceModel(fitted_predictor)
+        median, scale = model.calibration
+        assert scale > 0
+        rebuilt = ConfidenceModel.from_calibration(
+            fitted_predictor, median, scale, threshold=model.threshold
+        )
+        assert rebuilt.calibration == (median, scale)
+        features, _ = _training_data(seed=1)
+        original = model.assess(features[:8])
+        restored = rebuilt.assess(features[:8])
+        for a, b in zip(original, restored):
+            assert a.distance == pytest.approx(b.distance)
+            assert a.zscore == pytest.approx(b.zscore)
+            assert a.anomalous == b.anomalous
+
+    def test_invalid_threshold_on_fit_path(self, fitted_predictor):
+        with pytest.raises(ModelError):
+            ConfidenceModel(fitted_predictor, threshold=-1.0)
+
+
+class TestNearFarFixtures:
+    def test_training_points_look_ordinary(self, fitted_predictor):
+        features, _ = _training_data()
+        reports = ConfidenceModel(fitted_predictor).assess(features)
+        # Training queries sit inside their own distance distribution:
+        # the bulk must be unflagged.
+        flagged = sum(r.anomalous for r in reports)
+        assert flagged <= len(reports) * 0.1
+
+    def test_far_query_scores_higher_than_near(self, fitted_predictor):
+        features, _ = _training_data()
+        near = features[0]
+        far = features.max(axis=0) * 1e4  # way outside the training cloud
+        model = ConfidenceModel(fitted_predictor)
+        near_report, far_report = model.assess(np.vstack([near, far]))
+        assert far_report.distance >= near_report.distance
+        assert far_report.zscore >= near_report.zscore
+
+    def test_one_shot_wrapper_matches_model(self, fitted_predictor):
+        features, _ = _training_data(seed=2)
+        via_wrapper = neighbor_confidence(fitted_predictor, features[:5])
+        via_model = ConfidenceModel(fitted_predictor).assess(features[:5])
+        for a, b in zip(via_wrapper, via_model):
+            assert a == b
+
+    def test_degenerate_identical_training_set_still_finite(self):
+        # All training points identical: MAD is 0, the std fallback kicks
+        # in and z-scores stay finite.
+        features = np.ones((12, 4))
+        performance = np.ones((12, 6))
+        predictor = KCCAPredictor(n_components=2).fit(features, performance)
+        model = ConfidenceModel(predictor)
+        _median, scale = model.calibration
+        assert scale > 0
+        (report,) = model.assess(np.full((1, 4), 50.0))
+        assert np.isfinite(report.zscore)

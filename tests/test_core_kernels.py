@@ -13,12 +13,31 @@ from repro.core.kernels import (
     scale_factor_heuristic,
     squared_distances,
 )
+from repro.core.neighbors import _euclidean_distances, nearest_neighbors
 
 finite_matrix = arrays(
     dtype=np.float64,
     shape=st.tuples(st.integers(2, 12), st.integers(1, 6)),
     elements=st.floats(-50, 50, allow_nan=False),
 )
+
+
+def paired_matrices(max_rows=10, max_cols=5):
+    """Two float matrices sharing a column count (points, reference)."""
+    return st.integers(1, max_cols).flatmap(
+        lambda cols: st.tuples(
+            arrays(
+                dtype=np.float64,
+                shape=st.tuples(st.integers(1, max_rows), st.just(cols)),
+                elements=st.floats(-50, 50, allow_nan=False),
+            ),
+            arrays(
+                dtype=np.float64,
+                shape=st.tuples(st.integers(1, max_rows), st.just(cols)),
+                elements=st.floats(-50, 50, allow_nan=False),
+            ),
+        )
+    )
 
 
 class TestDistances:
@@ -44,6 +63,79 @@ class TestDistances:
     def test_non_negative(self):
         data = np.random.default_rng(2).normal(size=(10, 2)) * 1000
         assert (squared_distances(data) >= 0).all()
+
+
+class TestDistanceProperties:
+    """Hypothesis properties for the distance kernels and the knn helper."""
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_squared_distances_symmetric_nonneg_zero_diag(self, data):
+        distances = squared_distances(data)
+        assert np.allclose(distances, distances.T)
+        assert (distances >= 0).all()
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-7)
+
+    @given(paired_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_cross_squared_matches_naive(self, matrices):
+        points, reference = matrices
+        fast = cross_squared_distances(points, reference)
+        naive = ((points[:, None, :] - reference[None, :, :]) ** 2).sum(
+            axis=2
+        )
+        # The expansion trick loses precision relative to the naive
+        # broadcast at large magnitudes; bound the absolute error by the
+        # scale of the squared values involved.
+        scale = max(float(naive.max()), 1.0)
+        assert fast.shape == naive.shape
+        assert np.allclose(fast, naive, atol=1e-8 * scale)
+
+    @given(paired_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_euclidean_distances_matches_naive_norm(self, matrices):
+        points, reference = matrices
+        fast = _euclidean_distances(points, reference)
+        naive = np.linalg.norm(
+            points[:, None, :] - reference[None, :, :], axis=2
+        )
+        assert (fast >= 0).all()
+        scale = max(float(naive.max()), 1.0)
+        assert np.allclose(fast, naive, atol=1e-6 * scale)
+
+    @given(finite_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_euclidean_self_distance_zero_diagonal(self, data):
+        distances = _euclidean_distances(data, data)
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-5)
+
+    @given(paired_matrices(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_neighbors_sorted_and_valid(self, matrices, k):
+        points, reference = matrices
+        indices, distances = nearest_neighbors(points, reference, k)
+        k_eff = min(k, reference.shape[0])
+        assert indices.shape == (points.shape[0], k_eff)
+        assert distances.shape == (points.shape[0], k_eff)
+        assert (indices >= 0).all()
+        assert (indices < reference.shape[0]).all()
+        assert (distances >= 0).all()
+        # Neighbours come back nearest-first...
+        assert (np.diff(distances, axis=1) >= 0).all()
+        # ...each row's indices are distinct...
+        for row in indices:
+            assert len(set(row.tolist())) == k_eff
+        # ...and the nearest reported distance is the true minimum
+        # (quantized exactly as nearest_neighbors quantizes for ties).
+        full = np.round(_euclidean_distances(points, reference), decimals=9)
+        assert np.allclose(distances[:, 0], full.min(axis=1))
+
+    def test_self_neighbors_find_themselves(self):
+        data = np.random.default_rng(5).normal(size=(20, 4))
+        indices, distances = nearest_neighbors(data, data, 1)
+        assert np.array_equal(indices[:, 0], np.arange(20))
+        # sqrt of the expansion trick's fp noise: ~1e-8, not exactly 0.
+        assert np.allclose(distances[:, 0], 0.0, atol=1e-6)
 
 
 class TestKernelMatrix:

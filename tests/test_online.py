@@ -1,0 +1,159 @@
+"""OnlinePredictor sliding-window tests: refit triggers, readiness edges,
+and state_dict save → load → observe continuation."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlinePredictor
+from repro.errors import ModelError, NotFittedError
+
+
+def _stream(n, n_features=5, n_metrics=6, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.lognormal(mean=2.0, sigma=1.0, size=(n, n_features))
+    weights = rng.uniform(0.3, 1.0, size=(n_features, n_metrics))
+    performance = np.log1p(features) @ weights
+    return features, performance
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            OnlinePredictor(window_size=3)
+        with pytest.raises(ModelError):
+            OnlinePredictor(refit_interval=0)
+        with pytest.raises(ModelError):
+            OnlinePredictor(recency_boost=1.5)
+
+    def test_not_ready_before_data(self):
+        predictor = OnlinePredictor()
+        assert not predictor.is_ready
+        assert len(predictor) == 0
+        with pytest.raises(NotFittedError):
+            predictor.model
+        with pytest.raises(NotFittedError):
+            predictor.predict(np.ones((1, 5)))
+
+
+class TestRefitTriggers:
+    def test_first_fit_exactly_at_min_fit_size(self):
+        features, performance = _stream(30)
+        predictor = OnlinePredictor(
+            window_size=64, refit_interval=5, min_fit_size=10
+        )
+        for row in range(9):
+            predictor.observe(features[row], performance[row])
+            assert not predictor.is_ready  # one short of the floor
+        predictor.observe(features[9], performance[9])
+        assert predictor.is_ready
+        assert predictor.refit_count == 1
+
+    def test_refit_interval_boundary(self):
+        features, performance = _stream(40)
+        predictor = OnlinePredictor(
+            window_size=64, refit_interval=7, min_fit_size=10
+        )
+        for row in range(10):
+            predictor.observe(features[row], performance[row])
+        assert predictor.refit_count == 1
+        # Six more observations: strictly inside the interval, no refit.
+        for row in range(10, 16):
+            predictor.observe(features[row], performance[row])
+            assert predictor.refit_count == 1
+        # The seventh crosses the boundary.
+        predictor.observe(features[16], performance[16])
+        assert predictor.refit_count == 2
+
+    def test_interval_one_refits_every_observation(self):
+        features, performance = _stream(16)
+        predictor = OnlinePredictor(
+            window_size=32, refit_interval=1, min_fit_size=10
+        )
+        for row in range(13):
+            predictor.observe(features[row], performance[row])
+        assert predictor.refit_count == 4  # at 10, 11, 12, 13
+
+    def test_window_bound_respected(self):
+        features, performance = _stream(50)
+        predictor = OnlinePredictor(
+            window_size=16, refit_interval=50, min_fit_size=10
+        )
+        for row in range(50):
+            predictor.observe(features[row], performance[row])
+        assert len(predictor) == 16
+
+    def test_feature_width_change_rejected(self):
+        features, performance = _stream(5)
+        predictor = OnlinePredictor(min_fit_size=4)
+        predictor.observe(features[0], performance[0])
+        with pytest.raises(ModelError, match="width"):
+            predictor.observe(np.ones(3), performance[1])
+
+    def test_bulk_fit_requires_min_size(self):
+        features, performance = _stream(8)
+        predictor = OnlinePredictor(min_fit_size=10)
+        with pytest.raises(ModelError, match="at least"):
+            predictor.fit(features, performance)
+
+    def test_bulk_fit_refits_once(self):
+        features, performance = _stream(30)
+        predictor = OnlinePredictor(
+            window_size=64, refit_interval=5, min_fit_size=10
+        )
+        predictor.fit(features, performance)
+        assert predictor.is_ready
+        assert predictor.refit_count == 1
+        assert len(predictor) == 30
+
+
+class TestPersistenceContinuation:
+    def test_save_load_observe_matches_uninterrupted_run(self):
+        """Persist mid-stream, restore, continue: the restored predictor
+        must track the uninterrupted one exactly."""
+        features, performance = _stream(60)
+        kwargs = dict(
+            window_size=32, refit_interval=8, min_fit_size=12
+        )
+        continuous = OnlinePredictor(**kwargs)
+        for row in range(40):
+            continuous.observe(features[row], performance[row])
+
+        interrupted = OnlinePredictor(**kwargs)
+        for row in range(25):
+            interrupted.observe(features[row], performance[row])
+        state = interrupted.state_dict()
+        restored = OnlinePredictor().load_state_dict(state)
+        assert restored.window_size == 32
+        assert restored.refit_interval == 8
+        assert len(restored) == len(interrupted)
+        assert restored.refit_count == interrupted.refit_count
+        for row in range(25, 40):
+            restored.observe(features[row], performance[row])
+
+        assert restored.refit_count == continuous.refit_count
+        assert len(restored) == len(continuous)
+        probe = features[40:46]
+        np.testing.assert_allclose(
+            restored.predict(probe), continuous.predict(probe)
+        )
+
+    def test_unready_state_round_trips(self):
+        features, performance = _stream(6)
+        predictor = OnlinePredictor(min_fit_size=10)
+        for row in range(6):
+            predictor.observe(features[row], performance[row])
+        restored = OnlinePredictor().load_state_dict(predictor.state_dict())
+        assert not restored.is_ready
+        assert len(restored) == 6
+        # Continue to readiness after the restore.
+        more_f, more_p = _stream(10, seed=1)
+        for row in range(4):
+            restored.observe(more_f[row], more_p[row])
+        assert restored.is_ready
+
+    def test_empty_state_round_trips(self):
+        state = OnlinePredictor(window_size=8).state_dict()
+        assert state["fitted"] is None
+        restored = OnlinePredictor().load_state_dict(state)
+        assert len(restored) == 0
+        assert restored.window_size == 8

@@ -175,6 +175,55 @@ class TestPipelineRoundTrip:
         assert set(risk) == set(METRIC_NAMES)
 
 
+class TestCorruptArtifacts:
+    """Damaged .npz artifacts must surface as ModelError with the path,
+    never as a raw zipfile/zlib/numpy exception."""
+
+    @pytest.fixture(scope="class")
+    def artifact_bytes(self, mini_corpus, tmp_path_factory):
+        pipeline = fit_pipeline(mini_corpus)
+        path = tmp_path_factory.mktemp("artifacts") / "pipeline.npz"
+        pipeline.save(path)
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9, 0.98])
+    def test_truncated_artifact(self, artifact_bytes, tmp_path, keep_fraction):
+        path = tmp_path / "truncated.npz"
+        path.write_bytes(
+            artifact_bytes[: int(len(artifact_bytes) * keep_fraction)]
+        )
+        with pytest.raises(ModelError, match=re.escape(str(path))):
+            PredictionPipeline.load(path)
+
+    @pytest.mark.parametrize("position_fraction", [0.3, 0.5, 0.7])
+    def test_bitflipped_artifact(
+        self, artifact_bytes, tmp_path, position_fraction
+    ):
+        # Mid-file bit flips corrupt a member's *compressed payload*
+        # (zlib.error territory) rather than the zip directory
+        # (BadZipFile territory) — the leak this regression test pins.
+        corrupted = bytearray(artifact_bytes)
+        position = int(len(corrupted) * position_fraction)
+        for offset in range(64):
+            corrupted[position + offset] ^= 0xFF
+        path = tmp_path / "bitflipped.npz"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(ModelError, match=re.escape(str(path))):
+            PredictionPipeline.load(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(ModelError, match=re.escape(str(path))):
+            PredictionPipeline.load(path)
+
+    def test_non_zip_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all" * 10)
+        with pytest.raises(ModelError, match=re.escape(str(path))):
+            PredictionPipeline.load(path)
+
+
 class TestBatchPrediction:
     def test_predict_many_matches_per_query(self, service, batch_sqls):
         sqls = batch_sqls[:20]
