@@ -30,6 +30,13 @@ Observability (off by default; see docs/OBSERVABILITY.md)::
     api.set_metrics(True)
     predictor.forecast_many(sqls)
     print(api.get_metrics())      # registry snapshot (latencies, totals)
+
+Resilient serving (off by default; see docs/ROBUSTNESS.md)::
+
+    predictor = QueryPerformancePredictor.train_on_tpcds(fallback=True)
+    forecast = predictor.forecast(sql)
+    print(forecast.served_by)            # "kcca" — or a fallback stage
+    print(predictor.resilience_status()) # per-stage breaker states
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.optimizer import Optimizer
 from repro.pipeline import PredictionPipeline
+from repro.resilience import fallback as _resilience_fallback
+from repro.resilience import faults as _resilience_faults
 from repro.storage.catalog import Catalog
 from repro.workloads.categories import categorize
 from repro.workloads.generator import QueryInstance, generate_pool
@@ -67,6 +76,8 @@ __all__ = [
     "metrics_enabled",
     "get_metrics",
     "get_metrics_text",
+    "arm_faults",
+    "disarm_faults",
 ]
 
 
@@ -111,14 +122,34 @@ def get_metrics_text() -> str:
     return _obs_metrics.get_registry().render_prometheus()
 
 
+def arm_faults(plan: "_resilience_faults.FaultPlan") -> None:
+    """Arm a deterministic chaos :class:`~repro.resilience.FaultPlan`
+    process-wide (see docs/ROBUSTNESS.md)."""
+    _resilience_faults.arm(plan)
+
+
+def disarm_faults() -> None:
+    """Disarm fault injection; all sites return to their no-op path."""
+    _resilience_faults.disarm()
+
+
 @dataclass(frozen=True)
 class Forecast:
-    """A pre-execution performance forecast for one SQL statement."""
+    """A pre-execution performance forecast for one SQL statement.
+
+    Attributes:
+        confidence: kernel-space anomaly report, or None when the serving
+            model has no projection to measure distances in (regression
+            baseline, or a fallback stage below the primary).
+        served_by: which fallback stage produced the numbers (``kcca`` /
+            ``regression`` / ``heuristic``); None for plain predictors.
+    """
 
     metrics: PerformanceMetrics
     category: str
-    confidence: ConfidenceReport
+    confidence: Optional[ConfidenceReport]
     optimizer_cost: float
+    served_by: Optional[str] = None
 
 
 class QueryPerformancePredictor:
@@ -134,6 +165,11 @@ class QueryPerformancePredictor:
         config: the system configuration being modelled.
         two_step: use the paper's two-step type-specific models
             (Experiment 3) instead of one global model.
+        fallback: serve through a degrading
+            :class:`~repro.resilience.FallbackChain` (primary model →
+            per-metric regression → calibrated cost heuristic, each
+            behind a circuit breaker); forecasts then carry a
+            ``served_by`` stage label.
     """
 
     def __init__(
@@ -141,6 +177,7 @@ class QueryPerformancePredictor:
         catalog: Catalog,
         config: Optional[SystemConfig] = None,
         two_step: bool = False,
+        fallback: bool = False,
         **predictor_kwargs,
     ) -> None:
         self.catalog = catalog
@@ -148,6 +185,7 @@ class QueryPerformancePredictor:
         self.optimizer = Optimizer(self.catalog, self.config)
         self.executor = Executor(self.catalog, self.config)
         self.two_step = two_step
+        self.fallback = fallback
         self._predictor_kwargs = predictor_kwargs
         self._pipeline: Optional[PredictionPipeline] = None
         self._corpus: Optional[Corpus] = None
@@ -165,6 +203,7 @@ class QueryPerformancePredictor:
         seed: int = 7,
         config: Optional[SystemConfig] = None,
         two_step: bool = False,
+        fallback: bool = False,
         problem_fraction: float = 0.25,
         jobs: Optional[int] = None,
         **predictor_kwargs,
@@ -181,7 +220,8 @@ class QueryPerformancePredictor:
         """
         catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
         service = cls(
-            catalog, config=config, two_step=two_step, **predictor_kwargs
+            catalog, config=config, two_step=two_step, fallback=fallback,
+            **predictor_kwargs,
         )
         service._catalog_spec = {
             "kind": "tpcds",
@@ -207,12 +247,15 @@ class QueryPerformancePredictor:
             model = TwoStepPredictor(**self._predictor_kwargs)
         else:
             model = KCCAPredictor(**self._predictor_kwargs)
+        if self.fallback:
+            model = _resilience_fallback.FallbackChain(primary=model)
         pipeline = PredictionPipeline(model=model)
         pipeline.fit_corpus(corpus)
         pipeline.fingerprint_environment(self.catalog, self.config)
         pipeline.metadata.update(
             {
                 "two_step": self.two_step,
+                "fallback": self.fallback,
                 "n_training_queries": len(corpus),
                 "system_config": asdict(self.config),
                 "catalog_spec": self._catalog_spec,
@@ -285,6 +328,7 @@ class QueryPerformancePredictor:
             catalog,
             config=config,
             two_step=bool(pipeline.metadata.get("two_step", False)),
+            fallback=bool(pipeline.metadata.get("fallback", False)),
         )
         service._catalog_spec = pipeline.metadata.get("catalog_spec")
         service._pipeline = pipeline
@@ -332,13 +376,16 @@ class QueryPerformancePredictor:
         from the same projection.
         """
         self._require_trained()
-        with _obs_trace.span("api.forecast_many", n=len(sqls)):
+        with _obs_trace.span("api.forecast_many", n=len(sqls)) as current:
             optimized = self.optimizer.optimize_many(sqls)
             with _obs_trace.span("api.featurize", n=len(optimized)):
                 features = plan_feature_matrix(
                     [opt.plan for opt in optimized]
                 )
-            scored = self._pipeline.score_many(features)
+            costs = np.array([opt.cost for opt in optimized])
+            scored = self._pipeline.score_many(features, optimizer_costs=costs)
+            if scored and scored[0].stage is not None:
+                current.set(served_by=scored[0].stage)
         forecasts = []
         for opt, score in zip(optimized, scored):
             metrics = PerformanceMetrics.from_vector(score.prediction)
@@ -348,9 +395,19 @@ class QueryPerformancePredictor:
                     category=categorize(metrics.elapsed_time).value,
                     confidence=score.confidence,
                     optimizer_cost=opt.cost,
+                    served_by=score.stage,
                 )
             )
         return forecasts
+
+    def resilience_status(self) -> Optional[dict]:
+        """Per-stage breaker health when serving through a fallback
+        chain (None for plain predictors)."""
+        self._require_trained()
+        model = self._pipeline.model
+        if isinstance(model, _resilience_fallback.FallbackChain):
+            return model.status()
+        return None
 
     def measure(self, sql: str) -> PerformanceMetrics:
         """Actually run ``sql`` on the simulated system (ground truth)."""
@@ -370,10 +427,21 @@ class QueryPerformancePredictor:
             f"message count          : {m.message_count:,}",
             f"message bytes          : {m.message_bytes:,}",
             f"optimizer cost (units) : {forecast.optimizer_cost:,.1f}",
-            f"confidence             : "
-            f"{'LOW (anomalous query)' if forecast.confidence.anomalous else 'ok'}"
-            f" (neighbour distance z={forecast.confidence.zscore:+.2f})",
         ]
+        if forecast.confidence is not None:
+            lines.append(
+                f"confidence             : "
+                f"{'LOW (anomalous query)' if forecast.confidence.anomalous else 'ok'}"
+                f" (neighbour distance z={forecast.confidence.zscore:+.2f})"
+            )
+        else:
+            lines.append(
+                "confidence             : n/a (no kernel projection)"
+            )
+        if forecast.served_by is not None:
+            lines.append(
+                f"served by              : {forecast.served_by}"
+            )
         return "\n".join(lines)
 
     @property

@@ -51,8 +51,9 @@ from repro.workloads.tpcds import build_tpcds_catalog
 
 __all__ = ["main", "build_parser"]
 
-#: Trained services keyed by (scale, seed, system, queries, two_step) so
-#: one process invoking several subcommands trains at most once per setup.
+#: Trained services keyed by (scale, seed, system, queries, two_step,
+#: fallback) so one process invoking several subcommands trains at most
+#: once per setup.
 _service_cache: dict[tuple, QueryPerformancePredictor] = {}
 
 _NO_ARTIFACT_HINT = (
@@ -111,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--two-step", action="store_true",
         help="use type-specific two-step models",
     )
+    train.add_argument(
+        "--fallback", action="store_true",
+        help="serve through a degrading fallback chain (KCCA -> "
+             "regression -> cost heuristic) with circuit breakers",
+    )
 
     plan = sub.add_parser("plan", help="show the optimizer's physical plan")
     plan.add_argument("sql")
@@ -132,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--two-step", action="store_true",
             help="use type-specific two-step models",
+        )
+        cmd.add_argument(
+            "--fallback", action="store_true",
+            help="serve through a degrading fallback chain",
         )
 
     forecast = sub.add_parser(
@@ -156,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     forecast.add_argument(
         "--two-step", action="store_true",
         help="use type-specific two-step models",
+    )
+    forecast.add_argument(
+        "--fallback", action="store_true",
+        help="serve through a degrading fallback chain; the output "
+             "table gains a 'stage' column naming which model answered",
     )
 
     measure = sub.add_parser("measure", help="run the query (ground truth)")
@@ -193,7 +208,9 @@ def _service(args, config) -> QueryPerformancePredictor:
     if artifact:
         return QueryPerformancePredictor.load(Path(artifact))
     print(_NO_ARTIFACT_HINT, file=sys.stderr)
-    key = (args.scale, args.seed, args.system, args.queries, args.two_step)
+    fallback = getattr(args, "fallback", False)
+    key = (args.scale, args.seed, args.system, args.queries, args.two_step,
+           fallback)
     if key not in _service_cache:
         _service_cache[key] = QueryPerformancePredictor.train_on_tpcds(
             n_queries=args.queries,
@@ -201,6 +218,7 @@ def _service(args, config) -> QueryPerformancePredictor:
             seed=args.seed,
             config=config,
             two_step=args.two_step,
+            fallback=fallback,
             jobs=args.jobs,
         )
     return _service_cache[key]
@@ -270,12 +288,13 @@ def _dispatch(args, config) -> int:
             seed=args.seed,
             config=config,
             two_step=args.two_step,
+            fallback=args.fallback,
             jobs=args.jobs,
         )
         path = Path(args.save)
         predictor.save(path)
         key = (args.scale, args.seed, args.system, args.queries,
-               args.two_step)
+               args.two_step, args.fallback)
         _service_cache[key] = predictor
         print(f"trained on {args.queries} queries; artifact: {path}")
         return 0
@@ -303,19 +322,28 @@ def _dispatch(args, config) -> int:
             return 2
         predictor = _service(args, config)
         forecasts = predictor.forecast_many(sqls)
+        staged = any(fc.served_by is not None for fc in forecasts)
         header = (
             f"{'#':>3}  {'elapsed':>9}  {'category':<13}"
             f"{'disk I/Os':>10}  {'cost':>10}  conf"
         )
+        if staged:
+            header += "  stage"
         print(header)
         print("-" * len(header))
         for i, fc in enumerate(forecasts):
-            conf = "LOW" if fc.confidence.anomalous else "ok"
-            print(
+            if fc.confidence is None:
+                conf = "n/a"
+            else:
+                conf = "LOW" if fc.confidence.anomalous else "ok"
+            row = (
                 f"{i:>3}  {fc.metrics.elapsed_time:>8.2f}s  "
                 f"{fc.category:<13}{fc.metrics.disk_ios:>10,}  "
-                f"{fc.optimizer_cost:>10,.1f}  {conf}"
+                f"{fc.optimizer_cost:>10,.1f}  {conf:<4}"
             )
+            if staged:
+                row += f"  {fc.served_by}"
+            print(row)
         return 0
     if args.command == "pools":
         from repro.experiments.corpus import build_corpus

@@ -156,8 +156,21 @@ def write_state(
     model_class_name: str,
     extra_manifest: Optional[dict] = None,
 ) -> None:
-    """Persist a model state dict as ``.npz`` arrays + a JSON manifest."""
+    """Persist a model state dict as ``.npz`` arrays + a JSON manifest.
+
+    The artifact is written atomically (temp file + ``os.replace``): a
+    crash mid-save leaves any previous artifact at ``path`` intact, and
+    readers never observe a truncated file.
+    """
+    # Lazy import: repro.resilience.fallback builds on this module, so a
+    # module-level import here would close an import cycle.
+    from repro.ioutils import atomic_savez
+    from repro.resilience.faults import fault_site
+
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    fault_site("artifact.write", path=str(path))
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
     skeleton = pack_state(state, arrays)
@@ -171,7 +184,7 @@ def write_state(
     payload = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, __manifest__=payload, **arrays)
+    atomic_savez(path, __manifest__=payload, **arrays)
 
 
 def read_state(
@@ -184,7 +197,11 @@ def read_state(
             version, or (when ``expected_class`` is given) a class
             mismatch.
     """
+    # Lazy import: see write_state.
+    from repro.resilience.faults import fault_site
+
     path = Path(path)
+    fault_site("artifact.read", path=str(path))
     try:
         with np.load(path, allow_pickle=False) as data:
             try:

@@ -36,8 +36,11 @@ from repro.engine.timing import ResourceModel
 # Submodule imports on purpose: the repro.obs package pulls in the drift
 # monitor, which imports repro.engine.metrics — importing the package
 # here would close an import cycle through repro.engine.__init__.
+# repro.resilience.faults likewise: the resilience package pulls in the
+# fallback chain, which builds on models that execute through here.
 from repro.obs.metrics import get_registry, metrics_enabled, timed
 from repro.obs.trace import span
+from repro.resilience.faults import fault_site
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.partition import partition_counts, skew_factor
@@ -122,6 +125,7 @@ class Executor:
 
     def _run(self, node: PlanNode, model: ResourceModel) -> Batch:
         kind = node.kind
+        fault_site("engine.operator", operator=kind.value)
         if kind == OperatorKind.FILE_SCAN:
             return self._run_scan(node, model)
         if kind in (OperatorKind.ROOT, OperatorKind.PROJECT, OperatorKind.FILTER):

@@ -76,3 +76,57 @@ class NotFittedError(ModelError):
 
 class WorkloadError(ReproError):
     """Raised when a workload/template cannot be generated."""
+
+
+class InjectedFault(ReproError):
+    """Raised by an armed :class:`repro.resilience.FaultPlan` site.
+
+    Attributes:
+        site: the fault-site name the fault fired at.
+        call_index: 1-based invocation count of the site when it fired.
+    """
+
+    def __init__(self, message: str, site: str = "", call_index: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.call_index = call_index
+
+
+class RetryExhaustedError(ReproError):
+    """Raised when a :class:`repro.resilience.RetryPolicy` gives up.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the exception the final attempt raised.
+    """
+
+    def __init__(
+        self, message: str, attempts: int = 0, last_error: Exception | None = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a call is refused because its circuit breaker is open."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unusable corpus checkpoints (wrong build, bad header)."""
+
+
+class CorpusBuildError(ReproError):
+    """Raised when a corpus build fails (worker crash, exhausted retries).
+
+    Attributes:
+        query_id: the first query that did not complete, when known.
+        completed: how many queries had finished when the build failed.
+    """
+
+    def __init__(
+        self, message: str, query_id: str | None = None, completed: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+        self.completed = completed

@@ -47,6 +47,7 @@ __all__ = [
     "bench_kcca_fit",
     "bench_predict_latency",
     "bench_observability_overhead",
+    "bench_fault_site_overhead",
     "run_benchmarks",
     "format_report",
 ]
@@ -303,6 +304,61 @@ def bench_observability_overhead(
 
 
 # ----------------------------------------------------------------------
+# Resilience: disarmed fault-site overhead
+# ----------------------------------------------------------------------
+
+
+def bench_fault_site_overhead(
+    n_queries: int = 24,
+    scale_factor: float = 0.1,
+    repeats: int = 5,
+    seed: int = 7,
+) -> dict:
+    """Query-execution latency with fault injection disarmed vs armed-idle.
+
+    The resilience layer's contract mirrors the obs layer's: sites live
+    permanently in the hot path (``corpus.execute``, ``engine.operator``,
+    ``optimizer.optimize``) and the *disarmed* cost is one module-global
+    load + None check per site.  The armed-idle column arms a plan whose
+    specs never fire (rate 0) — the price of counting invocations —
+    to show the gap between "machinery present" and "machinery engaged".
+    """
+    from repro.engine import Executor
+    from repro.optimizer import Optimizer
+    from repro.resilience.faults import FaultPlan, armed
+
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
+    config = research_4node()
+    pool = generate_pool(n_queries, seed=seed)
+    optimizer = Optimizer(catalog, config)
+    executor = Executor(catalog, config)
+    plans = [optimizer.optimize(q.sql).plan for q in pool]
+
+    def measure() -> tuple[float, float]:
+        samples = []
+        for _ in range(repeats):
+            for plan in plans:
+                start = time.perf_counter()
+                executor.execute(plan)
+                samples.append(time.perf_counter() - start)
+        p50, p95 = np.percentile(samples, [50, 95])
+        return float(p50) * 1e3, float(p95) * 1e3
+
+    measure()  # warm caches outside the timed regions
+    off_p50, off_p95 = measure()
+    idle = FaultPlan(seed=0).on("engine.operator", mode="raise", rate=0.0)
+    with armed(idle):
+        on_p50, on_p95 = measure()
+    return {
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "disarmed": {"p50_ms": off_p50, "p95_ms": off_p95},
+        "armed_idle": {"p50_ms": on_p50, "p95_ms": on_p95},
+        "armed_idle_overhead_pct": (on_p95 / off_p95 - 1.0) * 100.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -330,11 +386,15 @@ def run_benchmarks(
         observability = bench_observability_overhead(
             n_train=200, batch=16, repeats=10
         )
+        resilience = bench_fault_site_overhead(
+            n_queries=8, scale_factor=0.05, repeats=3
+        )
     else:
         corpus = bench_corpus_build(jobs_list=(1, jobs))
         kcca = bench_kcca_fit()
         predict = bench_predict_latency()
         observability = bench_observability_overhead()
+        resilience = bench_fault_site_overhead()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -345,6 +405,7 @@ def run_benchmarks(
         "kcca_fit": kcca,
         "predict_latency": predict,
         "observability": observability,
+        "resilience": resilience,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -408,5 +469,21 @@ def format_report(report: dict) -> str:
             f"  enabled   p50 {observability['enabled']['p50_ms']:7.2f}ms  "
             f"p95 {observability['enabled']['p95_ms']:7.2f}ms  "
             f"(+{observability['enabled_overhead_pct']:.1f}% p95)"
+        )
+    resilience = report.get("resilience")
+    if resilience is not None:
+        lines.append("")
+        lines.append(
+            f"fault-site overhead "
+            f"({resilience['n_queries']} queries, execute):"
+        )
+        lines.append(
+            f"  disarmed    p50 {resilience['disarmed']['p50_ms']:7.2f}ms  "
+            f"p95 {resilience['disarmed']['p95_ms']:7.2f}ms"
+        )
+        lines.append(
+            f"  armed idle  p50 {resilience['armed_idle']['p50_ms']:7.2f}ms  "
+            f"p95 {resilience['armed_idle']['p95_ms']:7.2f}ms  "
+            f"(+{resilience['armed_idle_overhead_pct']:.1f}% p95)"
         )
     return "\n".join(lines)

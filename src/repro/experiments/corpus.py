@@ -17,13 +17,22 @@ Corpus generation fans out across worker processes when ``jobs > 1``
 seeded independently from the pool seed and the query's identity, so a
 parallel build is **bitwise identical** to the serial one regardless of
 worker count or scheduling order.
+
+Long builds can be made resilient (see docs/ROBUSTNESS.md): pass
+``retry=RetryPolicy(...)`` to retry transient per-query failures and
+absorb crashed workers into the surviving pool, and/or
+``checkpoint=path`` to journal completed queries so a killed build
+resumes where it left off — in every case the finished corpus stays
+bitwise identical to an uninterrupted serial build.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -33,7 +42,8 @@ import numpy as np
 from repro.core.features import plan_feature_vector
 from repro.engine import Executor, PerformanceMetrics, SystemConfig
 from repro.engine.metrics import METRIC_NAMES
-from repro.errors import ReproError
+from repro.errors import CorpusBuildError, ReproError, RetryExhaustedError
+from repro.ioutils import atomic_savez
 from repro.obs.trace import (
     attach_spans,
     enable_tracing,
@@ -43,6 +53,15 @@ from repro.obs.trace import (
     tracing_enabled,
 )
 from repro.optimizer import Optimizer
+from repro.resilience.checkpoint import BuildJournal
+from repro.resilience.faults import (
+    FaultPlan,
+    arm as _arm_faults,
+    armed_plan,
+    corrupt_array,
+    fault_site,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.rng import child_generator
 from repro.sql.text_features import sql_text_features
 from repro.storage.catalog import Catalog
@@ -53,6 +72,7 @@ __all__ = [
     "ExecutedQuery",
     "Corpus",
     "build_corpus",
+    "build_fingerprint",
     "save_corpus",
     "load_corpus",
     "load_or_build_corpus",
@@ -156,6 +176,7 @@ def _execute_instance(
     identity — which is what makes the fan-out deterministic.
     """
     with span("corpus.execute", query_id=instance.query_id):
+        corrupting = fault_site("corpus.execute", query_id=instance.query_id)
         optimized = optimizer.optimize(instance.sql)
         rng = child_generator(noise_seed, f"{config_name}:{instance.query_id}")
         result = executor.execute(optimized.plan, rng=rng)
@@ -166,7 +187,7 @@ def _execute_instance(
         sql=instance.sql,
         features=plan_feature_vector(optimized.plan),
         sql_features=sql_text_features(optimized.query),
-        performance=result.metrics.as_vector(),
+        performance=corrupt_array(corrupting, result.metrics.as_vector()),
         optimizer_cost=optimized.cost,
         estimated_rows=optimized.estimated_rows,
     )
@@ -183,11 +204,20 @@ def _worker_init(
     config: SystemConfig,
     noise_seed: int,
     trace: bool = False,
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> None:
     _WORKER["optimizer"] = Optimizer(catalog, config)
     _WORKER["executor"] = Executor(catalog, config)
     _WORKER["config_name"] = config.name
     _WORKER["noise_seed"] = noise_seed
+    _WORKER["retry"] = retry
+    if plan is not None:
+        # Each worker counts site invocations from 1 so a plan's firing
+        # schedule is per-process deterministic; use ``match`` filters
+        # (e.g. query_id) to target specific work items exactly.
+        plan.reset_counters()
+        _arm_faults(plan)
     if trace:
         # Under spawn the parent's tracing flag does not propagate; under
         # fork the worker inherits the parent's *open* span stack, which
@@ -197,6 +227,17 @@ def _worker_init(
 
 
 def _worker_execute(instance: QueryInstance) -> ExecutedQuery:
+    retry = _WORKER.get("retry")
+    if retry is not None:
+        return retry.call(
+            _execute_instance,
+            _WORKER["optimizer"],
+            _WORKER["executor"],
+            _WORKER["config_name"],
+            _WORKER["noise_seed"],
+            instance,
+            label=instance.query_id,
+        )
     return _execute_instance(
         _WORKER["optimizer"],
         _WORKER["executor"],
@@ -233,6 +274,59 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def build_fingerprint(
+    config: SystemConfig,
+    pool: Sequence[QueryInstance],
+    noise_seed: int,
+) -> str:
+    """Identity of one corpus build, for checkpoint journals.
+
+    Covers everything that determines the build's output — the corpus
+    format, the configuration, the noise seed and the ordered query
+    pool — so a journal can never be replayed into a different build.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"corpus:{CORPUS_FORMAT_VERSION}:{config.name}:{noise_seed}".encode()
+    )
+    for instance in pool:
+        digest.update(b"\x00")
+        digest.update(instance.query_id.encode())
+    return digest.hexdigest()
+
+
+def _record_to_payload(record: ExecutedQuery) -> dict:
+    """JSON journal payload for one executed query.
+
+    Floats round-trip through JSON via ``repr``, bit-exactly — a resumed
+    build's corpus is *bitwise* equal to an uninterrupted one.
+    """
+    return {
+        "template": record.template,
+        "family": record.family,
+        "sql": record.sql,
+        "features": record.features.tolist(),
+        "sql_features": record.sql_features.tolist(),
+        "performance": record.performance.tolist(),
+        "optimizer_cost": record.optimizer_cost,
+        "estimated_rows": record.estimated_rows,
+    }
+
+
+def _payload_to_record(query_id: str, payload: dict) -> ExecutedQuery:
+    return ExecutedQuery(
+        query_id=query_id,
+        template=payload["template"],
+        family=payload["family"],
+        sql=payload["sql"],
+        features=np.asarray(payload["features"], dtype=np.float64),
+        sql_features=np.asarray(payload["sql_features"], dtype=np.float64),
+        performance=np.asarray(payload["performance"], dtype=np.float64),
+        optimizer_cost=float(payload["optimizer_cost"]),
+        estimated_rows=float(payload["estimated_rows"]),
+    )
+
+
 def build_corpus(
     catalog: Catalog,
     config: SystemConfig,
@@ -240,6 +334,8 @@ def build_corpus(
     noise_seed: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[Path] = None,
 ) -> Corpus:
     """Optimize and execute every query in ``pool`` on ``config``.
 
@@ -247,28 +343,89 @@ def build_corpus(
         jobs: worker processes to fan the pool out across (``None``/``1``
             serial, ``-1`` one per CPU).  Results are bitwise identical
             to the serial build for any worker count.
+        retry: retry transient per-query failures under this policy; in
+            parallel builds the policy also bounds how many times a
+            crashed worker pool is rebuilt (the surviving rebuild
+            absorbs the dead workers' unfinished queries).
+        checkpoint: journal path; completed queries are durably appended
+            as they finish, and a rerun with the same checkpoint resumes
+            from them instead of re-executing.  The journal is deleted
+            once the build completes.
+
+    Both knobs are off by default and neither changes the corpus bytes:
+    a retried, resumed or fanned-out build is bitwise identical to an
+    uninterrupted serial one.
     """
     pool = list(pool)
     jobs = resolve_jobs(jobs)
-    with span(
-        "corpus.build", n=len(pool), jobs=jobs, config=config.name
-    ):
-        if jobs > 1 and len(pool) > 1:
-            executed = _build_parallel(catalog, config, pool, noise_seed,
-                                       progress, jobs)
-        else:
-            optimizer = Optimizer(catalog, config)
-            executor = Executor(catalog, config)
-            executed = []
-            for index, instance in enumerate(pool):
-                executed.append(
-                    _execute_instance(
-                        optimizer, executor, config.name, noise_seed, instance
+    journal: Optional[BuildJournal] = None
+    completed: dict[str, ExecutedQuery] = {}
+    if checkpoint is not None:
+        journal = BuildJournal(
+            checkpoint, build_fingerprint(config, pool, noise_seed)
+        )
+        completed = {
+            query_id: _payload_to_record(query_id, payload)
+            for query_id, payload in journal.replay().items()
+        }
+    try:
+        with span(
+            "corpus.build", n=len(pool), jobs=jobs, config=config.name
+        ):
+            if jobs > 1 and len(pool) > 1:
+                if retry is not None or journal is not None:
+                    executed = _build_parallel_resilient(
+                        catalog, config, pool, noise_seed, progress, jobs,
+                        retry, journal, completed,
                     )
+                else:
+                    executed = _build_parallel(catalog, config, pool,
+                                               noise_seed, progress, jobs)
+            else:
+                executed = _build_serial(
+                    catalog, config, pool, noise_seed, progress,
+                    retry, journal, completed,
                 )
-                if progress is not None:
-                    progress(index + 1, len(pool))
+    finally:
+        if journal is not None:
+            journal.close()
+    if journal is not None:
+        journal.discard()
     return Corpus(executed, config.name)
+
+
+def _build_serial(
+    catalog: Catalog,
+    config: SystemConfig,
+    pool: Sequence[QueryInstance],
+    noise_seed: int,
+    progress: Optional[Callable[[int, int], None]],
+    retry: Optional[RetryPolicy],
+    journal: Optional[BuildJournal],
+    completed: dict[str, ExecutedQuery],
+) -> list[ExecutedQuery]:
+    optimizer = Optimizer(catalog, config)
+    executor = Executor(catalog, config)
+    executed: list[ExecutedQuery] = []
+    for instance in pool:
+        record = completed.get(instance.query_id)
+        if record is None:
+            if retry is not None:
+                record = retry.call(
+                    _execute_instance,
+                    optimizer, executor, config.name, noise_seed, instance,
+                    label=instance.query_id,
+                )
+            else:
+                record = _execute_instance(
+                    optimizer, executor, config.name, noise_seed, instance
+                )
+            if journal is not None:
+                journal.record(instance.query_id, _record_to_payload(record))
+        executed.append(record)
+        if progress is not None:
+            progress(len(executed), len(pool))
+    return executed
 
 
 def _build_parallel(
@@ -288,21 +445,150 @@ def _build_parallel(
     traced = tracing_enabled()
     work = _worker_execute_traced if traced else _worker_execute
     executed: list[ExecutedQuery] = []
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_worker_init,
-        initargs=(catalog, config, noise_seed, traced),
-    ) as workers:
-        for result in workers.map(work, pool, chunksize=chunksize):
-            if traced:
-                record, worker_spans = result
-                attach_spans(worker_spans)
-            else:
-                record = result
-            executed.append(record)
-            if progress is not None:
-                progress(len(executed), len(pool))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(catalog, config, noise_seed, traced),
+        ) as workers:
+            for result in workers.map(work, pool, chunksize=chunksize):
+                if traced:
+                    record, worker_spans = result
+                    attach_spans(worker_spans)
+                else:
+                    record = result
+                executed.append(record)
+                if progress is not None:
+                    progress(len(executed), len(pool))
+    except BrokenProcessPool as error:
+        # map() yields in submission order, so the first unfinished
+        # query is where the pool died.
+        failed = pool[len(executed)].query_id if len(executed) < len(pool) \
+            else None
+        raise CorpusBuildError(
+            f"a worker process died building the {config.name} corpus "
+            f"around query {failed!r} ({len(executed)}/{len(pool)} results "
+            "arrived); pass retry=RetryPolicy(...) to absorb worker crashes",
+            query_id=failed,
+            completed=len(executed),
+        ) from error
     return executed
+
+
+def _build_parallel_resilient(
+    catalog: Catalog,
+    config: SystemConfig,
+    pool: Sequence[QueryInstance],
+    noise_seed: int,
+    progress: Optional[Callable[[int, int], None]],
+    jobs: int,
+    retry: Optional[RetryPolicy],
+    journal: Optional[BuildJournal],
+    completed: dict[str, ExecutedQuery],
+) -> list[ExecutedQuery]:
+    """Fault-tolerant fan-out: one future per query, journal as results
+    land, rebuild the pool when workers die.
+
+    A hard worker crash poisons the whole ``ProcessPoolExecutor``
+    (``BrokenProcessPool``), so "surviving workers absorb the dead
+    peer's queries" means: keep everything that finished, rebuild the
+    pool, and resubmit only the unfinished remainder.  Rebuild attempts
+    are bounded by ``retry.max_attempts`` and backed off on the same
+    deterministic schedule as per-query retries.
+    """
+    traced = tracing_enabled()
+    results: dict[str, ExecutedQuery] = dict(completed)
+    plan = armed_plan()
+    pool_attempts = retry.max_attempts if retry is not None else 1
+    attempt = 0
+    while True:
+        pending = [q for q in pool if q.query_id not in results]
+        if not pending:
+            break
+        attempt += 1
+        worker_plan = plan
+        if plan is not None and attempt > 1:
+            # A hard crash is a process-level event whose deterministic
+            # schedule already fired in the dead worker; replacement
+            # workers must not replay it, or every rebuild would crash
+            # on the same call index forever.
+            worker_plan = plan.without_modes(("exit",))
+        try:
+            _run_resilient_pool(
+                catalog, config, pending, noise_seed, jobs, traced,
+                worker_plan, retry, journal, results, progress, len(pool),
+            )
+        except BrokenProcessPool as error:
+            if attempt >= pool_attempts:
+                raise CorpusBuildError(
+                    f"worker pool for the {config.name} corpus died "
+                    f"{attempt} time(s); {len(results)}/{len(pool)} queries "
+                    "completed",
+                    completed=len(results),
+                ) from error
+            if retry is not None:
+                pause = retry.delay(attempt, label="corpus.pool")
+                if pause > 0.0:
+                    retry.sleep(pause)
+    return [results[q.query_id] for q in pool]
+
+
+def _run_resilient_pool(
+    catalog: Catalog,
+    config: SystemConfig,
+    pending: Sequence[QueryInstance],
+    noise_seed: int,
+    jobs: int,
+    traced: bool,
+    plan: Optional[FaultPlan],
+    retry: Optional[RetryPolicy],
+    journal: Optional[BuildJournal],
+    results: dict[str, ExecutedQuery],
+    progress: Optional[Callable[[int, int], None]],
+    total: int,
+) -> None:
+    """One worker-pool lifetime: harvest whatever completes into
+    ``results`` (journaling each), and let ``BrokenProcessPool`` escape
+    to the rebuild loop with the harvest intact."""
+    work = _worker_execute_traced if traced else _worker_execute
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        initializer=_worker_init,
+        initargs=(catalog, config, noise_seed, traced, plan, retry),
+    ) as workers:
+        futures = {
+            workers.submit(work, instance): instance for instance in pending
+        }
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(
+                remaining, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                instance = futures[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    raise
+                except RetryExhaustedError as error:
+                    raise CorpusBuildError(
+                        f"query {instance.query_id} failed after "
+                        f"{error.attempts} attempt(s): {error}",
+                        query_id=instance.query_id,
+                        completed=len(results),
+                    ) from error
+                if traced:
+                    record, worker_spans = result
+                    attach_spans(worker_spans)
+                else:
+                    record = result
+                if journal is not None:
+                    journal.record(
+                        instance.query_id, _record_to_payload(record)
+                    )
+                results[instance.query_id] = record
+                if progress is not None:
+                    progress(len(results), total)
 
 
 # ----------------------------------------------------------------------
@@ -311,8 +597,11 @@ def _build_parallel(
 
 
 def save_corpus(corpus: Corpus, path: Path) -> None:
-    """Serialise a corpus to an ``.npz`` file."""
+    """Serialise a corpus to an ``.npz`` file (written atomically, so a
+    crash mid-save never leaves a truncated cache)."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     meta = {
         "version": CORPUS_FORMAT_VERSION,
@@ -322,7 +611,7 @@ def save_corpus(corpus: Corpus, path: Path) -> None:
         "families": [q.family for q in corpus.queries],
         "sql": [q.sql for q in corpus.queries],
     }
-    np.savez_compressed(
+    atomic_savez(
         path,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
         features=corpus.feature_matrix(),

@@ -1,0 +1,93 @@
+"""Crash-safe file writing primitives.
+
+A process killed mid-``np.savez_compressed`` leaves a torn half-written
+file at the destination path; the next reader then fails on what looks
+like a corrupt artifact even though the previous, good version was
+overwritten to produce it.  The helpers here make every on-disk artifact
+write atomic: the payload goes to a temporary file *in the destination
+directory* (same filesystem, so the final rename cannot cross devices),
+is flushed and fsynced, and only then moved over the destination with
+:func:`os.replace` — which POSIX guarantees is atomic.  A crash at any
+point leaves either the old complete file or the new complete file,
+never a torn one.
+
+This module sits below everything else in the package (it imports only
+the standard library and numpy) so any layer — model artifacts, corpus
+caches, checkpoint journals — can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Union
+
+import numpy as np
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_savez", "fsync_dir"]
+
+
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not supported on some filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_replace(
+    path: Path, write_payload: Callable[[object], None], suffix: str
+) -> None:
+    """Write via a same-directory temp file, fsync, then atomically rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=suffix, dir=path.parent
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write_payload(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        try:
+            tmp_path.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> None:
+    """Atomically replace ``path`` with ``payload``."""
+    _atomic_replace(Path(path), lambda handle: handle.write(payload), ".tmp")
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> None:
+    """Atomic drop-in for ``np.savez_compressed(path, **arrays)``.
+
+    Unlike ``np.savez_compressed`` this never appends ``.npz`` to the
+    path implicitly — callers pass the exact destination — and the
+    destination is only ever a complete archive.
+    """
+    _atomic_replace(
+        Path(path),
+        lambda handle: np.savez_compressed(handle, **arrays),
+        ".npz.tmp",
+    )

@@ -27,6 +27,7 @@ from repro.engine.plan import OperatorKind, PlanNode
 from repro.engine.system import SystemConfig
 from repro.errors import OptimizerError
 from repro.obs.trace import span
+from repro.resilience.faults import fault_site
 from repro.optimizer.cardinality import (
     RelEstimate,
     group_by_estimate,
@@ -104,6 +105,7 @@ class Optimizer:
     def optimize(self, query: Query | str) -> OptimizedQuery:
         """Plan ``query`` (AST or SQL text) into a physical plan."""
         with span("optimizer.optimize") as current:
+            fault_site("optimizer.optimize")
             if isinstance(query, str):
                 query = parse(query)
             plan, estimate, qualified = self._plan_block(query, top_level=True)

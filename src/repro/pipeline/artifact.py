@@ -12,6 +12,12 @@ Fingerprints hash what the optimizer sees (table names, row counts,
 column schemas) and what the timing model sees (every
 :class:`~repro.engine.system.SystemConfig` field), not the raw data —
 re-generating the same deterministic catalog yields the same fingerprint.
+
+Artifacts are written atomically — :func:`atomic_savez` (re-exported
+from :mod:`repro.ioutils`, which owns the implementation to keep the
+import graph acyclic) stages the ``.npz`` in a same-directory temp file,
+fsyncs, and ``os.replace``\\ s it into place, so a crash mid-save never
+clobbers the previous artifact.
 """
 
 from __future__ import annotations
@@ -23,10 +29,12 @@ from typing import Optional
 
 from repro.engine.system import SystemConfig
 from repro.errors import ModelError
+from repro.ioutils import atomic_savez
 from repro.storage.catalog import Catalog
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "atomic_savez",
     "catalog_fingerprint",
     "system_fingerprint",
     "check_fingerprint",

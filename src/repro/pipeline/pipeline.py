@@ -51,6 +51,7 @@ from repro.pipeline.artifact import (
     check_fingerprint,
     system_fingerprint,
 )
+from repro.resilience.fallback import FallbackChain
 from repro.storage.catalog import Catalog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -69,10 +70,14 @@ class ScoredPrediction:
         prediction: (n_metrics,) predicted performance vector.
         confidence: anomaly assessment, or None when the model family has
             no kernel projection to measure distances in (regression).
+        stage: which :class:`~repro.resilience.fallback.FallbackChain`
+            stage served the prediction (``kcca`` / ``regression`` /
+            ``heuristic``), or None when the pipeline runs a plain model.
     """
 
     prediction: np.ndarray
     confidence: Optional[ConfidenceReport]
+    stage: Optional[str] = None
 
 
 class PredictionPipeline:
@@ -118,6 +123,8 @@ class PredictionPipeline:
         projection (the regression baseline).
         """
         model = self.model
+        if isinstance(model, FallbackChain):
+            model = model.primary
         if isinstance(model, TwoStepPredictor):
             return model.router
         if isinstance(model, OnlinePredictor):
@@ -154,7 +161,15 @@ class PredictionPipeline:
             n=int(np.asarray(features).shape[0]),
             model=type(self.model).__name__,
         ), timed("repro_pipeline_fit_seconds"):
-            self.model.fit(features, performance)
+            if (
+                isinstance(self.model, FallbackChain)
+                and optimizer_costs is not None
+            ):
+                self.model.fit_with_costs(
+                    features, performance, optimizer_costs
+                )
+            else:
+                self.model.fit(features, performance)
             scorer = self.scorer
             with span("pipeline.fit.confidence"):
                 self.confidence = (
@@ -200,13 +215,22 @@ class PredictionPipeline:
         """Batch alias of :meth:`predict` (one kernel-cross per model)."""
         return self.predict(features)
 
-    def score_many(self, features: np.ndarray) -> list[ScoredPrediction]:
+    def score_many(
+        self,
+        features: np.ndarray,
+        optimizer_costs: Optional[np.ndarray] = None,
+    ) -> list[ScoredPrediction]:
         """Predictions *and* confidence from a single projection pass.
 
         The model projects all queries once (``predict_batch``); the
         confidence stage reuses the resulting neighbour distances, so N
         queries cost one kernel-cross evaluation per underlying model
         rather than 2N.
+
+        Args:
+            optimizer_costs: per-query abstract costs, forwarded to a
+                :class:`FallbackChain` model so its last-resort heuristic
+                stage can serve calibrated numbers; ignored otherwise.
         """
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         with span("pipeline.score_many", n=features.shape[0]), timed(
@@ -214,11 +238,17 @@ class PredictionPipeline:
             "repro_predict_queries_total",
             features.shape[0],
         ):
-            predict_batch = getattr(self.model, "predict_batch", None)
-            if predict_batch is not None:
-                predictions, details = predict_batch(features)
+            stage_name: Optional[str] = None
+            if isinstance(self.model, FallbackChain):
+                predictions, stage_name, details = self.model.predict_labeled(
+                    features, optimizer_costs
+                )
             else:
-                predictions, details = self.model.predict(features), None
+                predict_batch = getattr(self.model, "predict_batch", None)
+                if predict_batch is not None:
+                    predictions, details = predict_batch(features)
+                else:
+                    predictions, details = self.model.predict(features), None
             with span("pipeline.confidence"):
                 if self.confidence is not None and details is not None:
                     reports: Sequence[Optional[ConfidenceReport]] = (
@@ -236,7 +266,9 @@ class PredictionPipeline:
                 ).inc(anomalous)
             return [
                 ScoredPrediction(
-                    prediction=predictions[i], confidence=reports[i]
+                    prediction=predictions[i],
+                    confidence=reports[i],
+                    stage=stage_name,
                 )
                 for i in range(predictions.shape[0])
             ]

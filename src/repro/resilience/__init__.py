@@ -1,0 +1,77 @@
+"""Resilience for the train/serve path: chaos, retries, checkpoints, fallback.
+
+Four zero-dependency building blocks (see docs/ROBUSTNESS.md):
+
+* :mod:`repro.resilience.faults` — deterministic fault injection: a
+  seeded :class:`FaultPlan` arms named sites in the production code
+  (``corpus.execute``, ``engine.operator``, ``artifact.read``,
+  ``optimizer.optimize``, ``fallback.<stage>``) to raise, delay, corrupt
+  or hard-kill on a schedule that is a pure function of
+  ``(seed, site, call index)`` — every chaos test replays exactly;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`: exponential
+  backoff with deterministic jitter, an exception allowlist and
+  per-attempt/total deadlines, applied to corpus query execution and
+  worker-pool crashes;
+* :mod:`repro.resilience.checkpoint` — :class:`BuildJournal`: an
+  append-only journal that lets a killed ``build_corpus`` resume where
+  it died, bitwise-identically;
+* :mod:`repro.resilience.fallback` — :class:`FallbackChain`: KCCA →
+  per-metric regression → calibrated optimizer-cost heuristic, one
+  :class:`CircuitBreaker` per stage, every prediction labelled with the
+  stage that served it.
+
+Everything is **off by default**: with no plan armed and no retry policy
+passed, the instrumented hot path costs one module-global ``None`` check
+per site and existing outputs are byte-for-byte unchanged.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.checkpoint import JOURNAL_FORMAT_VERSION, BuildJournal
+from repro.resilience.fallback import (
+    STAGE_NAMES,
+    CostHeuristicPredictor,
+    FallbackChain,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    arm,
+    armed,
+    armed_plan,
+    corrupt_array,
+    disarm,
+    fault_site,
+)
+from repro.resilience.retry import (
+    DEFAULT_FATAL,
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+)
+
+__all__ = [
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "fault_site",
+    "corrupt_array",
+    "arm",
+    "disarm",
+    "armed",
+    "armed_plan",
+    # retry
+    "RetryPolicy",
+    "DEFAULT_RETRYABLE",
+    "DEFAULT_FATAL",
+    # circuit breaker
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    # checkpointing
+    "BuildJournal",
+    "JOURNAL_FORMAT_VERSION",
+    # fallback serving
+    "FallbackChain",
+    "CostHeuristicPredictor",
+    "STAGE_NAMES",
+]

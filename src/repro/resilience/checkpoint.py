@@ -1,0 +1,172 @@
+"""Append-only build journals: resume long builds where they died.
+
+A :class:`BuildJournal` is a JSONL file: one header line binding the
+journal to a specific build (a caller-computed fingerprint of the query
+pool, seed and configuration), then one line per completed work item.
+``build_corpus`` journals every executed query as it finishes; a build
+killed mid-run — crashed worker, OOM, ctrl-C — reruns with the same
+checkpoint path, replays the journal, and only executes the queries it
+never finished.
+
+Design points:
+
+* **Torn tails are expected.**  A crash mid-append leaves a partial last
+  line; replay parses line by line and discards a trailing fragment
+  instead of refusing the whole journal.
+* **Wrong journals are refused.**  The header fingerprint must match the
+  build being resumed; silently mixing two builds' results would corrupt
+  the corpus, so a mismatch raises :class:`~repro.errors.CheckpointError`.
+* **Appends are durable.**  Each record is flushed (and fsynced by
+  default) before the executor moves on, so the journal never claims
+  work that might not have happened.
+* **Exact round-trips.**  Payloads are JSON; Python floats serialise via
+  ``repr`` and parse back bit-identically, which is what lets a resumed
+  corpus be *bitwise* equal to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.errors import CheckpointError
+
+__all__ = ["BuildJournal", "JOURNAL_FORMAT_VERSION"]
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_FORMAT_VERSION = 1
+
+
+class BuildJournal:
+    """One resumable build's completed-work journal.
+
+    Args:
+        path: journal file location (created on first record).
+        fingerprint: identifies the build; replaying a journal whose
+            header fingerprint differs raises ``CheckpointError``.
+        fsync: fsync after every append (durable, the default); turn off
+            only where the journal is best-effort.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: str,
+        fsync: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.fsync = fsync
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+
+    def replay(self) -> dict[str, dict]:
+        """Completed records keyed by id, from any existing journal.
+
+        Returns an empty dict when the journal does not exist yet.  A
+        torn trailing line (crash mid-append) is discarded; any other
+        malformed content, and a fingerprint mismatch, raise
+        :class:`CheckpointError`.
+        """
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return {}
+        header = self._parse_header(lines[0])
+        if header["fingerprint"] != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different build "
+                f"(fingerprint {header['fingerprint']} != "
+                f"{self.fingerprint}); delete it or change the path"
+            )
+        completed: dict[str, dict] = {}
+        for line_no, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                record_id = record["id"]
+                payload = record["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                if line_no == len(lines):
+                    break  # torn tail from a crash mid-append: resume before it
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no} is corrupt: "
+                    f"{error}"
+                ) from error
+            completed[record_id] = payload
+        return completed
+
+    def _parse_header(self, line: str) -> dict:
+        try:
+            header = json.loads(line)
+            version = header["journal_version"]
+            header["fingerprint"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise CheckpointError(
+                f"checkpoint {self.path} has no valid header: {error}"
+            ) from error
+        if version != JOURNAL_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has journal version {version!r}, "
+                f"this build writes version {JOURNAL_FORMAT_VERSION}"
+            )
+        return header
+
+    # ------------------------------------------------------------------
+
+    def record(self, record_id: str, payload: dict) -> None:
+        """Durably append one completed work item."""
+        handle = self._ensure_open()
+        handle.write(
+            json.dumps({"id": record_id, "payload": payload}) + "\n"
+        )
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _ensure_open(self) -> IO[str]:
+        if self._handle is not None:
+            return self._handle
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._handle.write(
+                json.dumps(
+                    {
+                        "journal_version": JOURNAL_FORMAT_VERSION,
+                        "fingerprint": self.fingerprint,
+                    }
+                )
+                + "\n"
+            )
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        return self._handle
+
+    def close(self) -> None:
+        """Close the append handle (replay still works afterwards)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """Delete the journal (after the build's final artifact landed)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "BuildJournal":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,223 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Transient failures — a crashed worker, an injected chaos fault, a
+filesystem hiccup — should not kill a tens-of-minutes corpus build.
+:class:`RetryPolicy` wraps a callable with bounded retries: exponential
+backoff between attempts, jitter derived from :mod:`repro.rng` (so two
+runs with the same seed produce the *same* backoff schedule — chaos
+tests stay reproducible), an exception allowlist (only failures that
+plausibly heal are retried; a ``ParseError`` never will), and optional
+per-attempt / total deadlines.
+
+The policy is data, not behaviour: :meth:`schedule` exposes the exact
+delays a label will see, so tests assert on the schedule instead of
+sleeping through it, and ``sleep`` is injectable for the same reason.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence, Tuple, Type
+
+from repro.errors import (
+    CheckpointError,
+    InjectedFault,
+    ModelError,
+    ReproError,
+    RetryExhaustedError,
+    SQLError,
+)
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.rng import child_generator
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRYABLE", "DEFAULT_FATAL"]
+
+#: Exceptions retried by default: anything the library itself raises
+#: transiently (including injected chaos faults) plus OS-level errors.
+#: Logic errors (parse failures, schema mismatches) are deliberately not
+#: retryable — retrying cannot fix them.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    InjectedFault,
+    OSError,
+    ReproError,
+)
+
+#: Deterministic logic errors carved out of the allowlist above.  These
+#: subclass :class:`~repro.errors.ReproError` but retrying them is pure
+#: waste: the same input produces the same failure every time.
+DEFAULT_FATAL: Tuple[Type[BaseException], ...] = (
+    SQLError,
+    ModelError,
+    CheckpointError,
+)
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Args:
+        max_attempts: total tries including the first (1 = no retry).
+        base_delay: backoff before attempt 2, in seconds.
+        multiplier: backoff growth factor per further attempt.
+        max_delay: cap on any single backoff sleep.
+        jitter: fractional jitter; each delay is scaled by a factor in
+            ``[1 - jitter, 1 + jitter]`` drawn from a generator seeded by
+            ``(seed, label, attempt)`` — the same seed always yields the
+            same schedule.
+        retry_on: exception classes worth retrying; anything else
+            propagates immediately.
+        fatal: exception classes that are never retried even when they
+            match ``retry_on`` (deterministic logic errors such as
+            ``ParseError``).
+        attempt_deadline: seconds; an attempt that *fails* after running
+            longer than this is treated as fatal (no further retries) —
+            the failure mode is evidently not a blip.
+        deadline: total seconds across all attempts and sleeps; once
+            exceeded, no further attempt is started.
+        seed: jitter seed.
+        sleep: injectable sleeper (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.1,
+        retry_on: Sequence[Type[BaseException]] = DEFAULT_RETRYABLE,
+        fatal: Sequence[Type[BaseException]] = DEFAULT_FATAL,
+        attempt_deadline: Optional[float] = None,
+        deadline: Optional[float] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ReproError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ReproError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ReproError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ReproError("jitter must be in [0, 1)")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retry_on = tuple(retry_on)
+        self.fatal = tuple(fatal)
+        self.attempt_deadline = attempt_deadline
+        self.deadline = deadline
+        self.seed = int(seed)
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+
+    def delay(self, attempt: int, label: str = "") -> float:
+        """Backoff slept after failed attempt ``attempt`` (1-based).
+
+        Pure function of ``(seed, label, attempt)``.
+        """
+        if attempt < 1:
+            raise ReproError("attempt is 1-based")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter > 0.0 and raw > 0.0:
+            unit = child_generator(
+                self.seed, f"retry:{label}:{attempt}"
+            ).random()
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return raw
+
+    def schedule(self, label: str = "") -> list[float]:
+        """Every backoff delay a full run of retries would sleep."""
+        return [
+            self.delay(attempt, label)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is on the retry allowlist.
+
+        ``fatal`` classes win over ``retry_on``: a ``ParseError`` *is* a
+        ``ReproError``, but retrying a deterministic logic error would
+        only replay the failure ``max_attempts`` times.
+        """
+        if isinstance(error, self.fatal):
+            return False
+        return isinstance(error, self.retry_on)
+
+    # ------------------------------------------------------------------
+
+    def call(self, fn: Callable, *args, label: str = "", **kwargs):
+        """Invoke ``fn(*args, **kwargs)`` under this policy.
+
+        Raises:
+            RetryExhaustedError: after ``max_attempts`` allowlisted
+                failures, a fatal slow failure (``attempt_deadline``), or
+                an exceeded total ``deadline``.  The original exception
+                is chained and available as ``.last_error``.
+        """
+        started = time.monotonic()
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.max_attempts + 1):
+            attempt_start = time.monotonic()
+            try:
+                result = fn(*args, **kwargs)
+            except Exception as error:  # noqa: BLE001 - filtered below
+                if not self.retryable(error):
+                    raise
+                last_error = error
+                if metrics_enabled():
+                    get_registry().counter(
+                        "repro_retry_attempts_total",
+                        "failed attempts that were considered for retry",
+                    ).inc()
+                attempt_took = time.monotonic() - attempt_start
+                if (
+                    self.attempt_deadline is not None
+                    and attempt_took > self.attempt_deadline
+                ):
+                    raise self._exhausted(
+                        label, attempt, error,
+                        reason=f"attempt ran {attempt_took:.3f}s, over the "
+                        f"{self.attempt_deadline:.3f}s per-attempt deadline",
+                    ) from error
+                if attempt >= self.max_attempts:
+                    break
+                pause = self.delay(attempt, label)
+                if (
+                    self.deadline is not None
+                    and time.monotonic() - started + pause > self.deadline
+                ):
+                    raise self._exhausted(
+                        label, attempt, error,
+                        reason=f"total deadline of {self.deadline:.3f}s "
+                        "would be exceeded",
+                    ) from error
+                if pause > 0.0:
+                    self.sleep(pause)
+            else:
+                return result
+        assert last_error is not None
+        raise self._exhausted(
+            label, self.max_attempts, last_error, reason="attempts exhausted"
+        ) from last_error
+
+    def _exhausted(
+        self, label: str, attempts: int, error: Exception, reason: str
+    ) -> RetryExhaustedError:
+        if metrics_enabled():
+            get_registry().counter(
+                "repro_retry_exhausted_total",
+                "operations abandoned after retries",
+            ).inc()
+        what = f" {label!r}" if label else ""
+        return RetryExhaustedError(
+            f"retries{what} gave up after {attempts} attempt(s) ({reason}); "
+            f"last error: {type(error).__name__}: {error}",
+            attempts=attempts,
+            last_error=error,
+        )
