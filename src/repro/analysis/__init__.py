@@ -1,0 +1,51 @@
+"""Static analysis: codebase-contract lint and pre-execution plan lint.
+
+Two rule packs behind one engine (see docs/STATIC_ANALYSIS.md):
+
+* **Pack A** (``RDnnn``, :mod:`repro.analysis.codebase`) — AST rules
+  that enforce the repository's determinism/atomicity contracts on
+  ``src/repro`` itself; run them via ``scripts/check.py`` or
+  :func:`repro.analysis.runner.run_checks`.
+* **Pack B** (``PLnnn``, :mod:`repro.analysis.planlint`) — checks on
+  compiled plan trees that flag pathological plans (cartesian products,
+  inconsistent cardinalities, broadcast blowups, operator-vocabulary
+  extrapolation) before a prediction is trusted; every
+  ``Optimizer.optimize`` call runs the structural subset and attaches
+  the warnings to its output and to :class:`repro.api.Forecast`.
+"""
+
+from repro.analysis.findings import (
+    LINT_SCHEMA_VERSION,
+    Finding,
+    PlanWarning,
+)
+from repro.analysis.rules import RuleInfo, all_rules, get, is_known
+from repro.analysis.engine import lint_package, lint_source
+from repro.analysis.codebase import CODE_RULES
+from repro.analysis.planlint import (
+    corpus_vocabulary,
+    lint_plan,
+    plan_vocabulary,
+    vocabulary_warnings,
+)
+from repro.analysis.runner import CheckReport, run_checks, self_lint
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "Finding",
+    "PlanWarning",
+    "RuleInfo",
+    "all_rules",
+    "get",
+    "is_known",
+    "lint_package",
+    "lint_source",
+    "CODE_RULES",
+    "lint_plan",
+    "plan_vocabulary",
+    "corpus_vocabulary",
+    "vocabulary_warnings",
+    "CheckReport",
+    "run_checks",
+    "self_lint",
+]

@@ -1,0 +1,89 @@
+"""Finding value types shared by both rule packs.
+
+A :class:`Finding` is one diagnostic produced by the codebase lint
+(Pack A) — it points at a file location.  A :class:`PlanWarning` is one
+diagnostic produced by the plan lint (Pack B) — it points at an operator
+in a compiled :class:`~repro.engine.plan.PlanNode` tree.  Both carry the
+stable rule ID they came from (see :mod:`repro.analysis.rules`) so they
+can be suppressed, counted and asserted on without string matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SEVERITIES",
+    "LINT_SCHEMA_VERSION",
+    "Finding",
+    "PlanWarning",
+]
+
+#: Allowed severity labels, most severe first.
+SEVERITIES = ("error", "warning")
+
+#: Version of the JSON reporter payloads (bump on breaking changes).
+LINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One codebase-lint diagnostic at a source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able representation (schema ``LINT_SCHEMA_VERSION``)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RDnnn message`` (one line, greppable)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanWarning:
+    """One plan-lint diagnostic attached to an optimized plan.
+
+    Attributes:
+        rule_id: stable Pack-B rule ID (``PLnnn``).
+        operator: the :class:`~repro.engine.plan.OperatorKind` value of
+            the node the warning anchors to (empty for whole-plan
+            warnings such as vocabulary checks).
+        message: human-readable description with the numbers that
+            triggered the rule.
+    """
+
+    rule_id: str
+    operator: str
+    message: str
+    severity: str = "warning"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able representation (schema ``LINT_SCHEMA_VERSION``)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "operator": self.operator,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``PLnnn [operator] message`` (one line)."""
+        anchor = f" [{self.operator}]" if self.operator else ""
+        return f"{self.rule_id}{anchor} {self.message}"

@@ -1,0 +1,240 @@
+"""Pack B: plan lint — flag risky physical plans *before* execution.
+
+Learned predictors extrapolate badly on pathological plans (LinkedIn's
+evaluation of learned query-performance models, and the optimizer-cost
+studies in PAPERS.md, both document the failure mode), so the lint runs
+on every :meth:`Optimizer.optimize` output and attaches structured
+:class:`~repro.analysis.findings.PlanWarning` objects to the plan's
+forecast rather than letting a silently-wrong prediction through.
+
+Structural rules (PL001–PL004) need only the plan tree; the vocabulary
+rule (PL005) additionally needs the training corpus's operator
+vocabulary, which the pipeline artifact records at fit time.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Optional
+
+import numpy as np
+
+from repro.analysis.findings import PlanWarning
+from repro.analysis.rules import RuleInfo, register
+from repro.core.features import PLAN_FEATURE_NAMES
+from repro.engine.plan import JOIN_KINDS, OperatorKind, PlanNode
+
+__all__ = [
+    "lint_plan",
+    "vocabulary_warnings",
+    "corpus_vocabulary",
+    "plan_vocabulary",
+    "BROADCAST_WARN_BYTES",
+]
+
+CARTESIAN_PRODUCT = register(
+    RuleInfo(
+        id="PL001",
+        name="cartesian-product",
+        severity="warning",
+        pack="plan",
+        summary="join without any join predicate (cross product)",
+    )
+)
+JOIN_ESTIMATE_INFLATED = register(
+    RuleInfo(
+        id="PL002",
+        name="join-estimate-inflated",
+        severity="warning",
+        pack="plan",
+        summary="join cardinality estimate exceeds the cross-product bound",
+    )
+)
+JOIN_ESTIMATE_COLLAPSED = register(
+    RuleInfo(
+        id="PL003",
+        name="join-estimate-collapsed",
+        severity="warning",
+        pack="plan",
+        summary="join output shrinks implausibly versus both inputs",
+    )
+)
+BROADCAST_BLOWUP = register(
+    RuleInfo(
+        id="PL004",
+        name="broadcast-byte-blowup",
+        severity="warning",
+        pack="plan",
+        summary="broadcast exchange ships an oversized build side",
+    )
+)
+OUTSIDE_VOCABULARY = register(
+    RuleInfo(
+        id="PL005",
+        name="outside-operator-vocabulary",
+        severity="warning",
+        pack="plan",
+        summary="plan uses operators absent from the training corpus",
+    )
+)
+
+#: A broadcast build side above this many bytes (per receiving node) is
+#: flagged: the optimizer only *chooses* broadcast below 1 MiB, so a big
+#: broadcast means a forced one (cross join, correlated subquery) whose
+#: message-byte cost dwarfs the rest of the plan.
+BROADCAST_WARN_BYTES = 32.0 * 1024 * 1024
+
+#: PL003 only fires when the smaller join input has at least this many
+#: rows — tiny inputs shrink to a handful of rows legitimately.
+_SHRINK_MIN_INPUT_ROWS = 10_000.0
+
+#: ...and the estimate falls below this fraction of the smaller input,
+#: which implies a join-key NDV a thousand times the input size.
+_SHRINK_FACTOR = 1e-3
+
+#: Relative slack before PL002 calls an estimate inflated (estimates are
+#: floats; exact cross-product bounds are legal for genuine products).
+_INFLATION_TOLERANCE = 1.01
+
+#: Join kinds PL003 applies to; semi/anti joins shrink legitimately
+#: (that is their whole point), so they are excluded.
+_SHRINK_KINDS = frozenset(
+    {OperatorKind.HASH_JOIN, OperatorKind.MERGE_JOIN, OperatorKind.NESTED_JOIN}
+)
+
+
+def lint_plan(
+    plan: PlanNode,
+    vocabulary: Optional[Collection[str]] = None,
+) -> list[PlanWarning]:
+    """All plan-lint warnings for one compiled plan.
+
+    Args:
+        plan: the optimized physical plan (any subtree works).
+        vocabulary: operator-kind values seen in the training corpus;
+            when given, PL005 flags operators outside it.  Omit for the
+            structural rules only (what ``Optimizer.optimize`` runs).
+    """
+    warnings: list[PlanWarning] = []
+    for node in plan.walk():
+        kind = node.kind
+        if kind in JOIN_KINDS and len(node.children) == 2:
+            warnings.extend(_check_join(node))
+        elif kind == OperatorKind.EXCHANGE and node.exchange_kind == "broadcast":
+            warnings.extend(_check_broadcast(node))
+    if vocabulary is not None:
+        warnings.extend(vocabulary_warnings(plan, vocabulary))
+    return warnings
+
+
+def _check_join(node: PlanNode) -> Iterable[PlanWarning]:
+    left_rows = max(float(node.left.estimated_rows), 1.0)
+    right_rows = max(float(node.right.estimated_rows), 1.0)
+    estimate = float(node.estimated_rows)
+    kind = node.kind.value
+
+    if (
+        node.kind == OperatorKind.NESTED_JOIN
+        and not node.join_pairs
+        and node.residual is None
+    ):
+        yield PlanWarning(
+            rule_id=CARTESIAN_PRODUCT.id,
+            operator=kind,
+            message=(
+                "cartesian product: nested_join without a join predicate "
+                f"over {left_rows:.0f} x {right_rows:.0f} input rows"
+            ),
+        )
+
+    cross_bound = left_rows * right_rows
+    if estimate > cross_bound * _INFLATION_TOLERANCE + 1.0:
+        yield PlanWarning(
+            rule_id=JOIN_ESTIMATE_INFLATED.id,
+            operator=kind,
+            message=(
+                f"join estimate {estimate:.0f} exceeds the cross-product "
+                f"bound {cross_bound:.0f} of its inputs "
+                f"({left_rows:.0f} x {right_rows:.0f})"
+            ),
+        )
+
+    smaller = min(left_rows, right_rows)
+    if (
+        node.kind in _SHRINK_KINDS
+        and smaller >= _SHRINK_MIN_INPUT_ROWS
+        and estimate < smaller * _SHRINK_FACTOR
+    ):
+        yield PlanWarning(
+            rule_id=JOIN_ESTIMATE_COLLAPSED.id,
+            operator=kind,
+            message=(
+                f"join estimate collapses to {estimate:.0f} rows from "
+                f"{left_rows:.0f} x {right_rows:.0f} inputs; estimates "
+                "this inconsistent usually mean broken join-key "
+                "statistics"
+            ),
+        )
+
+
+def _check_broadcast(node: PlanNode) -> Iterable[PlanWarning]:
+    total_bytes = float(node.estimated_rows) * float(node.estimated_row_bytes)
+    if total_bytes > BROADCAST_WARN_BYTES:
+        yield PlanWarning(
+            rule_id=BROADCAST_BLOWUP.id,
+            operator=node.kind.value,
+            message=(
+                f"broadcast exchange ships ~{total_bytes / 1e6:.0f} MB to "
+                "every node; message-byte cost will dominate this plan"
+            ),
+        )
+
+
+def plan_vocabulary(plan: PlanNode) -> tuple[str, ...]:
+    """The distinct operator-kind values appearing in ``plan``."""
+    return tuple(sorted({node.kind.value for node in plan.walk()}))
+
+
+def vocabulary_warnings(
+    plan: PlanNode, vocabulary: Collection[str]
+) -> list[PlanWarning]:
+    """PL005 only: operators in ``plan`` absent from ``vocabulary``."""
+    known = set(vocabulary)
+    unknown = sorted(
+        {node.kind.value for node in plan.walk()} - known
+    )
+    if not unknown:
+        return []
+    return [
+        PlanWarning(
+            rule_id=OUTSIDE_VOCABULARY.id,
+            operator="",
+            message=(
+                "plan uses operators outside the training corpus's "
+                f"vocabulary ({', '.join(unknown)}); the prediction is "
+                "an extrapolation"
+            ),
+        )
+    ]
+
+
+def corpus_vocabulary(feature_matrix: np.ndarray) -> tuple[str, ...]:
+    """Operator kinds present in a training feature matrix.
+
+    The plan feature vector stores one ``<kind>_count`` column per
+    operator (see :data:`~repro.core.features.PLAN_FEATURE_NAMES`); a
+    kind is in-vocabulary when any training plan used it.  Works on raw
+    and ``log1p``-scaled matrices alike (zero maps to zero either way).
+    """
+    matrix = np.asarray(feature_matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != len(PLAN_FEATURE_NAMES):
+        raise ValueError(
+            f"expected a (n, {len(PLAN_FEATURE_NAMES)}) plan feature "
+            f"matrix, got shape {matrix.shape}"
+        )
+    count_names = PLAN_FEATURE_NAMES[0::2]
+    present = matrix[:, 0::2].sum(axis=0) > 0.0
+    return tuple(
+        name[: -len("_count")]
+        for name, used in zip(count_names, present)
+        if used
+    )

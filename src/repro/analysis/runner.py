@@ -1,0 +1,140 @@
+"""The repository self-check: Pack-A lint plus the mypy typing gate.
+
+This is the engine behind ``scripts/check.py`` and the CI
+``static-analysis`` job.  It lints ``src/repro`` with the codebase
+rules, then (when mypy is installed) runs mypy with the repository's
+``pyproject.toml`` configuration.  Environments without mypy still get
+the full AST lint — including the RD009 annotation gate, which keeps
+the strict module set annotated even where mypy cannot run.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from importlib import util as _importlib_util
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.engine import findings_to_report, lint_package
+from repro.analysis.findings import LINT_SCHEMA_VERSION, Finding
+
+__all__ = ["MypyResult", "CheckReport", "self_lint", "run_mypy", "run_checks"]
+
+#: What the mypy gate type-checks (relative to the repository root).
+MYPY_TARGET = "src/repro"
+
+
+@dataclass
+class MypyResult:
+    """Outcome of the mypy half of the check."""
+
+    ran: bool
+    returncode: int = 0
+    output: str = ""
+    reason: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return not self.ran or self.returncode == 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "ran": self.ran,
+            "returncode": self.returncode,
+            "output": self.output,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CheckReport:
+    """Combined result of the self-lint and the typing gate."""
+
+    findings: list[Finding] = field(default_factory=list)
+    mypy: MypyResult = field(default_factory=lambda: MypyResult(ran=False))
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and self.mypy.passed
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def as_dict(self) -> dict[str, object]:
+        report = findings_to_report(self.findings)
+        report["schema_version"] = LINT_SCHEMA_VERSION
+        report["mypy"] = self.mypy.as_dict()
+        report["clean"] = self.clean
+        return report
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            lines.append(f"{len(self.findings)} finding(s)")
+        else:
+            lines.append("lint: clean")
+        if self.mypy.ran:
+            if self.mypy.output.strip():
+                lines.append(self.mypy.output.strip())
+            lines.append(
+                "mypy: passed" if self.mypy.passed else "mypy: FAILED"
+            )
+        else:
+            lines.append(f"mypy: skipped ({self.mypy.reason})")
+        return "\n".join(lines)
+
+
+def _default_package_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def self_lint(package_root: Optional[Path] = None) -> list[Finding]:
+    """Run Pack A over the installed ``repro`` package sources."""
+    root = package_root or _default_package_root()
+    return lint_package(root)
+
+
+def run_mypy(repo_root: Path) -> MypyResult:
+    """Run mypy over the strict target, if mypy is installed.
+
+    Environments without mypy (the local container does not ship it)
+    get a skipped-but-reported result; CI installs mypy and runs the
+    real gate.  Configuration comes from ``pyproject.toml``.
+    """
+    if _importlib_util.find_spec("mypy") is None:
+        return MypyResult(
+            ran=False,
+            reason="mypy is not installed in this environment; the AST "
+            "typing gate (RD009) still ran",
+        )
+    process = subprocess.run(
+        [sys.executable, "-m", "mypy", MYPY_TARGET],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return MypyResult(
+        ran=True,
+        returncode=process.returncode,
+        output=(process.stdout + process.stderr).strip(),
+    )
+
+
+def run_checks(
+    repo_root: Optional[Path] = None,
+    package_root: Optional[Path] = None,
+    with_mypy: bool = True,
+) -> CheckReport:
+    """Self-lint plus typing gate; the ``scripts/check.py`` entry point."""
+    package = package_root or _default_package_root()
+    root = repo_root or package.parents[1]
+    report = CheckReport(findings=self_lint(package))
+    if with_mypy:
+        report.mypy = run_mypy(root)
+    else:
+        report.mypy = MypyResult(ran=False, reason="disabled via --no-mypy")
+    return report

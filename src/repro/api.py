@@ -47,6 +47,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.findings import PlanWarning
+from repro.analysis.planlint import corpus_vocabulary, vocabulary_warnings
 from repro.core.confidence import ConfidenceReport
 from repro.core.features import plan_feature_matrix, plan_feature_vector
 from repro.core.predictor import KCCAPredictor
@@ -70,6 +72,7 @@ from repro.workloads.tpcds import build_tpcds_catalog
 __all__ = [
     "QueryPerformancePredictor",
     "Forecast",
+    "PlanWarning",
     "set_tracing",
     "trace_enabled",
     "set_metrics",
@@ -143,6 +146,10 @@ class Forecast:
             baseline, or a fallback stage below the primary).
         served_by: which fallback stage produced the numbers (``kcca`` /
             ``regression`` / ``heuristic``); None for plain predictors.
+        warnings: plan-lint warnings (docs/STATIC_ANALYSIS.md, Pack B):
+            structural hazards found in the physical plan plus, for
+            trained services, operators outside the training corpus's
+            vocabulary — i.e. this forecast is an extrapolation.
     """
 
     metrics: PerformanceMetrics
@@ -150,6 +157,7 @@ class Forecast:
     confidence: Optional[ConfidenceReport]
     optimizer_cost: float
     served_by: Optional[str] = None
+    warnings: tuple[PlanWarning, ...] = ()
 
 
 class QueryPerformancePredictor:
@@ -259,6 +267,11 @@ class QueryPerformancePredictor:
                 "n_training_queries": len(corpus),
                 "system_config": asdict(self.config),
                 "catalog_spec": self._catalog_spec,
+                # Operator kinds seen in training; forecasts on plans
+                # outside this vocabulary carry a PL005 warning.
+                "operator_vocabulary": list(
+                    corpus_vocabulary(corpus.feature_matrix())
+                ),
             }
         )
         self._pipeline = pipeline
@@ -386,9 +399,15 @@ class QueryPerformancePredictor:
             scored = self._pipeline.score_many(features, optimizer_costs=costs)
             if scored and scored[0].stage is not None:
                 current.set(served_by=scored[0].stage)
+        vocabulary = self._pipeline.metadata.get("operator_vocabulary")
         forecasts = []
         for opt, score in zip(optimized, scored):
             metrics = PerformanceMetrics.from_vector(score.prediction)
+            warnings = opt.warnings
+            if vocabulary:
+                warnings = warnings + tuple(
+                    vocabulary_warnings(opt.plan, vocabulary)
+                )
             forecasts.append(
                 Forecast(
                     metrics=metrics,
@@ -396,9 +415,28 @@ class QueryPerformancePredictor:
                     confidence=score.confidence,
                     optimizer_cost=opt.cost,
                     served_by=score.stage,
+                    warnings=warnings,
                 )
             )
         return forecasts
+
+    def lint(self, sql: str) -> tuple[PlanWarning, ...]:
+        """Plan-lint ``sql`` without predicting (docs/STATIC_ANALYSIS.md).
+
+        Runs the structural Pack-B rules on the compiled plan and — when
+        the service is trained — the operator-vocabulary check against
+        the training corpus.  Usable before training: the vocabulary
+        check is simply skipped then.
+        """
+        optimized = self.optimizer.optimize(sql)
+        warnings = optimized.warnings
+        if self._pipeline is not None:
+            vocabulary = self._pipeline.metadata.get("operator_vocabulary")
+            if vocabulary:
+                warnings = warnings + tuple(
+                    vocabulary_warnings(optimized.plan, vocabulary)
+                )
+        return warnings
 
     def resilience_status(self) -> Optional[dict]:
         """Per-stage breaker health when serving through a fallback
@@ -442,6 +480,8 @@ class QueryPerformancePredictor:
             lines.append(
                 f"served by              : {forecast.served_by}"
             )
+        for warning in forecast.warnings:
+            lines.append(f"plan lint              : {warning.render()}")
         return "\n".join(lines)
 
     @property

@@ -16,6 +16,8 @@ Commands:
 * ``predict``  — forecast one query (from ``--model`` or by training);
 * ``explain``  — like predict, plus confidence and optimizer cost;
 * ``forecast`` — batch forecasts for many statements in one model pass;
+* ``lint``     — plan-lint statements without executing or predicting
+  (see docs/STATIC_ANALYSIS.md; exit 1 when any warning fires);
 * ``measure``  — actually run the query on the simulated system;
 * ``pools``    — run a workload and print the Figure 2 pool table;
 * ``metrics``  — print the process metrics registry (with ``--demo``
@@ -173,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
              "table gains a 'stage' column naming which model answered",
     )
 
+    lint = sub.add_parser(
+        "lint", help="plan-lint statements before running them"
+    )
+    lint.add_argument(
+        "sql", nargs="*",
+        help="SQL statements (';'-separated; or use --batch)",
+    )
+    lint.add_argument(
+        "--batch", metavar="FILE",
+        help="file of ';'-separated SQL statements",
+    )
+    lint.add_argument(
+        "--model", metavar="ARTIFACT",
+        help="trained artifact; adds the operator-vocabulary "
+             "extrapolation check (PL005) against its training corpus",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default text)",
+    )
+
     measure = sub.add_parser("measure", help="run the query (ground truth)")
     measure.add_argument("sql")
 
@@ -239,6 +262,59 @@ def _write_trace(destination: str) -> None:
     payload = obs.export_trace(drain=True)
     Path(destination).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"trace written to {destination}", file=sys.stderr)
+
+
+def _lint_command(args, config) -> int:
+    """``repro lint``: plan-lint statements; exit 1 when warnings fire."""
+    from repro.analysis.findings import LINT_SCHEMA_VERSION
+    from repro.analysis.planlint import vocabulary_warnings
+
+    statements: list[str] = []
+    for chunk in args.sql:
+        statements.extend(_split_statements(chunk))
+    if args.batch:
+        statements.extend(_split_statements(Path(args.batch).read_text()))
+    if not statements:
+        print("error: lint needs SQL arguments or --batch FILE",
+              file=sys.stderr)
+        return 2
+    vocabulary = None
+    if args.model:
+        service = QueryPerformancePredictor.load(Path(args.model))
+        optimizer = service.optimizer
+        vocabulary = service.pipeline.metadata.get("operator_vocabulary")
+    else:
+        catalog = build_tpcds_catalog(args.scale, args.seed)
+        optimizer = Optimizer(catalog, config)
+    results = []
+    total = 0
+    for sql in statements:
+        optimized = optimizer.optimize(sql)
+        warnings = list(optimized.warnings)
+        if vocabulary:
+            warnings.extend(vocabulary_warnings(optimized.plan, vocabulary))
+        results.append((sql, warnings))
+        total += len(warnings)
+    if args.format == "json":
+        payload = {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "total_warnings": total,
+            "statements": [
+                {
+                    "sql": sql,
+                    "warnings": [w.as_dict() for w in warnings],
+                }
+                for sql, warnings in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for index, (sql, warnings) in enumerate(results):
+            label = "ok" if not warnings else f"{len(warnings)} warning(s)"
+            print(f"-- statement {index}: {label}")
+            for warning in warnings:
+                print(f"   {warning.render()}")
+    return 1 if total else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -323,12 +399,15 @@ def _dispatch(args, config) -> int:
         predictor = _service(args, config)
         forecasts = predictor.forecast_many(sqls)
         staged = any(fc.served_by is not None for fc in forecasts)
+        linted = any(fc.warnings for fc in forecasts)
         header = (
             f"{'#':>3}  {'elapsed':>9}  {'category':<13}"
             f"{'disk I/Os':>10}  {'cost':>10}  conf"
         )
         if staged:
             header += "  stage"
+        if linted:
+            header += "  lint"
         print(header)
         print("-" * len(header))
         for i, fc in enumerate(forecasts):
@@ -343,8 +422,15 @@ def _dispatch(args, config) -> int:
             )
             if staged:
                 row += f"  {fc.served_by}"
+            if linted:
+                ids = ",".join(
+                    sorted({w.rule_id for w in fc.warnings})
+                ) or "-"
+                row += f"  {ids}"
             print(row)
         return 0
+    if args.command == "lint":
+        return _lint_command(args, config)
     if args.command == "pools":
         from repro.experiments.corpus import build_corpus
         from repro.experiments.experiments import fig2_query_pools

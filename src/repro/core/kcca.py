@@ -187,6 +187,7 @@ class KCCA:
             else:
                 with span("kcca.fit.exact"):
                     self._fit_exact(kx_c, ky_c, ridge, d)
+            assert self.alpha is not None and self.beta is not None
             self._kx_centered = kx_c
             self._ky_centered = ky_c
             self._kx_train = kx
@@ -269,6 +270,7 @@ class KCCA:
         """Training points in the query projection (N x d), cached."""
         self._require_fitted()
         if self._x_proj is None:
+            assert self._kx_centered is not None and self.alpha is not None
             self._x_proj = self._kx_centered @ self.alpha
         return self._x_proj
 
@@ -277,6 +279,7 @@ class KCCA:
         """Training points in the performance projection (N x d), cached."""
         self._require_fitted()
         if self._y_proj is None:
+            assert self._ky_centered is not None and self.beta is not None
             self._y_proj = self._ky_centered @ self.beta
         return self._y_proj
 
@@ -286,6 +289,7 @@ class KCCA:
         Returns M x d coordinates in the query projection.
         """
         self._require_fitted()
+        assert self._kx_train is not None and self.alpha is not None
         with span("kcca.project", n=int(np.asarray(cross_kernel).shape[0])):
             centered = center_cross_kernel(cross_kernel, self._kx_train)
             return centered @ self.alpha

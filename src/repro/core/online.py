@@ -21,13 +21,16 @@ paper's bowling-ball predictions in Figure 10).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.base import SerializableModel, register_model
 from repro.core.predictor import KCCAPredictor, PredictionDetail
 from repro.errors import ModelError, NotFittedError
+
+if TYPE_CHECKING:  # runtime wiring only; avoids a core -> obs import
+    from repro.obs.drift import DriftMonitor
 
 __all__ = ["OnlinePredictor"]
 
@@ -51,7 +54,7 @@ class OnlinePredictor(SerializableModel):
         refit_interval: int = 25,
         recency_boost: float = 0.0,
         min_fit_size: int = 20,
-        **predictor_kwargs,
+        **predictor_kwargs: object,
     ) -> None:
         if window_size < 4:
             raise ModelError("window_size must be at least 4")
@@ -71,7 +74,7 @@ class OnlinePredictor(SerializableModel):
         self.refit_count = 0
         # Runtime-only wiring (not persisted): a DriftMonitor fed with
         # each observation's pre-refit residual; see set_monitor().
-        self._monitor = None
+        self._monitor: Optional["DriftMonitor"] = None
 
     # ------------------------------------------------------------------
 
@@ -118,7 +121,9 @@ class OnlinePredictor(SerializableModel):
         self._refit()
         return self
 
-    def set_monitor(self, monitor) -> "OnlinePredictor":
+    def set_monitor(
+        self, monitor: Optional["DriftMonitor"]
+    ) -> "OnlinePredictor":
         """Attach a :class:`repro.obs.drift.DriftMonitor` (or None).
 
         Every subsequent :meth:`observe` first predicts the incoming
@@ -132,7 +137,7 @@ class OnlinePredictor(SerializableModel):
         return self
 
     @property
-    def monitor(self):
+    def monitor(self) -> Optional["DriftMonitor"]:
         """The attached drift monitor, or None."""
         return self._monitor
 

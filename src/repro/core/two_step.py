@@ -45,7 +45,9 @@ class TwoStepPredictor(SerializableModel):
             predictable; they just reuse the global model).
     """
 
-    def __init__(self, min_category_size: int = 8, **predictor_kwargs) -> None:
+    def __init__(
+        self, min_category_size: int = 8, **predictor_kwargs: object
+    ) -> None:
         self.min_category_size = min_category_size
         self.predictor_kwargs = predictor_kwargs
         self._router: Optional[KCCAPredictor] = None

@@ -48,6 +48,7 @@ __all__ = [
     "bench_predict_latency",
     "bench_observability_overhead",
     "bench_fault_site_overhead",
+    "bench_plan_lint_overhead",
     "run_benchmarks",
     "format_report",
 ]
@@ -359,6 +360,70 @@ def bench_fault_site_overhead(
 
 
 # ----------------------------------------------------------------------
+# Static analysis: plan-lint overhead inside optimize()
+# ----------------------------------------------------------------------
+
+
+def bench_plan_lint_overhead(
+    n_queries: int = 48,
+    scale_factor: float = 0.1,
+    repeats: int = 5,
+    seed: int = 7,
+) -> dict:
+    """Cost of the Pack-B plan lint relative to the optimize() call that
+    hosts it.
+
+    ``Optimizer.optimize`` runs :func:`repro.analysis.lint_plan` on every
+    compiled plan before returning it, so the lint is a permanent tax on
+    plan compilation.  The acceptance bound is <5 % of optimize()
+    wall-clock: the lint is a single plan-tree walk with arithmetic
+    checks, while optimize() does parsing, join enumeration, and costing.
+    Both sides are timed on the same query pool — optimize() end-to-end
+    (lint included) and ``lint_plan`` alone on the compiled plans.
+    """
+    from repro.analysis import lint_plan
+    from repro.optimizer import Optimizer
+
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
+    config = research_4node()
+    pool = generate_pool(n_queries, seed=seed)
+    optimizer = Optimizer(catalog, config)
+    plans = [optimizer.optimize(q.sql).plan for q in pool]  # warm caches
+
+    optimize_samples = []
+    for _ in range(repeats):
+        for query in pool:
+            start = time.perf_counter()
+            optimizer.optimize(query.sql)
+            optimize_samples.append(time.perf_counter() - start)
+    lint_samples = []
+    for _ in range(repeats):
+        for plan in plans:
+            start = time.perf_counter()
+            lint_plan(plan)
+            lint_samples.append(time.perf_counter() - start)
+    optimize_p50, optimize_p95 = np.percentile(optimize_samples, [50, 95])
+    lint_p50, lint_p95 = np.percentile(lint_samples, [50, 95])
+    optimize_mean = float(np.mean(optimize_samples))
+    lint_mean = float(np.mean(lint_samples))
+    return {
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "optimize": {
+            "p50_ms": float(optimize_p50) * 1e3,
+            "p95_ms": float(optimize_p95) * 1e3,
+            "mean_ms": optimize_mean * 1e3,
+        },
+        "lint": {
+            "p50_us": float(lint_p50) * 1e6,
+            "p95_us": float(lint_p95) * 1e6,
+            "mean_us": lint_mean * 1e6,
+        },
+        "lint_pct_of_optimize": lint_mean / optimize_mean * 100.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -389,12 +454,16 @@ def run_benchmarks(
         resilience = bench_fault_site_overhead(
             n_queries=8, scale_factor=0.05, repeats=3
         )
+        static_analysis = bench_plan_lint_overhead(
+            n_queries=8, scale_factor=0.05, repeats=3
+        )
     else:
         corpus = bench_corpus_build(jobs_list=(1, jobs))
         kcca = bench_kcca_fit()
         predict = bench_predict_latency()
         observability = bench_observability_overhead()
         resilience = bench_fault_site_overhead()
+        static_analysis = bench_plan_lint_overhead()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -406,6 +475,7 @@ def run_benchmarks(
         "predict_latency": predict,
         "observability": observability,
         "resilience": resilience,
+        "static_analysis": static_analysis,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -485,5 +555,21 @@ def format_report(report: dict) -> str:
             f"  armed idle  p50 {resilience['armed_idle']['p50_ms']:7.2f}ms  "
             f"p95 {resilience['armed_idle']['p95_ms']:7.2f}ms  "
             f"(+{resilience['armed_idle_overhead_pct']:.1f}% p95)"
+        )
+    static_analysis = report.get("static_analysis")
+    if static_analysis is not None:
+        lines.append("")
+        lines.append(
+            f"plan-lint overhead "
+            f"({static_analysis['n_queries']} queries, optimize):"
+        )
+        lines.append(
+            f"  optimize  p50 {static_analysis['optimize']['p50_ms']:7.2f}ms"
+            f"  p95 {static_analysis['optimize']['p95_ms']:7.2f}ms"
+        )
+        lines.append(
+            f"  lint      p50 {static_analysis['lint']['p50_us']:7.2f}us"
+            f"  p95 {static_analysis['lint']['p95_us']:7.2f}us  "
+            f"({static_analysis['lint_pct_of_optimize']:.2f}% of optimize)"
         )
     return "\n".join(lines)

@@ -23,9 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.analysis.findings import PlanWarning
+from repro.analysis.planlint import lint_plan
 from repro.engine.plan import OperatorKind, PlanNode
 from repro.engine.system import SystemConfig
 from repro.errors import OptimizerError
+from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import span
 from repro.resilience.faults import fault_site
 from repro.optimizer.cardinality import (
@@ -76,12 +79,16 @@ class OptimizedQuery:
         cost: the optimizer's abstract cost estimate (not seconds!).
         estimated_rows: estimated result cardinality.
         query: the qualified query AST.
+        warnings: structural plan-lint warnings (Pack B; see
+            docs/STATIC_ANALYSIS.md) — cartesian products, inconsistent
+            cardinality estimates, broadcast byte blowups.
     """
 
     plan: PlanNode
     cost: float
     estimated_rows: float
     query: Query
+    warnings: tuple[PlanWarning, ...] = ()
 
 
 @dataclass
@@ -110,16 +117,25 @@ class Optimizer:
                 query = parse(query)
             plan, estimate, qualified = self._plan_block(query, top_level=True)
             cost = plan_cost(plan, self.catalog)
+            warnings = tuple(lint_plan(plan))
             current.set(
                 tables=len(qualified.tables),
                 cost=float(cost),
                 estimated_rows=float(estimate.rows),
             )
+            if warnings:
+                current.set(lint_warnings=len(warnings))
+                if metrics_enabled():
+                    get_registry().counter(
+                        "repro_lint_warnings_total",
+                        "plan-lint warnings attached to optimized plans",
+                    ).inc(len(warnings))
             return OptimizedQuery(
                 plan=plan,
                 cost=cost,
                 estimated_rows=estimate.rows,
                 query=qualified,
+                warnings=warnings,
             )
 
     def optimize_many(

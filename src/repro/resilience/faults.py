@@ -50,9 +50,36 @@ __all__ = [
     "disarm",
     "armed",
     "armed_plan",
+    "REGISTERED_SITES",
+    "REGISTERED_SITE_PREFIXES",
+    "site_registered",
 ]
 
 _MODES = ("raise", "delay", "corrupt", "exit")
+
+#: The fixed fault-site vocabulary.  Production code may only declare
+#: sites named here (or under a registered prefix); the static analysis
+#: pass (rule RD006) enforces this, so chaos plans written against the
+#: documented names keep matching real injection points.
+REGISTERED_SITES = frozenset(
+    {
+        "corpus.execute",
+        "engine.operator",
+        "artifact.read",
+        "artifact.write",
+        "optimizer.optimize",
+    }
+)
+
+#: Site-name prefixes for parameterised families (``fallback.<stage>``).
+REGISTERED_SITE_PREFIXES = ("fallback.",)
+
+
+def site_registered(name: str) -> bool:
+    """Whether ``name`` is a registered fault-site name."""
+    if name in REGISTERED_SITES:
+        return True
+    return any(name.startswith(prefix) for prefix in REGISTERED_SITE_PREFIXES)
 
 
 class FaultSpec:

@@ -1,0 +1,5 @@
+"""RD000 violation: the file below does not parse."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,5 @@
+"""RD001 violation: default_rng() with no seed."""
+
+import numpy as np
+
+rng = np.random.default_rng()

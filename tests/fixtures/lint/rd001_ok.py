@@ -1,0 +1,6 @@
+"""RD001 clean: every generator is explicitly seeded."""
+
+import numpy as np
+
+rng = np.random.default_rng(7)
+other = np.random.default_rng(seed=11)

@@ -1,0 +1,5 @@
+"""RD002 violation: stdlib random imported outside repro/rng.py."""
+
+import random
+
+value = random.uniform(0.0, 1.0)

@@ -1,0 +1,6 @@
+"""RD002 clean: randomness flows through seeded numpy generators."""
+
+import numpy as np
+
+rng = np.random.default_rng(3)
+value = rng.uniform(0.0, 1.0)

@@ -1,0 +1,5 @@
+"""RD003 violation: global RNG seeding."""
+
+import numpy as np
+
+np.random.seed(0)

@@ -1,0 +1,5 @@
+"""RD003 clean: a local generator instead of global state."""
+
+import numpy as np
+
+rng = np.random.default_rng(0)

@@ -1,0 +1,5 @@
+"""RD004 violation: wall-clock read in a deterministic module."""
+
+import time
+
+stamp = time.time()

@@ -1,0 +1,6 @@
+"""RD004 clean: perf_counter is an interval clock, not wall time."""
+
+import time
+
+start = time.perf_counter()
+elapsed = time.perf_counter() - start

@@ -1,0 +1,7 @@
+"""RD005 violation: raw np.savez outside repro/ioutils.py."""
+
+import numpy as np
+
+
+def persist(path: str) -> None:
+    np.savez(path, weights=np.zeros(3))

@@ -1,0 +1,9 @@
+"""RD005 clean: artifact writes go through atomic_savez."""
+
+import numpy as np
+
+from repro.ioutils import atomic_savez
+
+
+def persist(path: str) -> None:
+    atomic_savez(path, weights=np.zeros(3))

@@ -1,0 +1,5 @@
+"""RD006 violation: arming a fault site that is not registered."""
+
+from repro.resilience.faults import FaultPlan
+
+plan = FaultPlan(seed=0).on("bogus.site", mode="raise", rate=1.0)

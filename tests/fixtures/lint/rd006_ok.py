@@ -1,0 +1,9 @@
+"""RD006 clean: every armed site comes from the registered list."""
+
+from repro.resilience.faults import FaultPlan
+
+plan = (
+    FaultPlan(seed=0)
+    .on("engine.operator", mode="raise", rate=0.5)
+    .on("artifact.write", mode="raise", rate=0.1)
+)

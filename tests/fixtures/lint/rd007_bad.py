@@ -1,0 +1,13 @@
+"""RD007 violation: non-picklable callables handed to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run() -> list[int]:
+    def helper(value: int) -> int:
+        return value + 1
+
+    with ProcessPoolExecutor() as pool:
+        first = pool.submit(lambda: 1)
+        rest = pool.map(helper, [1, 2, 3])
+        return [first.result(), *rest]

@@ -1,0 +1,14 @@
+"""RD007 clean: only module-level functions cross the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def helper(value: int) -> int:
+    return value + 1
+
+
+def run() -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        first = pool.submit(helper, 0)
+        rest = pool.map(helper, [1, 2, 3])
+        return [first.result(), *rest]

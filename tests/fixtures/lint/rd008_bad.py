@@ -1,0 +1,17 @@
+"""RD008 violation: silently swallowed exceptions (lint under repro/core/)."""
+
+
+def compute() -> int:
+    return 1
+
+
+def load_or_default() -> int:
+    try:
+        return compute()
+    except Exception:
+        pass
+    try:
+        return compute()
+    except:  # noqa: E722
+        ...
+    return 0

@@ -1,0 +1,14 @@
+"""RD008 clean: failures are handled specifically or re-raised."""
+
+
+def compute() -> int:
+    return 1
+
+
+def load_or_default() -> int:
+    try:
+        return compute()
+    except ValueError:
+        return 0
+    except Exception:
+        raise

@@ -1,0 +1,5 @@
+"""RD009 violation: unannotated def (lint under repro/core/)."""
+
+
+def scale(values, factor=2.0):
+    return [value * factor for value in values]

@@ -1,0 +1,13 @@
+"""RD009 clean: fully annotated strict-module code."""
+
+
+def scale(values: list[float], factor: float = 2.0) -> list[float]:
+    return [value * factor for value in values]
+
+
+class Holder:
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def doubled(self) -> float:
+        return self.value * 2.0

@@ -1,0 +1,5 @@
+"""A violation silenced by an inline allow comment."""
+
+import numpy as np
+
+rng = np.random.default_rng()  # repro: allow[RD001]
