@@ -10,6 +10,7 @@ the full catalogue with rationale; rule IDs are stable forever.
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.analysis.engine import CodeRule, LintContext, dotted_name
 from repro.analysis.rules import RuleInfo, register
@@ -451,6 +452,49 @@ class UntypedDefInStrictModule(CodeRule):
             )
 
 
+_TEMPLATE_PLACEHOLDER_RE = re.compile(r"\{[a-z_][a-z0-9_]*\}")
+
+
+class QueryTemplateLiteral(CodeRule):
+    """RD010: parameterised SQL templates belong in workload specs.
+
+    The spec refactor moved every query template into ``specs/``
+    (validated, versioned, declarative).  A string literal that looks
+    like a parameterised SQL template — SELECT/FROM text with
+    ``{placeholder}`` fields — hard-coded in package code is the old
+    pattern creeping back: it bypasses spec validation and splits the
+    workload definition across two layers again.
+    """
+
+    info = register(
+        RuleInfo(
+            id="RD010",
+            name="query-template-literal",
+            severity="error",
+            pack="code",
+            summary="parameterised SQL template literal outside specs/",
+        )
+    )
+    node_types = (ast.Constant,)
+
+    def visit(self, node: ast.AST, context: LintContext) -> None:
+        assert isinstance(node, ast.Constant)
+        value = node.value
+        if not isinstance(value, str):
+            return
+        lowered = value.lower()
+        if "select" not in lowered or " from " not in lowered:
+            return
+        if not _TEMPLATE_PLACEHOLDER_RE.search(value):
+            return
+        self.report(
+            context,
+            node,
+            "parameterised SQL template literal; declare query templates "
+            "in a workload spec under specs/ instead of hard-coding them",
+        )
+
+
 #: Pack A, in rule-ID order (classes; instantiated per linted file).
 CODE_RULES = (
     UnseededDefaultRng,
@@ -462,4 +506,5 @@ CODE_RULES = (
     NonPicklablePoolCallable,
     SwallowedException,
     UntypedDefInStrictModule,
+    QueryTemplateLiteral,
 )

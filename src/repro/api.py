@@ -66,7 +66,9 @@ from repro.resilience import fallback as _resilience_fallback
 from repro.resilience import faults as _resilience_faults
 from repro.storage.catalog import Catalog
 from repro.workloads.categories import categorize
+from repro.workloads.customer import build_customer_catalog
 from repro.workloads.generator import QueryInstance, generate_pool
+from repro.workloads.spec import WorkloadRef, build_catalog_for, resolve_workload
 from repro.workloads.tpcds import build_tpcds_catalog
 
 __all__ = [
@@ -204,6 +206,55 @@ class QueryPerformancePredictor:
     # ------------------------------------------------------------------
 
     @classmethod
+    def train_on_workload(
+        cls,
+        workload: WorkloadRef = "tpcds",
+        n_queries: int = 300,
+        scale: Optional[float] = 0.3,
+        seed: int = 7,
+        config: Optional[SystemConfig] = None,
+        two_step: bool = False,
+        fallback: bool = False,
+        problem_fraction: Optional[float] = None,
+        jobs: Optional[int] = None,
+        **predictor_kwargs,
+    ) -> "QueryPerformancePredictor":
+        """Build a workload spec's catalog, run its queries, train on them.
+
+        ``workload`` is a built-in spec name (``tpcds``, ``oltp``,
+        ``analytics``, ``tpcds_skew``, ``customer``), a path to a spec
+        file, or a loaded/compiled spec object (see
+        :mod:`repro.workloads.spec` and ``docs/WORKLOADS.md``).  The
+        spec's catalog recipe decides which database gets built;
+        ``scale``/``seed`` override the recipe's size and data seed.
+        ``seed`` also drives query generation, and ``jobs`` fans the
+        workload's execution out across worker processes (deterministic:
+        the corpus is bitwise identical to a serial build).  Artifacts
+        saved from a service built here embed the catalog recipe, so
+        :meth:`load` can rebuild the catalog without being handed one.
+        """
+        compiled = resolve_workload(workload)
+        spec = compiled.spec
+        catalog = build_catalog_for(spec, scale=scale, seed=seed)
+        service = cls(
+            catalog, config=config, two_step=two_step, fallback=fallback,
+            **predictor_kwargs,
+        )
+        recipe = dict(spec.catalog)
+        if scale is not None:
+            recipe["scale" if recipe.get("kind") == "customer"
+                   else "scale_factor"] = scale
+        recipe["seed"] = seed
+        recipe["workload"] = spec.name
+        service._catalog_spec = recipe
+        pool = generate_pool(
+            n_queries, seed=seed, workload=compiled,
+            problem_fraction=problem_fraction,
+        )
+        service.fit_pool(pool, jobs=jobs)
+        return service
+
+    @classmethod
     def train_on_tpcds(
         cls,
         n_queries: int = 300,
@@ -218,29 +269,24 @@ class QueryPerformancePredictor:
     ) -> "QueryPerformancePredictor":
         """Build a TPC-DS-like database, run a workload, train on it.
 
-        This is the turn-key entry point used by the examples; lower
-        ``scale_factor`` / ``n_queries`` train in seconds, the defaults in
-        well under a minute.  Artifacts saved from a service built here
-        embed the catalog recipe, so :meth:`load` can rebuild the catalog
-        without being handed one.  ``jobs`` fans the training workload's
-        execution out across worker processes (deterministic: the corpus
-        is bitwise identical to a serial build).
+        Backward-compatible shorthand for
+        ``train_on_workload("tpcds", ...)``; this is the turn-key entry
+        point used by the examples — lower ``scale_factor`` /
+        ``n_queries`` train in seconds, the defaults in well under a
+        minute.
         """
-        catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
-        service = cls(
-            catalog, config=config, two_step=two_step, fallback=fallback,
+        return cls.train_on_workload(
+            "tpcds",
+            n_queries=n_queries,
+            scale=scale_factor,
+            seed=seed,
+            config=config,
+            two_step=two_step,
+            fallback=fallback,
+            problem_fraction=problem_fraction,
+            jobs=jobs,
             **predictor_kwargs,
         )
-        service._catalog_spec = {
-            "kind": "tpcds",
-            "scale_factor": scale_factor,
-            "seed": seed,
-        }
-        pool = generate_pool(
-            n_queries, seed=seed, problem_fraction=problem_fraction
-        )
-        service.fit_pool(pool, jobs=jobs)
-        return service
 
     def fit_pool(
         self, pool: Sequence[QueryInstance], jobs: Optional[int] = None
@@ -327,14 +373,19 @@ class QueryPerformancePredictor:
             config = SystemConfig(**stored)
         if catalog is None:
             spec = metadata.get("catalog_spec")
-            if not spec or spec.get("kind") != "tpcds":
+            if not spec or spec.get("kind") not in ("tpcds", "customer"):
                 raise ModelError(
                     f"artifact {path} embeds no catalog recipe; "
                     "pass catalog= explicitly"
                 )
-            catalog = build_tpcds_catalog(
-                scale_factor=spec["scale_factor"], seed=spec["seed"]
-            )
+            if spec["kind"] == "tpcds":
+                catalog = build_tpcds_catalog(
+                    scale_factor=spec["scale_factor"], seed=spec["seed"]
+                )
+            else:
+                catalog = build_customer_catalog(
+                    seed=spec["seed"], scale=spec.get("scale", 1.0)
+                )
         # Re-load with verification now that the environment is known.
         pipeline = PredictionPipeline.load(path, catalog=catalog, config=config)
         service = cls(
@@ -419,6 +470,29 @@ class QueryPerformancePredictor:
                 )
             )
         return forecasts
+
+    def forecast_workload(
+        self,
+        workload: WorkloadRef,
+        n_queries: int = 32,
+        seed: int = 101,
+        problem_fraction: Optional[float] = None,
+    ) -> list[tuple[QueryInstance, Forecast]]:
+        """Forecast a sample of a declarative workload, batched.
+
+        Generates ``n_queries`` instances from the workload spec and
+        scores them through :meth:`forecast_many`; returns each
+        :class:`~repro.workloads.generator.QueryInstance` (which carries
+        template and family tags) with its :class:`Forecast`.  The
+        workload's tables must exist in the catalog this service was
+        trained against.
+        """
+        pool = generate_pool(
+            n_queries, seed=seed, workload=workload,
+            problem_fraction=problem_fraction,
+        )
+        forecasts = self.forecast_many([query.sql for query in pool])
+        return list(zip(pool, forecasts))
 
     def lint(self, sql: str) -> tuple[PlanWarning, ...]:
         """Plan-lint ``sql`` without predicting (docs/STATIC_ANALYSIS.md).

@@ -21,12 +21,19 @@ Commands:
 * ``measure``  — actually run the query on the simulated system;
 * ``pools``    — run a workload and print the Figure 2 pool table;
 * ``metrics``  — print the process metrics registry (with ``--demo``
-  to populate it first).
+  to populate it first);
+* ``workload`` — inspect declarative workload specs:
+  ``validate`` (schema + vocabulary checks, exit 1 on errors),
+  ``describe`` (families, weights, templates) and ``sample``
+  (print generated query instances).
 
-All commands build a deterministic TPC-DS-like database (``--scale``,
-``--seed``), so output is reproducible.  Within one process, trained
-services are cached, so repeated :func:`main` calls (tests, notebooks)
-don't retrain for every subcommand.
+All commands build the selected workload's database deterministically
+(``--workload``, ``--scale``, ``--seed``), so output is reproducible.
+``--workload`` accepts a built-in spec name (``tpcds``, ``oltp``,
+``analytics``, ``tpcds_skew``, ``customer``) or a path to a spec file
+(see docs/WORKLOADS.md).  Within one process, trained services are
+cached, so repeated :func:`main` calls (tests, notebooks) don't retrain
+for every subcommand.
 
 Observability: the global ``--trace-out FILE`` flag enables hot-path
 tracing for any command and writes the resulting span tree as JSON
@@ -39,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -47,15 +55,20 @@ from repro import obs
 from repro.api import QueryPerformancePredictor
 from repro.engine import Executor
 from repro.engine.system import production_32node, research_4node
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkloadSpecError
 from repro.optimizer import Optimizer
-from repro.workloads.tpcds import build_tpcds_catalog
+from repro.workloads.spec import (
+    build_catalog_for,
+    describe_workload,
+    load_workload_spec,
+    resolve_workload,
+)
 
 __all__ = ["main", "build_parser"]
 
-#: Trained services keyed by (scale, seed, system, queries, two_step,
-#: fallback) so one process invoking several subcommands trains at most
-#: once per setup.
+#: Trained services keyed by (workload, scale, seed, system, queries,
+#: two_step, fallback) so one process invoking several subcommands trains
+#: at most once per setup.
 _service_cache: dict[tuple, QueryPerformancePredictor] = {}
 
 _NO_ARTIFACT_HINT = (
@@ -76,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="generation seed (default 7)"
+    )
+    parser.add_argument(
+        "--workload", default="tpcds", metavar="NAME_OR_PATH",
+        help="workload spec: a built-in name (tpcds, oltp, analytics, "
+             "tpcds_skew, customer) or a path to a spec file "
+             "(default tpcds; see docs/WORKLOADS.md)",
     )
     parser.add_argument(
         "--system", choices=["research", "prod4", "prod8", "prod16", "prod32"],
@@ -216,6 +235,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="train a small model and score a few queries first so the "
              "registry has something to show",
     )
+
+    workload = sub.add_parser(
+        "workload", help="validate, describe or sample workload specs"
+    )
+    wsub = workload.add_subparsers(dest="workload_command", required=True)
+    validate = wsub.add_parser(
+        "validate",
+        help="check spec files (schema, strategies, SQL vocabulary); "
+             "exit 1 on errors",
+    )
+    validate.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="spec files or directories of specs (*.yaml, *.yml, *.json)",
+    )
+    describe = wsub.add_parser(
+        "describe", help="print families, mix weights and templates"
+    )
+    describe.add_argument(
+        "ref", nargs="?", default=None, metavar="NAME_OR_PATH",
+        help="workload to describe (default: the global --workload)",
+    )
+    sample = wsub.add_parser(
+        "sample", help="print generated query instances from a spec"
+    )
+    sample.add_argument(
+        "ref", nargs="?", default=None, metavar="NAME_OR_PATH",
+        help="workload to sample (default: the global --workload)",
+    )
+    sample.add_argument(
+        "--queries", type=int, default=10,
+        help="number of instances to generate (default 10)",
+    )
     return parser
 
 
@@ -225,6 +276,12 @@ def _config(name: str):
     return production_32node(int(name.removeprefix("prod")))
 
 
+def _catalog(args):
+    """The database catalog for the selected ``--workload``."""
+    spec = resolve_workload(args.workload).spec
+    return build_catalog_for(spec, scale=args.scale, seed=args.seed)
+
+
 def _service(args, config) -> QueryPerformancePredictor:
     """A trained service: loaded from ``--model``, cached, or trained."""
     artifact = getattr(args, "model", None)
@@ -232,12 +289,13 @@ def _service(args, config) -> QueryPerformancePredictor:
         return QueryPerformancePredictor.load(Path(artifact))
     print(_NO_ARTIFACT_HINT, file=sys.stderr)
     fallback = getattr(args, "fallback", False)
-    key = (args.scale, args.seed, args.system, args.queries, args.two_step,
-           fallback)
+    key = (args.workload, args.scale, args.seed, args.system, args.queries,
+           args.two_step, fallback)
     if key not in _service_cache:
-        _service_cache[key] = QueryPerformancePredictor.train_on_tpcds(
+        _service_cache[key] = QueryPerformancePredictor.train_on_workload(
+            args.workload,
             n_queries=args.queries,
-            scale_factor=args.scale,
+            scale=args.scale,
             seed=args.seed,
             config=config,
             two_step=args.two_step,
@@ -284,8 +342,7 @@ def _lint_command(args, config) -> int:
         optimizer = service.optimizer
         vocabulary = service.pipeline.metadata.get("operator_vocabulary")
     else:
-        catalog = build_tpcds_catalog(args.scale, args.seed)
-        optimizer = Optimizer(catalog, config)
+        optimizer = Optimizer(_catalog(args), config)
     results = []
     total = 0
     for sql in statements:
@@ -329,6 +386,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     finally:
         if args.trace_out:
             _write_trace(args.trace_out)
@@ -338,16 +401,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(text, file=sys.stderr, end="")
 
 
+def _workload_command(args) -> int:
+    """``repro workload validate|describe|sample``."""
+    if args.workload_command == "validate":
+        spec_paths: list[Path] = []
+        for raw in args.paths:
+            path = Path(raw)
+            if path.is_dir():
+                spec_paths.extend(
+                    p for p in sorted(path.iterdir())
+                    if p.suffix.lower() in (".yaml", ".yml", ".json")
+                )
+            else:
+                spec_paths.append(path)
+        if not spec_paths:
+            print("error: no spec files found", file=sys.stderr)
+            return 2
+        failed = 0
+        for path in spec_paths:
+            try:
+                spec = load_workload_spec(path)
+            except WorkloadSpecError as error:
+                failed += 1
+                print(f"FAIL {path}")
+                for message in (error.errors or (str(error),)):
+                    print(f"     {message}")
+                continue
+            print(
+                f"ok   {path}  ({spec.name}: {len(spec.templates)} "
+                f"templates, {len(spec.families)} families, "
+                f"{len(spec.tables)} tables)"
+            )
+        print(f"{len(spec_paths) - failed}/{len(spec_paths)} specs valid")
+        return 1 if failed else 0
+    ref = args.ref if args.ref is not None else args.workload
+    if args.workload_command == "describe":
+        print(describe_workload(ref))
+        return 0
+    # sample
+    from repro.workloads.generator import generate_pool
+
+    for query in generate_pool(args.queries, seed=args.seed, workload=ref):
+        print(f"-- {query.query_id}  [{query.family}]")
+        print(query.sql)
+    return 0
+
+
 def _dispatch(args, config) -> int:
+    if args.command == "workload":
+        return _workload_command(args)
     if args.command == "plan":
-        catalog = build_tpcds_catalog(args.scale, args.seed)
-        optimized = Optimizer(catalog, config).optimize(args.sql)
+        optimized = Optimizer(_catalog(args), config).optimize(args.sql)
         print(optimized.plan.pretty())
         print(f"\nestimated rows : {optimized.estimated_rows:,.0f}")
         print(f"optimizer cost : {optimized.cost:,.1f} (abstract units)")
         return 0
     if args.command == "measure":
-        catalog = build_tpcds_catalog(args.scale, args.seed)
+        catalog = _catalog(args)
         optimized = Optimizer(catalog, config).optimize(args.sql)
         metrics = Executor(catalog, config).execute(optimized.plan).metrics
         print(f"elapsed time     : {metrics.elapsed_time:.2f}s")
@@ -358,9 +468,10 @@ def _dispatch(args, config) -> int:
         print(f"message bytes    : {metrics.message_bytes:,}")
         return 0
     if args.command == "train":
-        predictor = QueryPerformancePredictor.train_on_tpcds(
+        predictor = QueryPerformancePredictor.train_on_workload(
+            args.workload,
             n_queries=args.queries,
-            scale_factor=args.scale,
+            scale=args.scale,
             seed=args.seed,
             config=config,
             two_step=args.two_step,
@@ -369,8 +480,8 @@ def _dispatch(args, config) -> int:
         )
         path = Path(args.save)
         predictor.save(path)
-        key = (args.scale, args.seed, args.system, args.queries,
-               args.two_step, args.fallback)
+        key = (args.workload, args.scale, args.seed, args.system,
+               args.queries, args.two_step, args.fallback)
         _service_cache[key] = predictor
         print(f"trained on {args.queries} queries; artifact: {path}")
         return 0
@@ -437,8 +548,10 @@ def _dispatch(args, config) -> int:
         from repro.experiments.report import format_pool_table
         from repro.workloads.generator import generate_pool
 
-        catalog = build_tpcds_catalog(args.scale, args.seed)
-        pool = generate_pool(args.queries, seed=args.seed)
+        catalog = _catalog(args)
+        pool = generate_pool(
+            args.queries, seed=args.seed, workload=args.workload
+        )
         corpus = build_corpus(catalog, config, pool, jobs=args.jobs)
         print(format_pool_table(fig2_query_pools(corpus)))
         return 0

@@ -78,6 +78,18 @@ class WorkloadError(ReproError):
     """Raised when a workload/template cannot be generated."""
 
 
+class WorkloadSpecError(WorkloadError):
+    """Raised for invalid workload specification files.
+
+    Attributes:
+        errors: the individual validation error messages.
+    """
+
+    def __init__(self, message: str, errors: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.errors = errors
+
+
 class InjectedFault(ReproError):
     """Raised by an armed :class:`repro.resilience.FaultPlan` site.
 

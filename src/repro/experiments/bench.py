@@ -49,12 +49,16 @@ __all__ = [
     "bench_observability_overhead",
     "bench_fault_site_overhead",
     "bench_plan_lint_overhead",
+    "bench_workload_families",
     "run_benchmarks",
     "format_report",
 ]
 
 #: Bump when the report layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2: corpus-build runs gained ``effective_jobs``/``oversubscribed``
+#: (worker counts are now clamped to the machine's CPUs) and the report
+#: gained the ``workloads`` per-family accuracy section.
+BENCH_SCHEMA_VERSION = 2
 
 
 def machine_info() -> dict:
@@ -96,16 +100,24 @@ def bench_corpus_build(
 
     The serial run is the reference: every parallel corpus is checked for
     bitwise equality against it, and speedups are relative to it.
+
+    Worker counts are clamped to the machine's CPU count: timing jobs=4
+    on a 1-CPU box measures scheduler churn, not the fan-out, and would
+    report it as a parallel data point.  Each run records both the
+    requested ``jobs`` and the ``effective_jobs`` actually used, with an
+    ``oversubscribed`` flag when the request exceeded the hardware.
     """
     catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
     config = research_4node()
     pool = generate_pool(n_queries, seed=seed)
+    cpus = os.cpu_count() or 1
     runs = []
     reference = None
     for jobs in jobs_list:
+        effective_jobs = max(1, min(jobs, cpus))
         start = time.perf_counter()
         corpus = build_corpus(
-            catalog, config, pool, noise_seed=noise_seed, jobs=jobs
+            catalog, config, pool, noise_seed=noise_seed, jobs=effective_jobs
         )
         elapsed = time.perf_counter() - start
         identical = None
@@ -127,6 +139,8 @@ def bench_corpus_build(
         runs.append(
             {
                 "jobs": jobs,
+                "effective_jobs": effective_jobs,
+                "oversubscribed": jobs > cpus,
                 "seconds": elapsed,
                 "queries_per_second": n_queries / elapsed,
                 "identical_to_serial": identical,
@@ -424,6 +438,59 @@ def bench_plan_lint_overhead(
 
 
 # ----------------------------------------------------------------------
+# Spec-driven workloads: per-family accuracy
+# ----------------------------------------------------------------------
+
+
+def bench_workload_families(
+    workloads: Optional[Sequence[str]] = None,
+    n_queries: int = 96,
+    scale: float = 0.05,
+    seed: int = 29,
+) -> dict:
+    """Train and evaluate each spec-driven workload, reported per family.
+
+    This is an accuracy benchmark, not a latency one: for every workload
+    spec it generates a pool, executes it, fits the standard pipeline on
+    a family-stratified split, and reports the paper's within-20%
+    elapsed-time fraction both overall and per family, plus the
+    wall-clock cost of the whole train-and-evaluate cycle.
+    """
+    from repro.experiments.experiments import (
+        WORKLOAD_FAMILY_SUITE,
+        workload_family_accuracy,
+    )
+
+    names = tuple(workloads) if workloads is not None else WORKLOAD_FAMILY_SUITE
+    rows = []
+    for name in names:
+        start = time.perf_counter()
+        result = workload_family_accuracy(
+            name, n_queries=n_queries, scale=scale, seed=seed
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "workload": result.workload,
+                "seconds": elapsed,
+                "n_train": result.n_train,
+                "n_test": result.n_test,
+                "within_20pct_elapsed": result.within_20pct_elapsed,
+                "families": {
+                    family: {
+                        "n": row["n"],
+                        "within_20pct_elapsed": row["within_tolerance"][
+                            "elapsed_time"
+                        ],
+                    }
+                    for family, row in result.families.items()
+                },
+            }
+        )
+    return {"n_queries": n_queries, "scale": scale, "workloads": rows}
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -457,6 +524,9 @@ def run_benchmarks(
         static_analysis = bench_plan_lint_overhead(
             n_queries=8, scale_factor=0.05, repeats=3
         )
+        workload_families = bench_workload_families(
+            workloads=("tpcds", "oltp"), n_queries=32
+        )
     else:
         corpus = bench_corpus_build(jobs_list=(1, jobs))
         kcca = bench_kcca_fit()
@@ -464,6 +534,7 @@ def run_benchmarks(
         observability = bench_observability_overhead()
         resilience = bench_fault_site_overhead()
         static_analysis = bench_plan_lint_overhead()
+        workload_families = bench_workload_families()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -476,6 +547,7 @@ def run_benchmarks(
         "observability": observability,
         "resilience": resilience,
         "static_analysis": static_analysis,
+        "workloads": workload_families,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -498,8 +570,13 @@ def format_report(report: dict) -> str:
         note = "" if identical is None else (
             "  bitwise-identical" if identical else "  MISMATCH"
         )
+        effective = run.get("effective_jobs", run["jobs"])
+        if run.get("oversubscribed"):
+            note += (
+                f"  (requested {run['jobs']}, clamped to {effective} cpu)"
+            )
         lines.append(
-            f"  jobs={run['jobs']:<3} {run['seconds']:8.2f}s  "
+            f"  jobs={effective:<3} {run['seconds']:8.2f}s  "
             f"{run['queries_per_second']:7.1f} q/s{note}"
         )
     lines.append(
@@ -572,4 +649,24 @@ def format_report(report: dict) -> str:
             f"  p95 {static_analysis['lint']['p95_us']:7.2f}us  "
             f"({static_analysis['lint_pct_of_optimize']:.2f}% of optimize)"
         )
+    workloads = report.get("workloads")
+    if workloads is not None:
+        lines.append("")
+        lines.append(
+            f"workload families "
+            f"({workloads['n_queries']} queries, scale {workloads['scale']}, "
+            f"within-20% elapsed):"
+        )
+        for row in workloads["workloads"]:
+            lines.append(
+                f"  {row['workload']:<12} overall "
+                f"{row['within_20pct_elapsed']:.2f}  "
+                f"({row['n_train']} train / {row['n_test']} test, "
+                f"{row['seconds']:.1f}s)"
+            )
+            for family, stats in row["families"].items():
+                lines.append(
+                    f"    {family:<14} n={stats['n']:<3} "
+                    f"within-20% {stats['within_20pct_elapsed']:.2f}"
+                )
     return "\n".join(lines)

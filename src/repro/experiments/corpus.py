@@ -159,6 +159,13 @@ class Corpus:
             result.setdefault(query.category, []).append(index)
         return result
 
+    def family_indices(self) -> dict[str, list[int]]:
+        """Query indices per workload family, in first-seen order."""
+        result: dict[str, list[int]] = {}
+        for index, query in enumerate(self.queries):
+            result.setdefault(query.family, []).append(index)
+        return result
+
 
 def _execute_instance(
     optimizer: Optimizer,

@@ -39,15 +39,18 @@ from repro.experiments.corpus import (
     load_or_build_corpus,
 )
 from repro.experiments.harness import (
+    evaluate_by_family,
     evaluate_metrics,
     evaluate_pipeline,
     fit_pipeline,
     split_counts,
     stratified_split,
 )
+from repro.rng import child_generator
 from repro.workloads.categories import QueryCategory
 from repro.workloads.customer import build_customer_catalog, customer_templates
 from repro.workloads.generator import generate_pool
+from repro.workloads.spec import WorkloadRef, build_catalog_for, resolve_workload
 from repro.workloads.templates import tpcds_templates
 from repro.workloads.tpcds import build_tpcds_catalog
 
@@ -69,6 +72,10 @@ __all__ = [
     "fig15_experiment4",
     "fig16_production_configs",
     "fig17_optimizer_cost",
+    "FamilyAccuracyResult",
+    "workload_family_accuracy",
+    "workload_family_report",
+    "WORKLOAD_FAMILY_SUITE",
 ]
 
 #: Paper split for Experiment 1 (Section VII-A.1).
@@ -540,6 +547,133 @@ def fig15_experiment4(
         ),
         n_test=len(test_subset),
     )
+
+
+# ----------------------------------------------------------------------
+# Spec-driven workloads — per-family accuracy
+# ----------------------------------------------------------------------
+
+#: Workloads covered by the per-family accuracy report: the classic
+#: TPC-DS mix plus the three spec-only families shipped with the specs
+#: directory (OLTP point/range, emulated window/rollup analytics, and
+#: the skew-shifted TPC-DS variant).
+WORKLOAD_FAMILY_SUITE = ("tpcds", "oltp", "analytics", "tpcds_skew")
+
+
+@dataclass(frozen=True)
+class FamilyAccuracyResult:
+    """Per-family within-tolerance accuracy for one spec-driven workload.
+
+    Attributes:
+        workload: spec name.
+        n_train: training-query count.
+        n_test: held-out query count.
+        within_20pct_elapsed: overall fraction of test queries whose
+            elapsed-time prediction is within the tolerance (the paper's
+            headline figure, computed across families).
+        families: per-family breakdown from
+            :func:`repro.experiments.harness.evaluate_by_family` — each
+            entry holds ``n`` and per-metric ``within_tolerance``
+            fractions.
+    """
+
+    workload: str
+    n_train: int
+    n_test: int
+    within_20pct_elapsed: float
+    families: dict[str, dict[str, object]]
+
+
+@lru_cache(maxsize=4)
+def _spec_catalog(kind: str, scale: float, seed: int):
+    if kind == "customer":
+        return build_customer_catalog(seed=seed, scale=scale)
+    return build_tpcds_catalog(scale_factor=scale, seed=seed)
+
+
+def _family_split(
+    corpus: Corpus, train_fraction: float, seed: int
+) -> tuple[Corpus, Corpus]:
+    """Split a corpus stratified by workload family.
+
+    Every family with at least two queries contributes to both sides, so
+    :func:`evaluate_by_family` never reports a family the model had zero
+    training exposure to.
+    """
+    rng = child_generator(seed, "family-split")
+    train_indices: list[int] = []
+    test_indices: list[int] = []
+    for _family, indices in corpus.family_indices().items():
+        shuffled = [int(i) for i in rng.permutation(indices)]
+        n_train = int(round(train_fraction * len(shuffled)))
+        if len(shuffled) > 1:
+            n_train = min(max(n_train, 1), len(shuffled) - 1)
+        train_indices.extend(shuffled[:n_train])
+        test_indices.extend(shuffled[n_train:])
+    return corpus.subset(sorted(train_indices)), corpus.subset(
+        sorted(test_indices)
+    )
+
+
+def workload_family_accuracy(
+    workload: WorkloadRef = "tpcds",
+    n_queries: int = 120,
+    scale: float = 0.05,
+    seed: int = 29,
+    train_fraction: float = 0.75,
+    tolerance: float = 0.2,
+    jobs: Optional[int] = None,
+) -> FamilyAccuracyResult:
+    """Train and evaluate one spec-driven workload, reported per family.
+
+    Generates a pool from the workload spec, executes it on the research
+    configuration, fits the standard pipeline on a family-stratified
+    split, and reports the within-tolerance fraction per family.  Small
+    by default (120 queries at scale 0.05) so the whole suite fits in a
+    bench run; corpora are built in memory, not cached on disk.
+    """
+    compiled = resolve_workload(workload)
+    spec = compiled.spec
+    recipe = spec.catalog
+    kind = str(recipe.get("kind", "tpcds"))
+    catalog_seed = int(recipe.get("seed", 42))
+    if scale is None:
+        catalog = build_catalog_for(spec)
+    else:
+        catalog = _spec_catalog(kind, float(scale), catalog_seed)
+    pool = generate_pool(n_queries, seed=seed, workload=compiled)
+    corpus = build_corpus(catalog, research_4node(), pool, jobs=jobs)
+    train, test = _family_split(corpus, train_fraction, seed)
+    pipeline = fit_pipeline(train)
+    families = evaluate_by_family(pipeline, test, tolerance=tolerance)
+    predicted = pipeline.predict_many(test.feature_matrix())
+    actual = test.performance_matrix()
+    elapsed_index = METRIC_NAMES.index("elapsed_time")
+    return FamilyAccuracyResult(
+        workload=spec.name,
+        n_train=len(train),
+        n_test=len(test),
+        within_20pct_elapsed=within_fraction(
+            predicted[:, elapsed_index], actual[:, elapsed_index], tolerance
+        ),
+        families=families,
+    )
+
+
+def workload_family_report(
+    workloads: tuple[str, ...] = WORKLOAD_FAMILY_SUITE,
+    n_queries: int = 120,
+    scale: float = 0.05,
+    seed: int = 29,
+    jobs: Optional[int] = None,
+) -> dict[str, FamilyAccuracyResult]:
+    """Per-family accuracy for each workload in the suite."""
+    return {
+        name: workload_family_accuracy(
+            name, n_queries=n_queries, scale=scale, seed=seed, jobs=jobs
+        )
+        for name in workloads
+    }
 
 
 # ----------------------------------------------------------------------

@@ -23,7 +23,8 @@ from repro.api import QueryPerformancePredictor
 from repro.engine.system import SystemConfig
 from repro.errors import ReproError
 from repro.storage.catalog import Catalog
-from repro.workloads.generator import QueryInstance
+from repro.workloads.generator import QueryInstance, generate_pool
+from repro.workloads.spec import WorkloadRef
 
 __all__ = ["ConfigForecast", "SizingResult", "size_system"]
 
@@ -64,10 +65,14 @@ def _artifact_path(artifact_dir: Path, config: SystemConfig) -> Path:
 def size_system(
     catalog: Catalog,
     candidates: Sequence[SystemConfig],
-    training_pool: Sequence[QueryInstance],
-    workload: Sequence[str],
-    deadline_s: float,
+    training_pool: Optional[Sequence[QueryInstance]] = None,
+    workload: Sequence[str] = (),
+    deadline_s: float = 0.0,
     artifact_dir: Optional[Path] = None,
+    *,
+    training_workload: Optional[WorkloadRef] = None,
+    n_training_queries: int = 200,
+    training_seed: int = 7,
     **predictor_kwargs,
 ) -> SizingResult:
     """Pick the cheapest candidate whose predicted runtime fits the window.
@@ -76,20 +81,45 @@ def size_system(
         catalog: the database the workload runs against.
         candidates: configurations ordered cheapest first.
         training_pool: queries executed per candidate to train its model.
+            May be omitted when ``training_workload`` is given instead.
         workload: SQL texts of the workload to size for (these are only
             *predicted*, never run — the whole point).
         deadline_s: the batch window the workload must fit into.
         artifact_dir: when given, each candidate's trained model is saved
             there as ``<config-name>.npz`` and reused on the next call
             instead of retraining (the what-if loop is then instant).
+        training_workload: a workload spec reference (builtin name, path,
+            spec or compiled workload); when set, the training pool is
+            generated from it deterministically instead of being passed
+            in explicitly.
+        n_training_queries: pool size drawn from ``training_workload``.
+        training_seed: seed for that generated pool.
 
     Raises:
-        ReproError: when inputs are empty.
+        ReproError: when inputs are empty, or when both (or neither) of
+            ``training_pool`` and ``training_workload`` are given.
     """
     if not candidates:
         raise ReproError("size_system needs at least one candidate config")
     if not workload:
         raise ReproError("size_system needs a non-empty workload")
+    if training_pool is not None and training_workload is not None:
+        raise ReproError(
+            "size_system takes either training_pool or training_workload, "
+            "not both"
+        )
+    if training_pool is None:
+        if training_workload is None:
+            raise ReproError(
+                "size_system needs a training_pool or a training_workload"
+            )
+        training_pool = generate_pool(
+            n_training_queries,
+            seed=training_seed,
+            workload=training_workload,
+        )
+    if not training_pool:
+        raise ReproError("size_system needs a non-empty training pool")
     forecasts = []
     recommended: Optional[ConfigForecast] = None
     for config in candidates:

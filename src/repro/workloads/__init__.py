@@ -2,11 +2,15 @@
 
 * :mod:`repro.workloads.tpcds` — scaled-down TPC-DS-style star schema and
   deterministic data generator (the paper's training/test database).
-* :mod:`repro.workloads.templates` — parameterised query templates: the
-  standard decision-support mix plus the "problem query" templates the
+* :mod:`repro.workloads.spec` — declarative workload specifications:
+  schema-versioned YAML/JSON files declaring tables, value pools,
+  parameterised templates with per-placeholder value strategies, family
+  tags and mix weights (``specs/*.yaml``).
+* :mod:`repro.workloads.templates` — accessors for the TPC-DS spec's
+  standard decision-support mix and the "problem query" templates the
   paper wrote to manufacture long-running golf balls and bowling balls.
-* :mod:`repro.workloads.generator` — template instantiation into query
-  pools.
+* :mod:`repro.workloads.generator` — compiled-spec instantiation into
+  query pools.
 * :mod:`repro.workloads.categories` — feather / golf ball / bowling ball
   categorisation by measured elapsed time (paper Figure 2).
 * :mod:`repro.workloads.customer` — a separate customer schema and
@@ -16,6 +20,16 @@
 from repro.workloads.tpcds import build_tpcds_catalog, TPCDS_TABLE_NAMES
 from repro.workloads.categories import QueryCategory, categorize
 from repro.workloads.generator import QueryInstance, generate_pool
+from repro.workloads.spec import (
+    CompiledWorkload,
+    QueryTemplate,
+    WorkloadSpec,
+    builtin_workload_names,
+    compile_workload,
+    describe_workload,
+    load_workload_spec,
+    resolve_workload,
+)
 from repro.workloads.templates import tpcds_templates, problem_templates
 from repro.workloads.customer import build_customer_catalog, customer_templates
 
@@ -26,6 +40,14 @@ __all__ = [
     "categorize",
     "QueryInstance",
     "generate_pool",
+    "CompiledWorkload",
+    "QueryTemplate",
+    "WorkloadSpec",
+    "builtin_workload_names",
+    "compile_workload",
+    "describe_workload",
+    "load_workload_spec",
+    "resolve_workload",
     "tpcds_templates",
     "problem_templates",
     "build_customer_catalog",

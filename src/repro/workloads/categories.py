@@ -11,10 +11,13 @@ and to build type-specific models.
 from __future__ import annotations
 
 import enum
+from typing import Iterable
 
 __all__ = [
     "QueryCategory",
     "categorize",
+    "family_mix",
+    "family_category_breakdown",
     "FEATHER_MAX_S",
     "GOLF_BALL_MAX_S",
     "BOWLING_BALL_MAX_S",
@@ -37,6 +40,38 @@ class QueryCategory(str, enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+def family_mix(families: Iterable[str]) -> dict[str, int]:
+    """Count queries per workload family, in first-seen order.
+
+    Accepts any iterable of family tags (e.g. ``q.family`` for each query in
+    a generated pool) and is the spec-era counterpart of eyeballing the
+    template list: it reports what mix a pool actually realised, which for
+    small pools can differ from the declared family weights.
+    """
+    counts: dict[str, int] = {}
+    for family in families:
+        counts[family] = counts.get(family, 0) + 1
+    return counts
+
+
+def family_category_breakdown(
+    records: Iterable[tuple[str, float]],
+) -> dict[str, dict[QueryCategory, int]]:
+    """Cross-tabulate workload family against runtime category.
+
+    ``records`` is an iterable of ``(family, elapsed_seconds)`` pairs, one per
+    executed query.  The result maps each family (first-seen order) to a count
+    per :class:`QueryCategory`, so reports can show e.g. how many of the OLTP
+    point lookups landed in the feather bucket versus heavier classes.
+    """
+    result: dict[str, dict[QueryCategory, int]] = {}
+    for family, elapsed_seconds in records:
+        buckets = result.setdefault(family, {})
+        category = categorize(elapsed_seconds)
+        buckets[category] = buckets.get(category, 0) + 1
+    return result
 
 
 def categorize(elapsed_seconds: float) -> QueryCategory:

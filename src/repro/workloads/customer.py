@@ -15,7 +15,7 @@ import numpy as np
 from repro.rng import child_generator
 from repro.storage.catalog import Catalog
 from repro.storage.table import Column, Schema, Table
-from repro.workloads.templates import QueryTemplate
+from repro.workloads.spec import QueryTemplate, resolve_workload
 
 __all__ = ["build_customer_catalog", "customer_templates", "CUSTOMER_TABLE_NAMES"]
 
@@ -141,125 +141,10 @@ def build_customer_catalog(seed: int = 99, scale: float = 1.0) -> Catalog:
 
 
 def customer_templates() -> list[QueryTemplate]:
-    """Short-running queries against the customer schema."""
-    templates: list[QueryTemplate] = []
+    """Short-running queries against the customer schema.
 
-    templates.append(QueryTemplate(
-        name="cust_branch_balances",
-        sql=(
-            "SELECT b.b_region, sum(a.a_balance) AS total, count(*) AS cnt "
-            "FROM account a, branch b "
-            "WHERE a.a_branch_sk = b.b_branch_sk AND a.a_type = '{atype}' "
-            "GROUP BY b.b_region ORDER BY total DESC"
-        ),
-        sampler=lambda rng: {"atype": str(rng.choice(ACCOUNT_TYPES))},
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_monthly_txn_volume",
-        sql=(
-            "SELECT cal.cal_month, count(*) AS cnt, "
-            "sum(t.t_amount) AS volume "
-            "FROM txn t, calendar cal "
-            "WHERE t.t_date_sk = cal.cal_date_sk "
-            "AND cal.cal_year = {year} AND t.t_type = '{ttype}' "
-            "GROUP BY cal.cal_month ORDER BY cal.cal_month"
-        ),
-        sampler=lambda rng: {
-            "year": int(rng.choice([2007, 2008])),
-            "ttype": str(rng.choice(TXN_TYPES)),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_segment_scores",
-        sql=(
-            "SELECT cl.cl_segment, avg(cl.cl_score) AS avg_score, "
-            "count(*) AS cnt "
-            "FROM client cl "
-            "WHERE cl.cl_birth_year BETWEEN {ylo} AND {yhi} "
-            "GROUP BY cl.cl_segment ORDER BY avg_score DESC"
-        ),
-        sampler=lambda rng: (lambda ylo: {
-            "ylo": ylo, "yhi": ylo + int(rng.integers(10, 30))
-        })(int(rng.integers(1935, 1975))),
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_rich_clients",
-        sql=(
-            "SELECT cl.cl_client_sk, sum(a.a_balance) AS wealth "
-            "FROM account a, client cl "
-            "WHERE a.a_client_sk = cl.cl_client_sk "
-            "AND cl.cl_segment = '{segment}' "
-            "GROUP BY cl.cl_client_sk ORDER BY wealth DESC LIMIT {limit}"
-        ),
-        sampler=lambda rng: {
-            "segment": str(rng.choice(SEGMENTS)),
-            "limit": int(rng.choice([10, 50, 100])),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_big_txns",
-        sql=(
-            "SELECT t.t_type, count(*) AS cnt, max(t.t_amount) AS biggest "
-            "FROM txn t "
-            "WHERE t.t_amount > {amount} "
-            "AND t.t_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY t.t_type ORDER BY cnt DESC"
-        ),
-        sampler=lambda rng: (lambda lo: {
-            "amount": round(float(rng.uniform(200, 3000)), 2),
-            "lo": lo,
-            "hi": lo + int(rng.integers(14, 180)),
-        })(int(rng.integers(1, 500))),
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_branch_activity",
-        sql=(
-            "SELECT b.b_city, count(*) AS txns "
-            "FROM txn t, account a, branch b "
-            "WHERE t.t_account_sk = a.a_account_sk "
-            "AND a.a_branch_sk = b.b_branch_sk "
-            "AND b.b_region = '{region}' "
-            "AND t.t_amount > {amount} "
-            "GROUP BY b.b_city ORDER BY txns DESC"
-        ),
-        sampler=lambda rng: {
-            "region": str(rng.choice(REGIONS)),
-            "amount": round(float(rng.uniform(50, 800)), 2),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_dormant_accounts",
-        sql=(
-            "SELECT count(*) AS dormant "
-            "FROM account a "
-            "WHERE a.a_open_year < {year} "
-            "AND NOT EXISTS (SELECT * FROM txn t "
-            "WHERE t.t_account_sk = a.a_account_sk "
-            "AND t.t_date_sk > {date})"
-        ),
-        sampler=lambda rng: {
-            "year": int(rng.integers(1998, 2006)),
-            "date": int(rng.integers(365, 700)),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="cust_loan_clients_in",
-        sql=(
-            "SELECT count(*) AS cnt, avg(cl.cl_score) AS avg_score "
-            "FROM client cl "
-            "WHERE cl.cl_client_sk IN (SELECT a.a_client_sk FROM account a "
-            "WHERE a.a_type = 'loan' AND a.a_balance > {balance})"
-        ),
-        sampler=lambda rng: {
-            "balance": round(float(rng.uniform(1000, 20000)), 2)
-        },
-    ))
-
-    return templates
+    Declared in ``specs/customer.yaml`` since the spec refactor; the
+    spec-driven templates are golden-tested bitwise-identical to the old
+    hard-coded samplers.
+    """
+    return list(resolve_workload("customer").templates)

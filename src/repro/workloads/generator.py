@@ -5,6 +5,13 @@ extended problem templates, ran them in single-query mode on the research
 system, and sorted them into pools by measured elapsed time.  This module
 covers the generation half; the measuring/pooling half lives in
 :mod:`repro.experiments.corpus`.
+
+Since the spec refactor, pools are sampled from *compiled workload
+specs* (:mod:`repro.workloads.spec`): templates are grouped by family
+and each query first picks a family by mix weight, then a template
+uniformly within it.  The legacy ``templates=``/``problem_fraction=``
+call style is still supported and remains bitwise-identical to the
+pre-spec generator (golden-tested against ``tests/_legacy_templates``).
 """
 
 from __future__ import annotations
@@ -12,14 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.rng import child_generator
-from repro.workloads.templates import (
-    QueryTemplate,
-    problem_templates,
-    tpcds_templates,
-)
+from repro.workloads.spec import QueryTemplate, WorkloadRef, resolve_workload
 
 __all__ = ["QueryInstance", "generate_pool"]
+
+#: Probability mass given to problem templates in the default mix (the
+#: paper needed to oversample heavy templates to obtain enough
+#: golf/bowling balls).  Kept as the fallback for the legacy call style;
+#: spec-driven workloads declare their own family weights.
+DEFAULT_PROBLEM_FRACTION = 0.25
 
 
 @dataclass(frozen=True)
@@ -33,36 +44,135 @@ class QueryInstance:
     params: dict = field(default_factory=dict, hash=False, compare=False)
 
 
+def _family_groups(
+    templates: Sequence[QueryTemplate],
+    family_order: Sequence[str],
+    weights: dict,
+) -> list[tuple[str, list[QueryTemplate], float]]:
+    """Non-empty family groups in declared order, with their weights."""
+    by_family: dict = {}
+    for template in templates:
+        by_family.setdefault(template.family, []).append(template)
+    groups = []
+    for family in family_order:
+        members = by_family.get(family)
+        if members:
+            groups.append((family, members, float(weights.get(family, 0.0))))
+    return groups
+
+
+def _apply_problem_fraction(
+    groups: list[tuple[str, list[QueryTemplate], float]],
+    problem_fraction: float,
+) -> list[tuple[str, list[QueryTemplate], float]]:
+    """Override the 'problem' family's mass, rescaling the others.
+
+    With the standard two-family mix this reproduces the legacy
+    ``rng.random() < problem_fraction`` draw exactly.
+    """
+    others_total = sum(w for f, _, w in groups if f != "problem")
+    rescaled = []
+    for family, members, weight in groups:
+        if family == "problem":
+            rescaled.append((family, members, problem_fraction))
+        elif others_total > 0:
+            rescaled.append(
+                (family, members, weight / others_total * (1.0 - problem_fraction))
+            )
+        else:
+            rescaled.append((family, members, 0.0))
+    return rescaled
+
+
+def _pick_group(
+    rng: np.random.Generator,
+    groups: list[tuple[str, list[QueryTemplate], float]],
+) -> list[QueryTemplate]:
+    """Pick a family group; a single group consumes no random draw.
+
+    The no-draw short circuit mirrors the legacy generator, which only
+    called ``rng.random()`` when both template groups were non-empty —
+    required for bitwise-identical pools.
+    """
+    if len(groups) == 1:
+        return groups[0][1]
+    total = sum(w for _, _, w in groups)
+    draw = rng.random()
+    cumulative = 0.0
+    for _, members, weight in groups[:-1]:
+        cumulative += weight / total
+        if draw < cumulative:
+            return members
+    return groups[-1][1]
+
+
 def generate_pool(
     n_queries: int,
     seed: int = 7,
     templates: Optional[Sequence[QueryTemplate]] = None,
-    problem_fraction: float = 0.25,
+    problem_fraction: Optional[float] = None,
+    workload: Optional[WorkloadRef] = None,
 ) -> list[QueryInstance]:
     """Generate ``n_queries`` query instances.
 
     Args:
         n_queries: number of instances to produce.
         seed: generation seed (deterministic output).
-        templates: explicit template list; default is the standard mix
-            plus problem templates.
-        problem_fraction: probability mass given to problem templates when
-            using the default template mix (the paper needed to oversample
-            heavy templates to obtain enough golf/bowling balls).
+        templates: explicit template list (legacy call style); grouped
+            into ``problem`` vs. everything else.
+        problem_fraction: override for the ``problem`` family's mix
+            weight; other families share the remaining mass in
+            proportion.  Defaults to the workload's declared weights
+            (0.25 for the legacy template style).
+        workload: a workload reference — built-in spec name, spec file
+            path, or (compiled) spec object.  Mutually exclusive with
+            ``templates``.  When neither is given, the built-in
+            ``tpcds`` workload is used.
+
+    Raises:
+        ValueError: if both ``templates`` and ``workload`` are given, or
+            if the (filtered) template list is empty.
     """
-    if templates is None:
-        standard = tpcds_templates()
-        problems = problem_templates()
-    else:
-        standard = [t for t in templates if t.family != "problem"]
+    if templates is not None and workload is not None:
+        raise ValueError(
+            "generate_pool: pass either 'templates' or 'workload', not both"
+        )
+    if templates is not None:
+        # Legacy call style: 'problem' templates vs. everything else,
+        # regardless of the exact family tags of the rest.
         problems = [t for t in templates if t.family == "problem"]
+        rest = [t for t in templates if t.family != "problem"]
+        groups = []
+        if problems:
+            groups.append(("problem", problems, DEFAULT_PROBLEM_FRACTION))
+        if rest:
+            groups.append(("standard", rest, 1.0 - DEFAULT_PROBLEM_FRACTION))
+    else:
+        compiled = resolve_workload(workload if workload is not None else "tpcds")
+        groups = _family_groups(
+            list(compiled.templates),
+            list(compiled.family_order),
+            dict(compiled.weights),
+        )
+    if not groups:
+        source = "workload spec" if templates is None else "template list"
+        raise ValueError(
+            f"generate_pool: the {source} contains no templates to sample "
+            "from (after family filtering); check the workload definition"
+        )
+    if problem_fraction is not None:
+        groups = _apply_problem_fraction(groups, problem_fraction)
+    if sum(w for _, _, w in groups) <= 0 and len(groups) > 1:
+        raise ValueError(
+            "generate_pool: all template families have zero weight; "
+            "give at least one family a positive mix weight"
+        )
+
     rng = child_generator(seed, "query-pool")
     instances = []
     for index in range(n_queries):
-        if problems and (not standard or rng.random() < problem_fraction):
-            template = problems[int(rng.integers(0, len(problems)))]
-        else:
-            template = standard[int(rng.integers(0, len(standard)))]
+        group = _pick_group(rng, groups)
+        template = group[int(rng.integers(0, len(group)))]
         sql, params = template.render(rng)
         instances.append(
             QueryInstance(

@@ -1,0 +1,1101 @@
+"""Declarative workload specifications: load, validate, compile.
+
+A workload spec is a data file (YAML subset or JSON) that declares
+everything the generator layer previously hard-coded in Python:
+
+* a **catalog recipe** — which database to build and at what size;
+* a **table vocabulary** — tables and their columns, used to validate
+  that every template only touches declared schema;
+* **value pools** — named lists of constants templates can draw from;
+* **families** with mix weights — how probability mass is split across
+  template groups when sampling a pool;
+* **templates** — ``str.format`` SQL texts plus an explicit, ordered
+  list of per-placeholder *value strategies* (uniform / zipf /
+  date-window / choice / value-pool and offset variants).
+
+The compiler turns each template into a :class:`QueryTemplate` whose
+sampler replays the strategies in declared order against a
+``numpy.random.Generator`` — the parameter entries are listed in *RNG
+draw order*, which is what makes ``specs/tpcds.yaml`` bitwise-identical
+to the legacy hand-written samplers at the same seed (see
+``tests/test_workload_spec.py``).
+
+The loader is stdlib-only: CI environments do not install PyYAML, so a
+small indentation-based parser covers the YAML subset the spec format
+uses (block mappings/sequences, inline flow lists, quoted scalars and
+``>``-folded strings).  JSON files are accepted as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from string import Formatter
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ParseError, WorkloadSpecError
+from repro.rng import child_generator
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "QueryTemplate",
+    "ParamSpec",
+    "TemplateSpec",
+    "FamilySpec",
+    "WorkloadSpec",
+    "CompiledWorkload",
+    "STRATEGY_NAMES",
+    "parse_simple_yaml",
+    "load_workload_spec",
+    "validate_spec_data",
+    "compile_workload",
+    "builtin_spec_dir",
+    "builtin_workload_names",
+    "resolve_workload",
+    "describe_workload",
+]
+
+#: Bump when the spec layout changes incompatibly.
+SPEC_SCHEMA_VERSION = 1
+
+WorkloadRef = Union[str, Path, "WorkloadSpec", "CompiledWorkload"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A SQL text template plus a joint parameter sampler.
+
+    Attributes:
+        name: unique template identifier.
+        sql: ``str.format`` template of the query text.
+        sampler: draws a dict of parameter values from an rng.
+        family: the template's family tag (e.g. ``standard`` /
+            ``problem``).
+    """
+
+    name: str
+    sql: str
+    sampler: Callable[[np.random.Generator], dict]
+    family: str = "standard"
+
+    def render(self, rng: np.random.Generator) -> tuple[str, dict]:
+        """Instantiate the template; returns (sql_text, parameter_values)."""
+        params = self.sampler(rng)
+        return self.sql.format(**params), params
+
+
+# ----------------------------------------------------------------------
+# Minimal YAML-subset parser (stdlib only; CI has no PyYAML)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    text: str
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``# ...`` comment, respecting quoted strings."""
+    quote: Optional[str] = None
+    for index, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+        elif char == "#" and (index == 0 or line[index - 1] in " \t"):
+            return line[:index]
+    return line
+
+
+def _significant_lines(text: str) -> list[_Line]:
+    lines = []
+    for number, rawline in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(rawline).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        if "\t" in stripped[:indent]:
+            raise WorkloadSpecError(
+                f"line {number}: tabs are not allowed in indentation"
+            )
+        lines.append(_Line(number, indent, stripped.strip()))
+    return lines
+
+
+def _parse_flow_list(text: str, number: int) -> list:
+    body = text.strip()[1:-1].strip()
+    if not body:
+        return []
+    items: list = []
+    current = ""
+    quote: Optional[str] = None
+    for char in body:
+        if quote is not None:
+            current += char
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            current += char
+            quote = char
+        elif char == "[":
+            raise WorkloadSpecError(
+                f"line {number}: nested flow lists are not supported"
+            )
+        elif char == ",":
+            items.append(_parse_scalar(current.strip(), number))
+            current = ""
+        else:
+            current += char
+    if quote is not None:
+        raise WorkloadSpecError(f"line {number}: unterminated quote")
+    items.append(_parse_scalar(current.strip(), number))
+    return items
+
+
+def _parse_scalar(text: str, number: int):
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_flow_list(text, number)
+    if len(text) >= 2 and text[0] in "'\"" and text[-1] == text[0]:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~", ""):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+_KEY_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_-]*):(?:\s+(.*))?$")
+
+
+def _parse_folded(lines: list[_Line], pos: int, indent: int) -> tuple[str, int]:
+    """A ``>`` folded scalar: deeper lines joined with single spaces."""
+    parts = []
+    while pos < len(lines) and lines[pos].indent > indent:
+        parts.append(lines[pos].text)
+        pos += 1
+    return " ".join(parts), pos
+
+
+def _parse_block(lines: list[_Line], pos: int, indent: int):
+    if lines[pos].text.startswith("- ") or lines[pos].text == "-":
+        return _parse_sequence(lines, pos, indent)
+    return _parse_mapping(lines, pos, indent)
+
+
+def _parse_sequence(lines: list[_Line], pos: int, indent: int) -> tuple[list, int]:
+    items: list = []
+    while pos < len(lines) and lines[pos].indent == indent:
+        line = lines[pos]
+        if not (line.text.startswith("- ") or line.text == "-"):
+            break
+        rest = line.text[2:].strip() if line.text != "-" else ""
+        if not rest:
+            pos += 1
+            if pos < len(lines) and lines[pos].indent > indent:
+                value, pos = _parse_block(lines, pos, lines[pos].indent)
+            else:
+                value = None
+            items.append(value)
+        elif _KEY_RE.match(rest):
+            # `- key: value` — the item is a mapping whose first entry
+            # shares the dash's line; re-parse it at the virtual indent
+            # just past the dash marker.
+            lines[pos] = _Line(line.number, indent + 2, rest)
+            value, pos = _parse_mapping(lines, pos, indent + 2)
+            items.append(value)
+        else:
+            items.append(_parse_scalar(rest, line.number))
+            pos += 1
+    return items, pos
+
+
+def _parse_mapping(lines: list[_Line], pos: int, indent: int) -> tuple[dict, int]:
+    mapping: dict = {}
+    while pos < len(lines) and lines[pos].indent == indent:
+        line = lines[pos]
+        match = _KEY_RE.match(line.text)
+        if match is None:
+            raise WorkloadSpecError(
+                f"line {line.number}: expected 'key: value', got {line.text!r}"
+            )
+        key, value_text = match.group(1), match.group(2)
+        if key in mapping:
+            raise WorkloadSpecError(f"line {line.number}: duplicate key {key!r}")
+        pos += 1
+        if value_text is None or not value_text.strip():
+            if pos < len(lines) and lines[pos].indent > indent:
+                value, pos = _parse_block(lines, pos, lines[pos].indent)
+            else:
+                value = None
+        elif value_text.strip() in (">", ">-"):
+            value, pos = _parse_folded(lines, pos, indent)
+        else:
+            value = _parse_scalar(value_text, line.number)
+        mapping[key] = value
+    if pos < len(lines) and lines[pos].indent > indent:
+        bad = lines[pos]
+        raise WorkloadSpecError(
+            f"line {bad.number}: unexpected indentation for {bad.text!r}"
+        )
+    return mapping, pos
+
+
+def parse_simple_yaml(text: str) -> dict:
+    """Parse the YAML subset workload specs use into plain Python data.
+
+    Supported: nested block mappings and sequences, ``- key: value``
+    sequence items, inline flow lists of scalars, single/double-quoted
+    strings, ints/floats/bools/null, comments, and ``>``-folded strings
+    (joined with single spaces).  This is deliberately *not* a general
+    YAML parser — it covers exactly the constructs in ``specs/``.
+    """
+    lines = _significant_lines(text)
+    if not lines:
+        raise WorkloadSpecError("empty workload spec")
+    value, pos = _parse_block(lines, 0, lines[0].indent)
+    if pos != len(lines):
+        bad = lines[pos]
+        raise WorkloadSpecError(
+            f"line {bad.number}: trailing content {bad.text!r}"
+        )
+    if not isinstance(value, dict):
+        raise WorkloadSpecError("workload spec root must be a mapping")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Spec data model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One placeholder-value strategy of a template, in RNG draw order."""
+
+    strategy: str
+    names: tuple[str, ...]
+    options: dict = field(hash=False, compare=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """A declared query template: SQL text plus ordered param strategies."""
+
+    name: str
+    family: str
+    sql: str
+    params: tuple[ParamSpec, ...]
+
+    @property
+    def placeholder_names(self) -> tuple[str, ...]:
+        return tuple(n for p in self.params for n in p.names)
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """A template family and its share of the generation mix."""
+
+    name: str
+    weight: float
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully validated workload specification."""
+
+    name: str
+    description: str
+    catalog: dict
+    tables: dict
+    pools: dict
+    families: tuple[FamilySpec, ...]
+    templates: tuple[TemplateSpec, ...]
+    date_span_days: int
+    source: Optional[str] = None
+
+    def family_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.families)
+
+
+@dataclass(frozen=True)
+class CompiledWorkload:
+    """A spec compiled into executable templates plus the sampling mix."""
+
+    spec: WorkloadSpec
+    templates: tuple[QueryTemplate, ...]
+    family_order: tuple[str, ...]
+    weights: dict
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+# ----------------------------------------------------------------------
+# Strategy registry
+# ----------------------------------------------------------------------
+
+#: strategy -> (required option names, optional option names)
+_STRATEGY_FIELDS = {
+    "int_uniform": (frozenset({"low", "high"}), frozenset()),
+    "uniform": (frozenset({"low", "high"}), frozenset({"round"})),
+    "choice": (frozenset(), frozenset({"values", "pool"})),
+    "choice_list": (
+        frozenset({"min_n", "max_n"}),
+        frozenset({"values", "pool"}),
+    ),
+    "date_window": (frozenset({"min_days", "max_days"}), frozenset()),
+    "int_offset": (
+        frozenset({"base", "low", "high"}),
+        frozenset({"clamp"}),
+    ),
+    "uniform_offset": (
+        frozenset({"base", "low", "high"}),
+        frozenset({"round"}),
+    ),
+    "zipf_int": (frozenset({"low", "high"}), frozenset({"alpha"})),
+    "zipf_choice": (frozenset(), frozenset({"values", "pool", "alpha"})),
+}
+
+STRATEGY_NAMES = tuple(sorted(_STRATEGY_FIELDS))
+
+_POOL_STRATEGIES = ("choice", "choice_list", "zipf_choice")
+
+
+def _resolve_values(param: ParamSpec, spec: WorkloadSpec) -> tuple:
+    if "values" in param.options:
+        return tuple(param.options["values"])
+    return tuple(spec.pools[param.options["pool"]])
+
+
+def _typed_pick(values: Sequence, picked) -> Union[int, float, str]:
+    """Coerce an rng.choice result to the pool's natural Python type."""
+    if all(isinstance(v, int) for v in values):
+        return int(picked)
+    if any(isinstance(v, float) for v in values):
+        return float(picked)
+    return str(picked)
+
+
+def _zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+_Step = Callable[[np.random.Generator, dict, dict], None]
+
+
+def _compile_param(param: ParamSpec, spec: WorkloadSpec) -> _Step:
+    """Build the draw step for one param; closures capture plain data.
+
+    Each step consumes exactly the same rng calls, in the same order and
+    with the same arguments, as the legacy hand-written samplers — the
+    bitwise-identity contract of the spec refactor.
+    """
+    strategy = param.strategy
+    options = param.options
+    name = param.names[0]
+
+    if strategy == "int_uniform":
+        low, high = int(options["low"]), int(options["high"])
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            value = int(rng.integers(low, high + 1))
+            raw[name] = value
+            out[name] = value
+
+    elif strategy == "uniform":
+        low, high = float(options["low"]), float(options["high"])
+        digits = int(options.get("round", 2))
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            value = float(rng.uniform(low, high))
+            raw[name] = value
+            out[name] = round(value, digits)
+
+    elif strategy == "choice":
+        values = _resolve_values(param, spec)
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            value = _typed_pick(values, rng.choice(values))
+            raw[name] = value
+            out[name] = value
+
+    elif strategy == "choice_list":
+        values = _resolve_values(param, spec)
+        min_n, max_n = int(options["min_n"]), int(options["max_n"])
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            count = int(rng.integers(min_n, max_n + 1))
+            chosen = rng.choice(values, size=count, replace=False)
+            value = ", ".join(f"'{c}'" for c in chosen)
+            raw[name] = value
+            out[name] = value
+
+    elif strategy == "date_window":
+        min_days, max_days = int(options["min_days"]), int(options["max_days"])
+        span = spec.date_span_days
+        lo_name, hi_name = param.names
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            width = int(rng.integers(min_days, max_days + 1))
+            width = min(width, span)
+            lo = int(rng.integers(1, span - width + 2))
+            raw[lo_name] = out[lo_name] = lo
+            raw[hi_name] = out[hi_name] = lo + width - 1
+
+    elif strategy == "int_offset":
+        base = str(options["base"])
+        low, high = int(options["low"]), int(options["high"])
+        clamp = options.get("clamp")
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            value = int(raw[base]) + int(rng.integers(low, high + 1))
+            if clamp is not None:
+                value = min(value, int(clamp))
+            raw[name] = value
+            out[name] = value
+
+    elif strategy == "uniform_offset":
+        base = str(options["base"])
+        low, high = float(options["low"]), float(options["high"])
+        digits = int(options.get("round", 2))
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            # Offsets apply to the *raw* (unrounded) base draw, matching
+            # the legacy nested-lambda samplers.
+            value = float(raw[base]) + float(rng.uniform(low, high))
+            raw[name] = value
+            out[name] = round(value, digits)
+
+    elif strategy == "zipf_int":
+        low, high = int(options["low"]), int(options["high"])
+        probs = _zipf_probabilities(
+            high - low + 1, float(options.get("alpha", 1.2))
+        )
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            value = low + int(rng.choice(len(probs), p=probs))
+            raw[name] = value
+            out[name] = value
+
+    elif strategy == "zipf_choice":
+        values = _resolve_values(param, spec)
+        probs = _zipf_probabilities(
+            len(values), float(options.get("alpha", 1.2))
+        )
+
+        def step(rng: np.random.Generator, raw: dict, out: dict) -> None:
+            index = int(rng.choice(len(probs), p=probs))
+            value = _typed_pick(values, values[index])
+            raw[name] = value
+            out[name] = value
+
+    else:  # pragma: no cover - validation rejects unknown strategies
+        raise WorkloadSpecError(f"unknown strategy {strategy!r}")
+
+    return step
+
+
+def _make_sampler(steps: Sequence[_Step]) -> Callable[[np.random.Generator], dict]:
+    def sampler(rng: np.random.Generator) -> dict:
+        raw: dict = {}
+        out: dict = {}
+        for step in steps:
+            step(rng, raw, out)
+        return out
+
+    return sampler
+
+
+def compile_workload(spec: WorkloadSpec) -> CompiledWorkload:
+    """Compile a validated spec into executable query templates."""
+    templates = []
+    for tspec in spec.templates:
+        steps = [_compile_param(p, spec) for p in tspec.params]
+        templates.append(
+            QueryTemplate(
+                name=tspec.name,
+                sql=tspec.sql,
+                sampler=_make_sampler(steps),
+                family=tspec.family,
+            )
+        )
+    return CompiledWorkload(
+        spec=spec,
+        templates=tuple(templates),
+        family_order=spec.family_names(),
+        weights={f.name: f.weight for f in spec.families},
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def _sql_placeholders(sql: str) -> list[str]:
+    return [
+        field_name
+        for _, field_name, _, _ in Formatter().parse(sql)
+        if field_name is not None
+    ]
+
+
+def _collect_query_refs(query) -> tuple[list, list]:
+    """All (table name, binding) pairs and column refs, incl. subqueries."""
+    from repro.sql.ast import Exists, InSubquery, walk
+
+    tables = [(t.name, t.binding) for t in query.tables]
+    columns = []
+    exprs = [item.expr for item in query.select]
+    exprs.extend(query.group_by)
+    exprs.extend(o.expr for o in query.order_by)
+    if query.where is not None:
+        exprs.append(query.where)
+    if query.having is not None:
+        exprs.append(query.having)
+    for expr in exprs:
+        for node in walk(expr):
+            if type(node).__name__ == "ColumnRef":
+                columns.append(node)
+            elif isinstance(node, (InSubquery, Exists)):
+                sub_tables, sub_columns = _collect_query_refs(node.query)
+                tables.extend(sub_tables)
+                columns.extend(sub_columns)
+    return tables, columns
+
+
+def _validate_template_sql(
+    tspec: TemplateSpec, spec: WorkloadSpec, errors: list[str]
+) -> None:
+    """Render once with a probe rng, parse, and check the vocabulary."""
+    from repro.sql.parser import parse
+
+    template = compile_workload(
+        WorkloadSpec(
+            name=spec.name,
+            description=spec.description,
+            catalog=spec.catalog,
+            tables=spec.tables,
+            pools=spec.pools,
+            families=spec.families,
+            templates=(tspec,),
+            date_span_days=spec.date_span_days,
+        )
+    ).templates[0]
+    prefix = f"template {tspec.name!r}"
+    try:
+        sql, _params = template.render(
+            child_generator(0, f"spec-validate:{tspec.name}")
+        )
+    except (KeyError, IndexError, ValueError) as error:
+        errors.append(f"{prefix}: render failed: {error}")
+        return
+    try:
+        query = parse(sql)
+    except ParseError as error:
+        errors.append(f"{prefix}: rendered SQL does not parse: {error}")
+        return
+    tables, columns = _collect_query_refs(query)
+    bindings: dict = {}
+    for table_name, binding in tables:
+        if table_name not in spec.tables:
+            errors.append(
+                f"{prefix}: table {table_name!r} is not declared in tables"
+            )
+        else:
+            bindings[binding] = table_name
+    for column in columns:
+        table_name = bindings.get(column.table)
+        if table_name is None:
+            continue  # unqualified or unknown binding: parser's concern
+        declared = spec.tables[table_name]
+        if column.name not in declared:
+            errors.append(
+                f"{prefix}: column {column.table}.{column.name} is not a "
+                f"declared column of {table_name!r}"
+            )
+
+
+def _validate_params(
+    tspec_name: str,
+    params_data: list,
+    pools: dict,
+    errors: list[str],
+) -> list[ParamSpec]:
+    specs: list[ParamSpec] = []
+    seen: set[str] = set()
+    prefix = f"template {tspec_name!r}"
+    for index, entry in enumerate(params_data):
+        where = f"{prefix} param #{index}"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be a mapping")
+            continue
+        strategy = entry.get("strategy")
+        if strategy not in _STRATEGY_FIELDS:
+            errors.append(
+                f"{where}: unknown strategy {strategy!r} "
+                f"(known: {', '.join(STRATEGY_NAMES)})"
+            )
+            continue
+        required, optional = _STRATEGY_FIELDS[strategy]
+        if strategy == "date_window":
+            names = entry.get("names")
+            if (
+                not isinstance(names, list)
+                or len(names) != 2
+                or not all(isinstance(n, str) for n in names)
+            ):
+                errors.append(
+                    f"{where}: date_window needs 'names: [lo, hi]'"
+                )
+                continue
+            names = tuple(names)
+            known = required | optional | {"strategy", "names"}
+        else:
+            name = entry.get("name")
+            if not isinstance(name, str) or not name:
+                errors.append(f"{where}: missing 'name'")
+                continue
+            names = (name,)
+            known = required | optional | {"strategy", "name"}
+        missing = sorted(required - set(entry))
+        if missing:
+            errors.append(
+                f"{where}: strategy {strategy!r} missing option(s): "
+                + ", ".join(missing)
+            )
+            continue
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            errors.append(
+                f"{where}: unknown option(s) for {strategy!r}: "
+                + ", ".join(unknown)
+            )
+            continue
+        options = {
+            k: v for k, v in entry.items() if k not in ("strategy", "name", "names")
+        }
+        if strategy in _POOL_STRATEGIES:
+            has_values = "values" in options
+            has_pool = "pool" in options
+            if has_values == has_pool:
+                errors.append(
+                    f"{where}: {strategy!r} needs exactly one of "
+                    "'values' or 'pool'"
+                )
+                continue
+            if has_pool and options["pool"] not in pools:
+                errors.append(
+                    f"{where}: pool {options['pool']!r} is not declared"
+                )
+                continue
+            values = (
+                options["values"] if has_values else pools[options["pool"]]
+            )
+            if not isinstance(values, list) or not values:
+                errors.append(f"{where}: value list must be non-empty")
+                continue
+            if strategy == "choice_list":
+                min_n, max_n = options.get("min_n"), options.get("max_n")
+                if not (
+                    isinstance(min_n, int)
+                    and isinstance(max_n, int)
+                    and 1 <= min_n <= max_n <= len(values)
+                ):
+                    errors.append(
+                        f"{where}: need 1 <= min_n <= max_n <= "
+                        f"{len(values)} (pool size)"
+                    )
+                    continue
+        if strategy in ("int_uniform", "uniform", "zipf_int", "date_window"):
+            lo_key, hi_key = (
+                ("min_days", "max_days")
+                if strategy == "date_window"
+                else ("low", "high")
+            )
+            low, high = options.get(lo_key), options.get(hi_key)
+            if not (
+                isinstance(low, (int, float))
+                and isinstance(high, (int, float))
+                and low <= high
+            ):
+                errors.append(
+                    f"{where}: need numeric {lo_key} <= {hi_key}"
+                )
+                continue
+        if strategy in ("int_offset", "uniform_offset"):
+            base = options.get("base")
+            if base not in seen:
+                errors.append(
+                    f"{where}: offset base {base!r} must name an "
+                    "*earlier* param of the same template"
+                )
+                continue
+        duplicate = [n for n in names if n in seen]
+        if duplicate:
+            errors.append(
+                f"{where}: duplicate param name(s): " + ", ".join(duplicate)
+            )
+            continue
+        seen.update(names)
+        specs.append(ParamSpec(strategy=strategy, names=names, options=options))
+    return specs
+
+
+def validate_spec_data(data: dict) -> tuple[Optional[WorkloadSpec], list[str]]:
+    """Validate raw spec data; returns (spec or None, error messages)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return None, ["spec root must be a mapping"]
+    version = data.get("spec_version")
+    if version != SPEC_SCHEMA_VERSION:
+        errors.append(
+            f"spec_version must be {SPEC_SCHEMA_VERSION}, got {version!r}"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not re.fullmatch(r"[a-z0-9_-]+", name or ""):
+        errors.append(f"name must be a lowercase slug, got {name!r}")
+        name = "invalid"
+    catalog = data.get("catalog")
+    if not isinstance(catalog, dict) or catalog.get("kind") not in (
+        "tpcds",
+        "customer",
+    ):
+        errors.append("catalog.kind must be 'tpcds' or 'customer'")
+        catalog = {"kind": "tpcds"}
+    tables = data.get("tables")
+    if not isinstance(tables, dict) or not tables:
+        errors.append("tables must be a non-empty mapping of table -> columns")
+        tables = {}
+    else:
+        for table_name, columns in tables.items():
+            if not isinstance(columns, list) or not all(
+                isinstance(c, str) for c in columns
+            ):
+                errors.append(
+                    f"tables.{table_name} must be a list of column names"
+                )
+    pools = data.get("pools") or {}
+    if not isinstance(pools, dict):
+        errors.append("pools must be a mapping of name -> value list")
+        pools = {}
+    else:
+        for pool_name, values in pools.items():
+            if not isinstance(values, list) or not values:
+                errors.append(f"pools.{pool_name} must be a non-empty list")
+    defaults = data.get("defaults") or {}
+    date_span = defaults.get("date_span_days", 365)
+    if not isinstance(date_span, int) or date_span < 1:
+        errors.append("defaults.date_span_days must be a positive integer")
+        date_span = 365
+
+    families_data = data.get("families")
+    families: list[FamilySpec] = []
+    if not isinstance(families_data, list) or not families_data:
+        errors.append("families must be a non-empty list")
+    else:
+        seen_families = set()
+        for entry in families_data:
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str
+            ):
+                errors.append(f"family entry {entry!r} needs a 'name'")
+                continue
+            fname = entry["name"]
+            weight = entry.get("weight", 1.0)
+            if fname in seen_families:
+                errors.append(f"duplicate family {fname!r}")
+                continue
+            if not isinstance(weight, (int, float)) or weight < 0:
+                errors.append(f"family {fname!r}: weight must be >= 0")
+                continue
+            seen_families.add(fname)
+            families.append(
+                FamilySpec(
+                    name=fname,
+                    weight=float(weight),
+                    description=str(entry.get("description", "")),
+                )
+            )
+        if families and not any(f.weight > 0 for f in families):
+            errors.append("at least one family must have a positive weight")
+
+    templates_data = data.get("templates")
+    templates: list[TemplateSpec] = []
+    family_names = {f.name for f in families}
+    if not isinstance(templates_data, list) or not templates_data:
+        errors.append("templates must be a non-empty list")
+    else:
+        seen_templates = set()
+        for entry in templates_data:
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str
+            ):
+                errors.append(f"template entry needs a 'name': {entry!r}")
+                continue
+            tname = entry["name"]
+            if tname in seen_templates:
+                errors.append(f"duplicate template {tname!r}")
+                continue
+            seen_templates.add(tname)
+            family = entry.get("family", "standard")
+            if family_names and family not in family_names:
+                errors.append(
+                    f"template {tname!r}: family {family!r} is not declared"
+                )
+            sql = entry.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                errors.append(f"template {tname!r}: missing sql")
+                continue
+            params_data = entry.get("params")
+            if params_data is None:
+                params_data = []
+            if not isinstance(params_data, list):
+                errors.append(f"template {tname!r}: params must be a list")
+                continue
+            params = _validate_params(tname, params_data, pools, errors)
+            produced = [n for p in params for n in p.names]
+            placeholders = set(_sql_placeholders(sql))
+            missing = sorted(placeholders - set(produced))
+            if missing:
+                errors.append(
+                    f"template {tname!r}: sql placeholder(s) with no "
+                    "strategy: " + ", ".join("{%s}" % m for m in missing)
+                )
+            unused = sorted(set(produced) - placeholders)
+            if unused:
+                errors.append(
+                    f"template {tname!r}: param(s) never used in sql: "
+                    + ", ".join(unused)
+                )
+            templates.append(
+                TemplateSpec(
+                    name=tname,
+                    family=str(family),
+                    sql=sql.strip(),
+                    params=tuple(params),
+                )
+            )
+
+    spec = WorkloadSpec(
+        name=name,
+        description=str(data.get("description", "")),
+        catalog=dict(catalog),
+        tables={t: list(c) for t, c in tables.items() if isinstance(c, list)},
+        pools={p: list(v) for p, v in pools.items() if isinstance(v, list)},
+        families=tuple(families),
+        templates=tuple(templates),
+        date_span_days=date_span,
+    )
+    if not errors:
+        # Vocabulary pass: render each template once, parse it, and check
+        # every table/column against the declared schema.
+        for tspec in spec.templates:
+            _validate_template_sql(tspec, spec, errors)
+    if errors:
+        return None, errors
+    return spec, []
+
+
+def load_workload_spec(path: Union[str, Path]) -> WorkloadSpec:
+    """Load and validate one spec file (``.yaml``/``.yml`` or ``.json``).
+
+    Raises:
+        WorkloadSpecError: on parse or validation failure; the exception
+            carries the individual messages in ``.errors``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise WorkloadSpecError(f"cannot read workload spec {path}: {error}")
+    if path.suffix.lower() == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WorkloadSpecError(f"{path}: invalid JSON: {error}")
+    else:
+        data = parse_simple_yaml(text)
+    spec, errors = validate_spec_data(data)
+    if spec is None:
+        raise WorkloadSpecError(
+            f"invalid workload spec {path}: {len(errors)} error(s):\n  "
+            + "\n  ".join(errors),
+            errors=tuple(errors),
+        )
+    return WorkloadSpec(
+        name=spec.name,
+        description=spec.description,
+        catalog=spec.catalog,
+        tables=spec.tables,
+        pools=spec.pools,
+        families=spec.families,
+        templates=spec.templates,
+        date_span_days=spec.date_span_days,
+        source=str(path),
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in spec directory and workload resolution
+# ----------------------------------------------------------------------
+
+
+def builtin_spec_dir() -> Path:
+    """The checked-in ``specs/`` directory (env ``REPRO_SPEC_DIR`` overrides)."""
+    override = os.environ.get("REPRO_SPEC_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "specs"
+
+
+def builtin_workload_names() -> list[str]:
+    """Names of the checked-in workload specs (file stems, sorted)."""
+    directory = builtin_spec_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p.stem
+        for p in directory.iterdir()
+        if p.suffix.lower() in (".yaml", ".yml", ".json")
+    )
+
+
+@lru_cache(maxsize=None)
+def _load_builtin(name: str) -> CompiledWorkload:
+    for suffix in (".yaml", ".yml", ".json"):
+        candidate = builtin_spec_dir() / f"{name}{suffix}"
+        if candidate.exists():
+            return compile_workload(load_workload_spec(candidate))
+    known = ", ".join(builtin_workload_names()) or "none found"
+    raise WorkloadSpecError(
+        f"unknown workload {name!r}; built-in specs: {known} "
+        f"(searched {builtin_spec_dir()})"
+    )
+
+
+def resolve_workload(ref: WorkloadRef) -> CompiledWorkload:
+    """Resolve a workload reference to a compiled workload.
+
+    ``ref`` may be a built-in spec name (``tpcds``), a path to a spec
+    file, an already-loaded :class:`WorkloadSpec`, or a
+    :class:`CompiledWorkload` (returned unchanged).
+    """
+    if isinstance(ref, CompiledWorkload):
+        return ref
+    if isinstance(ref, WorkloadSpec):
+        return compile_workload(ref)
+    if isinstance(ref, Path):
+        return compile_workload(load_workload_spec(ref))
+    if isinstance(ref, str):
+        looks_like_path = (
+            os.sep in ref
+            or "/" in ref
+            or ref.lower().endswith((".yaml", ".yml", ".json"))
+        )
+        if looks_like_path:
+            return compile_workload(load_workload_spec(Path(ref)))
+        return _load_builtin(ref)
+    raise WorkloadSpecError(f"cannot resolve workload reference {ref!r}")
+
+
+def build_catalog_for(spec: WorkloadSpec, scale: Optional[float] = None,
+                      seed: Optional[int] = None):
+    """Build the catalog a spec's queries run against, from its recipe.
+
+    ``scale``/``seed`` override the recipe's defaults when given.
+    """
+    recipe = spec.catalog
+    kind = recipe.get("kind")
+    if kind == "tpcds":
+        from repro.workloads.tpcds import build_tpcds_catalog
+
+        return build_tpcds_catalog(
+            scale_factor=float(
+                scale if scale is not None
+                else recipe.get("scale_factor", 1.0)
+            ),
+            seed=int(seed if seed is not None else recipe.get("seed", 42)),
+        )
+    if kind == "customer":
+        from repro.workloads.customer import build_customer_catalog
+
+        return build_customer_catalog(
+            seed=int(seed if seed is not None else recipe.get("seed", 99)),
+            scale=float(
+                scale if scale is not None else recipe.get("scale", 1.0)
+            ),
+        )
+    raise WorkloadSpecError(f"unknown catalog kind {kind!r}")
+
+
+def describe_workload(ref: WorkloadRef) -> str:
+    """Human-readable summary of a workload spec."""
+    compiled = resolve_workload(ref)
+    spec = compiled.spec
+    per_family: dict = {}
+    for template in compiled.templates:
+        per_family.setdefault(template.family, []).append(template.name)
+    lines = [
+        f"workload {spec.name}  (spec_version {SPEC_SCHEMA_VERSION})",
+        f"  {spec.description}" if spec.description else "  (no description)",
+        f"  catalog : {spec.catalog}",
+        f"  tables  : {len(spec.tables)}  "
+        f"({', '.join(sorted(spec.tables))})",
+        f"  templates: {len(compiled.templates)} in "
+        f"{len(spec.families)} families",
+    ]
+    total = sum(f.weight for f in spec.families) or 1.0
+    for family in spec.families:
+        members = per_family.get(family.name, [])
+        lines.append(
+            f"    {family.name:<12} weight {family.weight / total:5.2f}  "
+            f"{len(members):>2} templates"
+        )
+        for member_name in members:
+            template = next(
+                t for t in compiled.templates if t.name == member_name
+            )
+            strategies = ", ".join(
+                p.strategy
+                for ts in spec.templates
+                if ts.name == member_name
+                for p in ts.params
+            )
+            lines.append(
+                f"      {template.name:<32} [{strategies or 'no params'}]"
+            )
+    return "\n".join(lines)
+
+
+def iter_param_specs(ref: WorkloadRef) -> Iterable[tuple[str, ParamSpec]]:
+    """Yield (template name, param spec) pairs — handy for introspection."""
+    compiled = resolve_workload(ref)
+    for tspec in compiled.spec.templates:
+        for param in tspec.params:
+            yield tspec.name, param

@@ -1,4 +1,4 @@
-"""Parameterised query templates.
+"""Query templates for the TPC-DS workload (spec-backed shim).
 
 Two families, mirroring Section IV-B of the paper:
 
@@ -14,542 +14,31 @@ Two families, mirroring Section IV-B of the paper:
 As in the paper, the same template can yield a three-minute query or a
 multi-hour query depending on which constants are drawn — which is exactly
 why a priori categorisation was hard and measured pools were needed.
+
+The templates themselves now live in the declarative spec
+``specs/tpcds.yaml`` (see :mod:`repro.workloads.spec` and
+``docs/WORKLOADS.md``); this module keeps the original accessor API and
+re-exports :class:`QueryTemplate` for backward compatibility.  The
+spec-driven templates are golden-tested bitwise-identical to the old
+hard-coded samplers (``tests/test_workload_spec.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-import numpy as np
-
-from repro.workloads.tpcds import (
-    FIRST_YEAR,
-    ITEM_CATEGORIES,
-    N_YEARS,
-    NATIONS,
-)
+from repro.workloads.spec import QueryTemplate, resolve_workload
 
 __all__ = ["QueryTemplate", "tpcds_templates", "problem_templates"]
-
-_N_DAYS = N_YEARS * 365
-_LAST_YEAR = FIRST_YEAR + N_YEARS - 1
-
-
-@dataclass(frozen=True)
-class QueryTemplate:
-    """A SQL text template plus a joint parameter sampler.
-
-    Attributes:
-        name: unique template identifier.
-        sql: ``str.format`` template of the query text.
-        sampler: draws a dict of parameter values from an rng.
-        family: ``standard`` or ``problem``.
-    """
-
-    name: str
-    sql: str
-    sampler: Callable[[np.random.Generator], dict]
-    family: str = "standard"
-
-    def render(self, rng: np.random.Generator) -> tuple[str, dict]:
-        """Instantiate the template; returns (sql_text, parameter_values)."""
-        params = self.sampler(rng)
-        return self.sql.format(**params), params
-
-
-# ----------------------------------------------------------------------
-# Sampling helpers
-# ----------------------------------------------------------------------
-
-
-def _year(rng: np.random.Generator) -> int:
-    return int(rng.integers(FIRST_YEAR, _LAST_YEAR + 1))
-
-
-def _date_window(
-    rng: np.random.Generator, min_days: int, max_days: int
-) -> tuple[int, int]:
-    """A random [lo, hi] date_sk window of width in [min_days, max_days]."""
-    width = int(rng.integers(min_days, max_days + 1))
-    width = min(width, _N_DAYS)
-    lo = int(rng.integers(1, _N_DAYS - width + 2))
-    return lo, lo + width - 1
-
-
-def _category_list(rng: np.random.Generator, min_n: int, max_n: int) -> str:
-    count = int(rng.integers(min_n, max_n + 1))
-    chosen = rng.choice(ITEM_CATEGORIES, size=count, replace=False)
-    return ", ".join(f"'{c}'" for c in chosen)
-
-
-def _quoted_choice(rng: np.random.Generator, values) -> str:
-    return str(rng.choice(values))
-
-
-# ----------------------------------------------------------------------
-# Standard decision-support templates
-# ----------------------------------------------------------------------
 
 
 def tpcds_templates() -> list[QueryTemplate]:
     """The standard template mix (mostly feathers, some golf balls)."""
-    templates: list[QueryTemplate] = []
-
-    templates.append(QueryTemplate(
-        name="category_sales_month",
-        sql=(
-            "SELECT i.i_category, sum(ss.ss_sales_price) AS revenue, "
-            "count(*) AS cnt "
-            "FROM store_sales ss, item i, date_dim d "
-            "WHERE ss.ss_item_sk = i.i_item_sk "
-            "AND ss.ss_sold_date_sk = d.d_date_sk "
-            "AND d.d_year = {year} AND d.d_moy = {month} "
-            "GROUP BY i.i_category ORDER BY revenue DESC"
-        ),
-        sampler=lambda rng: {
-            "year": _year(rng), "month": int(rng.integers(1, 13))
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="top_customers_year",
-        sql=(
-            "SELECT ss.ss_customer_sk, sum(ss.ss_net_profit) AS profit "
-            "FROM store_sales ss, date_dim d "
-            "WHERE ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = {year} "
-            "GROUP BY ss.ss_customer_sk ORDER BY profit DESC LIMIT {limit}"
-        ),
-        sampler=lambda rng: {
-            "year": _year(rng), "limit": int(rng.choice([50, 100, 250]))
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="promo_channel_web",
-        sql=(
-            "SELECT p.p_channel, count(*) AS cnt, "
-            "avg(ws.ws_sales_price) AS avg_price "
-            "FROM web_sales ws, promotion p "
-            "WHERE ws.ws_promo_sk = p.p_promo_sk AND p.p_cost > {cost} "
-            "GROUP BY p.p_channel ORDER BY cnt DESC"
-        ),
-        sampler=lambda rng: {"cost": round(float(rng.uniform(100, 2000)), 2)},
-    ))
-
-    templates.append(QueryTemplate(
-        name="store_state_quarter",
-        sql=(
-            "SELECT s.s_state, sum(ss.ss_net_profit) AS profit, "
-            "count(*) AS cnt "
-            "FROM store_sales ss, store s, date_dim d "
-            "WHERE ss.ss_store_sk = s.s_store_sk "
-            "AND ss.ss_sold_date_sk = d.d_date_sk "
-            "AND d.d_year = {year} AND d.d_qoy = {quarter} "
-            "GROUP BY s.s_state ORDER BY profit DESC"
-        ),
-        sampler=lambda rng: {
-            "year": _year(rng), "quarter": int(rng.integers(1, 5))
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="price_band_items",
-        sql=(
-            "SELECT i.i_category, count(*) AS cnt, "
-            "avg(i.i_current_price) AS avg_price "
-            "FROM item i "
-            "WHERE i.i_current_price BETWEEN {lo} AND {hi} "
-            "GROUP BY i.i_category"
-        ),
-        sampler=lambda rng: (lambda lo: {
-            "lo": round(lo, 2), "hi": round(lo + float(rng.uniform(5, 60)), 2)
-        })(float(rng.uniform(1, 60))),
-    ))
-
-    templates.append(QueryTemplate(
-        name="monthly_web_quantity",
-        sql=(
-            "SELECT d.d_moy, sum(ws.ws_quantity) AS qty, "
-            "count(*) AS orders "
-            "FROM web_sales ws, date_dim d "
-            "WHERE ws.ws_sold_date_sk = d.d_date_sk AND d.d_year = {year} "
-            "GROUP BY d.d_moy ORDER BY d.d_moy"
-        ),
-        sampler=lambda rng: {"year": _year(rng)},
-    ))
-
-    templates.append(QueryTemplate(
-        name="warehouse_catalog_profit",
-        sql=(
-            "SELECT w.w_state, sum(cs.cs_net_profit) AS profit "
-            "FROM catalog_sales cs, warehouse w, date_dim d "
-            "WHERE cs.cs_warehouse_sk = w.w_warehouse_sk "
-            "AND cs.cs_sold_date_sk = d.d_date_sk AND d.d_year = {year} "
-            "GROUP BY w.w_state ORDER BY profit DESC"
-        ),
-        sampler=lambda rng: {"year": _year(rng)},
-    ))
-
-    templates.append(QueryTemplate(
-        name="returns_by_class",
-        sql=(
-            "SELECT i.i_class, count(*) AS return_cnt, "
-            "sum(sr.sr_return_amt) AS amount "
-            "FROM store_returns sr, item i "
-            "WHERE sr.sr_item_sk = i.i_item_sk "
-            "AND i.i_category = '{category}' "
-            "GROUP BY i.i_class ORDER BY amount DESC"
-        ),
-        sampler=lambda rng: {
-            "category": _quoted_choice(rng, ITEM_CATEGORIES)
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="nation_customer_income",
-        sql=(
-            "SELECT c.c_nation, count(*) AS cnt, "
-            "avg(c.c_income) AS avg_income "
-            "FROM customer c "
-            "WHERE c.c_birth_year BETWEEN {ylo} AND {yhi} "
-            "GROUP BY c.c_nation ORDER BY cnt DESC"
-        ),
-        sampler=lambda rng: (lambda ylo: {
-            "ylo": ylo, "yhi": ylo + int(rng.integers(5, 25))
-        })(int(rng.integers(1930, 1975))),
-    ))
-
-    templates.append(QueryTemplate(
-        name="inventory_by_state",
-        sql=(
-            "SELECT w.w_state, sum(inv.inv_quantity_on_hand) AS qty "
-            "FROM inventory inv, warehouse w "
-            "WHERE inv.inv_warehouse_sk = w.w_warehouse_sk "
-            "AND inv.inv_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY w.w_state ORDER BY qty DESC"
-        ),
-        sampler=lambda rng: dict(
-            zip(("lo", "hi"), _date_window(rng, 14, 400))
-        ),
-    ))
-
-    templates.append(QueryTemplate(
-        name="in_subquery_category_sales",
-        sql=(
-            "SELECT sum(ss.ss_sales_price) AS revenue, count(*) AS cnt "
-            "FROM store_sales ss "
-            "WHERE ss.ss_item_sk IN "
-            "(SELECT i.i_item_sk FROM item i "
-            "WHERE i.i_category = '{category}' "
-            "AND i.i_current_price > {price})"
-        ),
-        sampler=lambda rng: {
-            "category": _quoted_choice(rng, ITEM_CATEGORIES),
-            "price": round(float(rng.uniform(5, 80)), 2),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="exists_profitable_customers",
-        sql=(
-            "SELECT c.c_nation, count(*) AS cnt "
-            "FROM customer c "
-            "WHERE EXISTS (SELECT * FROM store_sales ss "
-            "WHERE ss.ss_customer_sk = c.c_customer_sk "
-            "AND ss.ss_net_profit > {profit}) "
-            "GROUP BY c.c_nation ORDER BY cnt DESC"
-        ),
-        sampler=lambda rng: {"profit": round(float(rng.uniform(10, 400)), 2)},
-    ))
-
-    templates.append(QueryTemplate(
-        name="not_exists_web_customers",
-        sql=(
-            "SELECT count(*) AS silent_customers "
-            "FROM customer c "
-            "WHERE c.c_nation = '{nation}' "
-            "AND NOT EXISTS (SELECT * FROM web_sales ws "
-            "WHERE ws.ws_customer_sk = c.c_customer_sk "
-            "AND ws.ws_sold_date_sk BETWEEN {lo} AND {hi})"
-        ),
-        sampler=lambda rng: {
-            "nation": _quoted_choice(rng, NATIONS),
-            **dict(zip(("lo", "hi"), _date_window(rng, 90, 720))),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="sales_detail_window",
-        sql=(
-            "SELECT ss.ss_item_sk, ss.ss_sales_price, ss.ss_quantity "
-            "FROM store_sales ss "
-            "WHERE ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "AND ss.ss_sales_price > {price} "
-            "ORDER BY ss.ss_sales_price DESC LIMIT {limit}"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 7, 120))),
-            "price": round(float(rng.uniform(5, 50)), 2),
-            "limit": int(rng.choice([10, 100, 1000])),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="brand_quarter_report",
-        sql=(
-            "SELECT i.i_brand, sum(cs.cs_sales_price) AS revenue "
-            "FROM catalog_sales cs, item i, date_dim d "
-            "WHERE cs.cs_item_sk = i.i_item_sk "
-            "AND cs.cs_sold_date_sk = d.d_date_sk "
-            "AND d.d_year = {year} AND d.d_qoy = {quarter} "
-            "GROUP BY i.i_brand ORDER BY revenue DESC LIMIT 50"
-        ),
-        sampler=lambda rng: {
-            "year": _year(rng), "quarter": int(rng.integers(1, 5))
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="preferred_customer_profit",
-        sql=(
-            "SELECT c.c_preferred, avg(ss.ss_net_profit) AS avg_profit, "
-            "count(*) AS cnt "
-            "FROM store_sales ss, customer c "
-            "WHERE ss.ss_customer_sk = c.c_customer_sk "
-            "AND c.c_income > {income} "
-            "GROUP BY c.c_preferred"
-        ),
-        sampler=lambda rng: {
-            "income": round(float(rng.uniform(20_000, 90_000)), 2)
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="distinct_brands_sold",
-        sql=(
-            "SELECT DISTINCT i.i_brand, i.i_category "
-            "FROM store_sales ss, item i "
-            "WHERE ss.ss_item_sk = i.i_item_sk "
-            "AND ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "AND i.i_current_price > {price}"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 14, 180))),
-            "price": round(float(rng.uniform(10, 70)), 2),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="dow_sales_profile",
-        sql=(
-            "SELECT d.d_day_name, count(*) AS cnt, "
-            "sum(ss.ss_sales_price) AS revenue "
-            "FROM store_sales ss, date_dim d "
-            "WHERE ss.ss_sold_date_sk = d.d_date_sk "
-            "AND d.d_year = {year} AND d.d_moy BETWEEN {mlo} AND {mhi} "
-            "GROUP BY d.d_day_name ORDER BY revenue DESC"
-        ),
-        sampler=lambda rng: (lambda mlo: {
-            "year": _year(rng), "mlo": mlo,
-            "mhi": min(mlo + int(rng.integers(0, 6)), 12),
-        })(int(rng.integers(1, 13))),
-    ))
-
-    templates.append(QueryTemplate(
-        name="store_vs_web_by_item_class",
-        sql=(
-            "SELECT i.i_class, sum(ws.ws_sales_price) AS web_rev "
-            "FROM web_sales ws, item i, date_dim d "
-            "WHERE ws.ws_item_sk = i.i_item_sk "
-            "AND ws.ws_sold_date_sk = d.d_date_sk "
-            "AND i.i_category IN ({cats}) AND d.d_year = {year} "
-            "GROUP BY i.i_class ORDER BY web_rev DESC"
-        ),
-        sampler=lambda rng: {
-            "cats": _category_list(rng, 1, 3), "year": _year(rng)
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="high_quantity_catalog_orders",
-        sql=(
-            "SELECT cs.cs_customer_sk, count(*) AS orders, "
-            "sum(cs.cs_quantity) AS units "
-            "FROM catalog_sales cs "
-            "WHERE cs.cs_quantity > {qty} "
-            "AND cs.cs_sold_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY cs.cs_customer_sk "
-            "HAVING count(*) > {min_orders} "
-            "ORDER BY units DESC LIMIT 100"
-        ),
-        sampler=lambda rng: {
-            "qty": int(rng.integers(20, 38)),
-            **dict(zip(("lo", "hi"), _date_window(rng, 30, 365))),
-            "min_orders": int(rng.integers(1, 4)),
-        },
-    ))
-
-    return templates
-
-
-# ----------------------------------------------------------------------
-# Problem-query templates (golf balls and bowling balls)
-# ----------------------------------------------------------------------
+    return [
+        t for t in resolve_workload("tpcds").templates if t.family == "standard"
+    ]
 
 
 def problem_templates() -> list[QueryTemplate]:
     """Heavy templates modelled on the paper's customer problem queries."""
-    templates: list[QueryTemplate] = []
-
-    templates.append(QueryTemplate(
-        name="problem_tri_channel_item",
-        family="problem",
-        sql=(
-            "SELECT i.i_manufact_id, sum(ss.ss_sales_price) AS revenue, "
-            "count(*) AS cnt "
-            "FROM store_sales ss, catalog_sales cs, web_sales ws, item i "
-            "WHERE ss.ss_item_sk = i.i_item_sk "
-            "AND cs.cs_item_sk = i.i_item_sk "
-            "AND ws.ws_item_sk = i.i_item_sk "
-            "AND i.i_category IN ({cats}) "
-            "AND ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY i.i_manufact_id ORDER BY revenue DESC"
-        ),
-        sampler=lambda rng: {
-            "cats": _category_list(rng, 2, 8),
-            **dict(zip(("lo", "hi"), _date_window(rng, 540, _N_DAYS))),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_repeat_customers",
-        family="problem",
-        sql=(
-            "SELECT ss1.ss_store_sk, count(*) AS pair_cnt, "
-            "sum(ss2.ss_sales_price) AS rev "
-            "FROM store_sales ss1, store_sales ss2 "
-            "WHERE ss1.ss_customer_sk = ss2.ss_customer_sk "
-            "AND ss1.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "AND ss2.ss_sold_date_sk BETWEEN {lo2} AND {hi2} "
-            "AND ss1.ss_net_profit > {profit} "
-            "GROUP BY ss1.ss_store_sk ORDER BY pair_cnt DESC"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 180, _N_DAYS))),
-            **dict(zip(("lo2", "hi2"), _date_window(rng, 180, _N_DAYS))),
-            "profit": round(float(rng.uniform(-50, 60)), 2),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_item_affinity",
-        family="problem",
-        sql=(
-            "SELECT ss1.ss_item_sk, count(*) AS together "
-            "FROM store_sales ss1, store_sales ss2 "
-            "WHERE ss1.ss_item_sk = ss2.ss_item_sk "
-            "AND ss1.ss_store_sk <> ss2.ss_store_sk "
-            "AND ss1.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "AND ss2.ss_sold_date_sk BETWEEN {lo2} AND {hi2} "
-            "GROUP BY ss1.ss_item_sk ORDER BY together DESC LIMIT 500"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 365, _N_DAYS))),
-            **dict(zip(("lo2", "hi2"), _date_window(rng, 365, _N_DAYS))),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_price_theta",
-        family="problem",
-        sql=(
-            "SELECT i1.i_category, count(*) AS rivals "
-            "FROM item i1, item i2 "
-            "WHERE i1.i_current_price > i2.i_current_price * {factor} "
-            "AND i1.i_category IN ({cats1}) "
-            "AND i2.i_category IN ({cats2}) "
-            "GROUP BY i1.i_category ORDER BY rivals DESC"
-        ),
-        sampler=lambda rng: {
-            "factor": round(float(rng.uniform(4.0, 7.0)), 2),
-            "cats1": _category_list(rng, 2, 3),
-            "cats2": _category_list(rng, 2, 3),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_big_sort",
-        family="problem",
-        sql=(
-            "SELECT ss.ss_item_sk, ss.ss_sales_price * cs.cs_quantity AS v "
-            "FROM store_sales ss, catalog_sales cs "
-            "WHERE ss.ss_item_sk = cs.cs_item_sk "
-            "AND ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "AND cs.cs_sold_date_sk BETWEEN {lo2} AND {hi2} "
-            "ORDER BY v DESC LIMIT {limit}"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 240, _N_DAYS))),
-            **dict(zip(("lo2", "hi2"), _date_window(rng, 240, _N_DAYS))),
-            "limit": int(rng.choice([1000, 10000])),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_cross_channel_customer",
-        family="problem",
-        sql=(
-            "SELECT c.c_nation, count(*) AS cnt, "
-            "sum(ss.ss_sales_price) AS store_rev, "
-            "sum(ws.ws_sales_price) AS web_rev "
-            "FROM store_sales ss, web_sales ws, customer c "
-            "WHERE ss.ss_customer_sk = ws.ws_customer_sk "
-            "AND ss.ss_customer_sk = c.c_customer_sk "
-            "AND ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY c.c_nation ORDER BY cnt DESC"
-        ),
-        sampler=lambda rng: dict(
-            zip(("lo", "hi"), _date_window(rng, 180, _N_DAYS))
-        ),
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_inventory_pressure",
-        family="problem",
-        sql=(
-            "SELECT i.i_category, sum(inv.inv_quantity_on_hand) AS stock, "
-            "count(*) AS cnt "
-            "FROM inventory inv, store_sales ss, item i "
-            "WHERE inv.inv_item_sk = ss.ss_item_sk "
-            "AND ss.ss_item_sk = i.i_item_sk "
-            "AND inv.inv_date_sk BETWEEN {lo} AND {hi} "
-            "AND ss.ss_quantity > {qty} "
-            "GROUP BY i.i_category ORDER BY stock DESC"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 60, 1000))),
-            "qty": int(rng.integers(5, 35)),
-        },
-    ))
-
-    templates.append(QueryTemplate(
-        name="problem_returns_blowup",
-        family="problem",
-        sql=(
-            "SELECT sr.sr_customer_sk, count(*) AS cnt, "
-            "sum(sr.sr_return_amt) AS returned "
-            "FROM store_returns sr, store_sales ss "
-            "WHERE sr.sr_item_sk = ss.ss_item_sk "
-            "AND ss.ss_sold_date_sk BETWEEN {lo} AND {hi} "
-            "GROUP BY sr.sr_customer_sk "
-            "HAVING sum(sr.sr_return_amt) > {amt} "
-            "ORDER BY returned DESC"
-        ),
-        sampler=lambda rng: {
-            **dict(zip(("lo", "hi"), _date_window(rng, 120, _N_DAYS))),
-            "amt": round(float(rng.uniform(50, 500)), 2),
-        },
-    ))
-
-    return templates
+    return [
+        t for t in resolve_workload("tpcds").templates if t.family == "problem"
+    ]

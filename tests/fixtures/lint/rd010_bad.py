@@ -1,0 +1,6 @@
+"""RD010 violation: a parameterised SQL template hard-coded in code."""
+
+TEMPLATE = (
+    "SELECT i_category, sum(ss_sales_price) FROM store_sales, item "
+    "WHERE i_category = '{category}' GROUP BY i_category"
+)

@@ -1,0 +1,4 @@
+"""Clean for RD010: SQL without placeholders, placeholders without SQL."""
+
+STATIC_SQL = "SELECT count(*) FROM store_sales"
+LOG_MESSAGE = "rendered {n} templates from {path}"

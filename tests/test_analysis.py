@@ -61,6 +61,7 @@ PAIRS = [
     ("rd007", "RD007", NEUTRAL_PATH),
     ("rd008", "RD008", CORE_PATH),
     ("rd009", "RD009", CORE_PATH),
+    ("rd010", "RD010", NEUTRAL_PATH),
 ]
 
 

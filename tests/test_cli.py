@@ -98,7 +98,7 @@ class TestArtifactWorkflow:
         assert "train --save" in captured.err
 
     def test_train_populates_service_cache(self, artifact):
-        key = (0.05, 7, "research", 40, False, False)
+        key = ("tpcds", 0.05, 7, "research", 40, False, False)
         assert key in _service_cache
 
     def test_forecast_batch_file(self, artifact, tmp_path, capsys):

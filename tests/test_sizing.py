@@ -75,3 +75,35 @@ class TestSizeSystem:
             size_system(
                 catalog, [production_32node(4)], training, [], 10.0
             )
+
+    def test_training_workload_generates_pool(self, sizing_inputs):
+        catalog, _training, workload = sizing_inputs
+        result = size_system(
+            catalog,
+            [production_32node(4)],
+            workload=workload,
+            deadline_s=1e9,
+            training_workload="tpcds",
+            n_training_queries=40,
+        )
+        assert len(result.forecasts) == 1
+        assert result.forecasts[0].total_elapsed_s > 0
+
+    def test_pool_and_workload_are_exclusive(self, sizing_inputs):
+        catalog, training, workload = sizing_inputs
+        with pytest.raises(ReproError, match="not both"):
+            size_system(
+                catalog,
+                [production_32node(4)],
+                training,
+                workload,
+                10.0,
+                training_workload="tpcds",
+            )
+        with pytest.raises(ReproError, match="training_pool"):
+            size_system(
+                catalog,
+                [production_32node(4)],
+                workload=workload,
+                deadline_s=10.0,
+            )
