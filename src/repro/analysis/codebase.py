@@ -495,6 +495,47 @@ class QueryTemplateLiteral(CodeRule):
         )
 
 
+class RawSharedMemory(CodeRule):
+    """RD011: shared-memory segments are created only by ioutils.
+
+    ``multiprocessing.shared_memory.SharedMemory`` has OS-level lifetime:
+    a segment survives the creating process unless someone unlinks it,
+    and Python's resource tracker double-registers attachments made from
+    worker processes.  ``repro.ioutils`` owns both problems — its
+    ``ArrayPlane`` publishes/attaches with tracker hygiene and unlink
+    discipline — so any other module constructing ``SharedMemory``
+    directly reintroduces the leak classes the data plane was built to
+    prevent (see docs/PERFORMANCE.md).
+    """
+
+    info = register(
+        RuleInfo(
+            id="RD011",
+            name="raw-shared-memory",
+            severity="error",
+            pack="code",
+            summary="SharedMemory() outside ioutils; use the ArrayPlane API",
+        )
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, context: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        if context.relpath == "repro/ioutils.py":
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name == "SharedMemory" or name.endswith(".SharedMemory"):
+            self.report(
+                context,
+                node,
+                f"direct {name}() bypasses segment lifetime management; "
+                "publish/attach through repro.ioutils (publish_arrays / "
+                "attach_arrays) instead",
+            )
+
+
 #: Pack A, in rule-ID order (classes; instantiated per linted file).
 CODE_RULES = (
     UnseededDefaultRng,
@@ -507,4 +548,5 @@ CODE_RULES = (
     SwallowedException,
     UntypedDefInStrictModule,
     QueryTemplateLiteral,
+    RawSharedMemory,
 )

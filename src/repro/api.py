@@ -58,6 +58,7 @@ from repro.engine.system import research_4node
 from repro.errors import ModelError
 from repro.experiments.corpus import Corpus, build_corpus
 from repro.experiments.report import hms
+from repro.experiments import workerpool as _workerpool
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.optimizer import Optimizer
@@ -83,6 +84,9 @@ __all__ = [
     "get_metrics_text",
     "arm_faults",
     "disarm_faults",
+    "set_warm_pool",
+    "warm_pool_enabled",
+    "shutdown_warm_pool",
 ]
 
 
@@ -136,6 +140,36 @@ def arm_faults(plan: "_resilience_faults.FaultPlan") -> None:
 def disarm_faults() -> None:
     """Disarm fault injection; all sites return to their no-op path."""
     _resilience_faults.disarm()
+
+
+def set_warm_pool(enabled: bool) -> None:
+    """Keep (or stop keeping) corpus-build workers warm between calls.
+
+    While enabled, parallel :meth:`QueryPerformancePredictor.fit_pool`
+    builds reuse one persistent worker pool and its published
+    shared-memory catalog planes instead of spawning-then-tearing-down a
+    pool per call — the attach-don't-rebuild data plane described in
+    docs/PERFORMANCE.md.  Disabling shuts the pool down and unlinks its
+    shared segments immediately.
+    """
+    if enabled:
+        _workerpool.enable_warm_pool()
+    else:
+        _workerpool.enable_warm_pool(False)
+
+
+def warm_pool_enabled() -> bool:
+    """Whether the persistent corpus-build worker pool is enabled."""
+    return _workerpool.warm_pool_enabled()
+
+
+def shutdown_warm_pool() -> None:
+    """Tear down the warm worker pool and free its shared segments.
+
+    Equivalent to ``set_warm_pool(False)``: subsequent parallel builds
+    go back to per-call pools until the warm pool is enabled again.
+    """
+    _workerpool.shutdown_warm_pool()
 
 
 @dataclass(frozen=True)
@@ -217,6 +251,7 @@ class QueryPerformancePredictor:
         fallback: bool = False,
         problem_fraction: Optional[float] = None,
         jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
         **predictor_kwargs,
     ) -> "QueryPerformancePredictor":
         """Build a workload spec's catalog, run its queries, train on them.
@@ -229,7 +264,9 @@ class QueryPerformancePredictor:
         ``scale``/``seed`` override the recipe's size and data seed.
         ``seed`` also drives query generation, and ``jobs`` fans the
         workload's execution out across worker processes (deterministic:
-        the corpus is bitwise identical to a serial build).  Artifacts
+        the corpus is bitwise identical to a serial build;
+        ``chunk_size`` tunes queries per worker task — see
+        ``build_corpus``).  Artifacts
         saved from a service built here embed the catalog recipe, so
         :meth:`load` can rebuild the catalog without being handed one.
         """
@@ -251,7 +288,7 @@ class QueryPerformancePredictor:
             n_queries, seed=seed, workload=compiled,
             problem_fraction=problem_fraction,
         )
-        service.fit_pool(pool, jobs=jobs)
+        service.fit_pool(pool, jobs=jobs, chunk_size=chunk_size)
         return service
 
     @classmethod
@@ -265,6 +302,7 @@ class QueryPerformancePredictor:
         fallback: bool = False,
         problem_fraction: float = 0.25,
         jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
         **predictor_kwargs,
     ) -> "QueryPerformancePredictor":
         """Build a TPC-DS-like database, run a workload, train on it.
@@ -285,14 +323,20 @@ class QueryPerformancePredictor:
             fallback=fallback,
             problem_fraction=problem_fraction,
             jobs=jobs,
+            chunk_size=chunk_size,
             **predictor_kwargs,
         )
 
     def fit_pool(
-        self, pool: Sequence[QueryInstance], jobs: Optional[int] = None
+        self,
+        pool: Sequence[QueryInstance],
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> "QueryPerformancePredictor":
         """Execute a training pool and fit the model on the measurements."""
-        corpus = build_corpus(self.catalog, self.config, pool, jobs=jobs)
+        corpus = build_corpus(
+            self.catalog, self.config, pool, jobs=jobs, chunk_size=chunk_size
+        )
         return self.fit_corpus(corpus)
 
     def fit_corpus(self, corpus: Corpus) -> "QueryPerformancePredictor":

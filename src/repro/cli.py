@@ -29,6 +29,10 @@ Commands:
 
 All commands build the selected workload's database deterministically
 (``--workload``, ``--scale``, ``--seed``), so output is reproducible.
+Parallel training builds (``--jobs N``) share the catalog with workers
+through a shared-memory data plane; ``--chunk-size`` tunes queries per
+worker task and ``--warm-pool`` keeps the workers alive across builds
+within one invocation (see docs/PERFORMANCE.md).
 ``--workload`` accepts a built-in spec name (``tpcds``, ``oltp``,
 ``analytics``, ``tpcds_skew``, ``customer``) or a path to a spec file
 (see docs/WORKLOADS.md).  Within one process, trained services are
@@ -105,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for training-workload execution "
              "(default serial, -1 = one per CPU); results are bitwise "
              "identical to a serial run",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="Q",
+        help="queries per worker task in parallel builds (default: "
+             "~8 chunks per worker); raise to amortise task overhead, "
+             "lower for heavily skewed runtimes",
+    )
+    parser.add_argument(
+        "--warm-pool", action="store_true",
+        help="keep corpus-build workers and their shared-memory catalog "
+             "planes alive across builds within this invocation (see "
+             "docs/PERFORMANCE.md)",
     )
     parser.add_argument(
         "--trace-out", metavar="FILE", default=None,
@@ -301,6 +317,7 @@ def _service(args, config) -> QueryPerformancePredictor:
             two_step=args.two_step,
             fallback=fallback,
             jobs=args.jobs,
+            chunk_size=args.chunk_size,
         )
     return _service_cache[key]
 
@@ -381,6 +398,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.enable_tracing()
     if args.metrics:
         obs.enable_metrics()
+    if args.warm_pool:
+        from repro.experiments.workerpool import enable_warm_pool
+
+        enable_warm_pool()
     try:
         return _dispatch(args, config)
     except ReproError as error:
@@ -393,6 +414,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     finally:
+        if args.warm_pool:
+            from repro.experiments.workerpool import shutdown_warm_pool
+
+            shutdown_warm_pool()
         if args.trace_out:
             _write_trace(args.trace_out)
         if args.metrics:
@@ -477,6 +502,7 @@ def _dispatch(args, config) -> int:
             two_step=args.two_step,
             fallback=args.fallback,
             jobs=args.jobs,
+            chunk_size=args.chunk_size,
         )
         path = Path(args.save)
         predictor.save(path)
@@ -552,7 +578,10 @@ def _dispatch(args, config) -> int:
         pool = generate_pool(
             args.queries, seed=args.seed, workload=args.workload
         )
-        corpus = build_corpus(catalog, config, pool, jobs=args.jobs)
+        corpus = build_corpus(
+            catalog, config, pool, jobs=args.jobs,
+            chunk_size=args.chunk_size,
+        )
         print(format_pool_table(fig2_query_pools(corpus)))
         return 0
     if args.command == "metrics":
@@ -564,6 +593,7 @@ def _dispatch(args, config) -> int:
                 seed=args.seed,
                 config=config,
                 jobs=args.jobs,
+                chunk_size=args.chunk_size,
             )
             service.forecast_many(
                 [

@@ -39,6 +39,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.errors import ModelError, NotFittedError
+from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import span
 from repro.rng import child_generator
 
@@ -181,7 +182,22 @@ class KCCA:
             kx_c = center_kernel(kx)
             ky_c = center_kernel(ky)
             ridge = self.regularization * n
-            if self.approximation == "nystrom":
+            use_nystrom = self.approximation == "nystrom"
+            if use_nystrom and (self.rank or DEFAULT_NYSTROM_RANK) >= n:
+                # At rank >= N the landmark subspace is the full space:
+                # the factorisation reproduces the dense solve bitwise
+                # but costs strictly more (BENCH_pr6 measured ~2x slower
+                # at n=250, rank=250).  Take the exact path and count
+                # the downgrade so operators notice a rank that buys
+                # nothing at their corpus size.
+                use_nystrom = False
+                if metrics_enabled():
+                    get_registry().counter(
+                        "repro_kcca_nystrom_fallback_total",
+                        "Nystrom fits downgraded to the exact solver "
+                        "because rank >= n (approximation buys nothing)",
+                    ).inc()
+            if use_nystrom:
                 with span("kcca.fit.nystrom"):
                     self._fit_nystrom(kx_c, ky_c, ridge, d)
             else:

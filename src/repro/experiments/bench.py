@@ -44,6 +44,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "machine_info",
     "bench_corpus_build",
+    "bench_data_plane",
     "bench_kcca_fit",
     "bench_predict_latency",
     "bench_observability_overhead",
@@ -58,7 +59,11 @@ __all__ = [
 #: v2: corpus-build runs gained ``effective_jobs``/``oversubscribed``
 #: (worker counts are now clamped to the machine's CPUs) and the report
 #: gained the ``workloads`` per-family accuracy section.
-BENCH_SCHEMA_VERSION = 2
+#: v3: corpus-build gained ``scaling_valid`` (1-CPU boxes cannot measure
+#: scaling, only overhead) and the report gained the ``data_plane``
+#: section (attach-vs-rebuild worker init, chunked task overhead, warm
+#: pool reuse).
+BENCH_SCHEMA_VERSION = 3
 
 
 def machine_info() -> dict:
@@ -147,11 +152,214 @@ def bench_corpus_build(
             }
         )
     serial_s = runs[0]["seconds"]
-    return {
+    # One CPU cannot run two workers at once: every "parallel" number on
+    # such a box measures scheduler churn, and reporting it as a speedup
+    # would be dishonest.  The flag lets renderers (and downstream
+    # trajectory tooling) treat those runs as identity checks only.
+    scaling_valid = cpus > 1 and runs[-1]["effective_jobs"] > 1
+    result = {
         "n_queries": n_queries,
         "scale_factor": scale_factor,
         "runs": runs,
+        "scaling_valid": scaling_valid,
         "speedup_at_max_jobs": serial_s / runs[-1]["seconds"],
+    }
+    if not scaling_valid:
+        result["scaling_invalid_reason"] = (
+            f"machine has {cpus} cpu(s); parallel runs only verify "
+            "bitwise identity, not scaling"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared-memory data plane
+# ----------------------------------------------------------------------
+
+
+def _bench_chunk_noop(instances: Sequence[object]) -> int:
+    """Module-level no-op chunk task (pure submission-overhead probe)."""
+    return len(instances)
+
+
+
+
+def bench_data_plane(
+    scale_factor: float = 1.0,
+    n_tasks: int = 512,
+    chunk_size: int = 32,
+    init_repeats: int = 5,
+    n_queries: int = 48,
+    seed: int = 7,
+) -> dict:
+    """Measure the three data-plane wins in isolation.
+
+    * **worker init**: unpickle-and-rebuild the full catalog (the
+      pre-data-plane worker initializer) vs. attach the published
+      shared-memory plane — the per-worker, per-pool-spinup cost of
+      catalog acquisition (optimizer/executor construction is paid
+      identically on both sides and kept off the clock).
+    * **task submission**: per-query overhead of one-task-per-query vs.
+      chunked submission, measured with no-op tasks on a live 2-worker
+      pool so only the IPC/bookkeeping is on the clock.
+    * **warm pool**: a second identical ``build_corpus`` with the warm
+      pool enabled vs. back-to-back cold builds.
+    * **scaling**: the jobs=N curve, only meaningful with >= 4 CPUs; on
+      smaller boxes the overhead metrics above stand in and the
+      subsection carries ``valid: false``.
+    """
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.engine import Executor
+    from repro.optimizer import Optimizer
+    from repro.storage.shared import attach_catalog, share_catalog
+
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, seed=seed)
+    for name in catalog.table_names:
+        catalog.stats(name)  # publisher-side stats, like build_corpus
+    config = research_4node()
+    pickled = pickle.dumps(catalog)
+
+    # -- worker init: rebuild (unpickle) vs attach ---------------------
+    # The clock covers catalog *acquisition* only — the part the data
+    # plane changes.  Optimizer/Executor construction is paid
+    # identically on both sides (verified outside the clock below) and
+    # would only dilute the measured delta.
+    rebuild_samples = []
+    rebuilt_keep = []  # hold every copy: each worker allocates fresh
+    for _ in range(init_repeats):
+        start = time.perf_counter()
+        rebuilt = pickle.loads(pickled)
+        rebuild_samples.append(time.perf_counter() - start)
+        Optimizer(rebuilt, config)
+        Executor(rebuilt, config)
+        # Keeping the copies alive stops the allocator recycling the
+        # previous iteration's pages — a real worker unpickles into a
+        # freshly forked process and never gets that discount.
+        rebuilt_keep.append(rebuilt)
+    del rebuilt_keep
+    shared = share_catalog(catalog)
+    descriptor_blob = pickle.dumps(shared.descriptor)
+    attach_samples = []
+    try:
+        for _ in range(init_repeats):
+            start = time.perf_counter()
+            attached = attach_catalog(pickle.loads(descriptor_blob))
+            attach_samples.append(time.perf_counter() - start)
+            Optimizer(attached.catalog, config)
+            Executor(attached.catalog, config)
+            attached.close()
+    finally:
+        shared.close()
+    # Best-of, not median: scheduler noise only ever *adds* time, and
+    # the attach side is sub-millisecond, where one preemption is
+    # enough to halve the measured ratio.  run_benchmarks also runs
+    # this section first, before the memory-heavy sections warm the
+    # allocator and make the 27 MB unpickle look cheaper than a real
+    # worker's first one.
+    rebuild_ms = float(np.min(rebuild_samples)) * 1e3
+    attach_ms = float(np.min(attach_samples)) * 1e3
+    worker_init = {
+        "catalog_pickle_mb": len(pickled) / 1e6,
+        "descriptor_kb": len(descriptor_blob) / 1e3,
+        "rebuild_ms": rebuild_ms,
+        "attach_ms": attach_ms,
+        "speedup": rebuild_ms / attach_ms,
+    }
+
+    # -- task submission: singles vs chunks on a live pool -------------
+    items = list(range(n_tasks))
+    with ProcessPoolExecutor(max_workers=2) as workers:
+        list(workers.map(_bench_chunk_noop, [[0]]))  # spin up outside clock
+        start = time.perf_counter()
+        singles = [workers.submit(_bench_chunk_noop, [i]) for i in items]
+        for future in singles:
+            future.result()
+        single_s = time.perf_counter() - start
+        chunks = [
+            items[i:i + chunk_size] for i in range(0, n_tasks, chunk_size)
+        ]
+        start = time.perf_counter()
+        futures = [workers.submit(_bench_chunk_noop, c) for c in chunks]
+        for future in futures:
+            future.result()
+        chunked_s = time.perf_counter() - start
+    task_submission = {
+        "n_tasks": n_tasks,
+        "chunk_size": chunk_size,
+        "per_query_us_single": single_s / n_tasks * 1e6,
+        "per_query_us_chunked": chunked_s / n_tasks * 1e6,
+        "overhead_ratio": single_s / chunked_s,
+    }
+
+    # -- warm pool: repeated builds over the same catalog --------------
+    from repro.experiments.workerpool import warmed_pool
+
+    pool = generate_pool(n_queries, seed=seed)
+    small_catalog = build_tpcds_catalog(scale_factor=0.05, seed=seed)
+    start = time.perf_counter()
+    build_corpus(small_catalog, config, pool, jobs=2)
+    cold_s = time.perf_counter() - start
+    with warmed_pool():
+        build_corpus(small_catalog, config, pool, jobs=2)  # pay spin-up
+        start = time.perf_counter()
+        build_corpus(small_catalog, config, pool, jobs=2)
+        warm_s = time.perf_counter() - start
+    warm_pool_section = {
+        "n_queries": n_queries,
+        "cold_build_s": cold_s,
+        "warm_build_s": warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+    # -- scaling curve (needs real cores) ------------------------------
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        scaling_pool = generate_pool(max(n_queries * 4, 96), seed=seed)
+        serial_start = time.perf_counter()
+        reference = build_corpus(small_catalog, config, scaling_pool)
+        serial_s = time.perf_counter() - serial_start
+        runs = [{"jobs": 1, "seconds": serial_s, "identical_to_serial": None}]
+        for jobs in (2, 4):
+            start = time.perf_counter()
+            corpus = build_corpus(
+                small_catalog, config, scaling_pool, jobs=jobs
+            )
+            elapsed = time.perf_counter() - start
+            runs.append(
+                {
+                    "jobs": jobs,
+                    "seconds": elapsed,
+                    "identical_to_serial": bool(
+                        np.array_equal(
+                            corpus.performance_matrix(),
+                            reference.performance_matrix(),
+                        )
+                    ),
+                }
+            )
+        scaling = {
+            "valid": True,
+            "runs": runs,
+            "speedup_at_max_jobs": serial_s / runs[-1]["seconds"],
+        }
+    else:
+        scaling = {
+            "valid": False,
+            "reason": (
+                f"machine has {cpus} cpu(s) (< 4); worker-init and "
+                "task-submission overhead metrics stand in for the "
+                "scaling curve"
+            ),
+        }
+
+    return {
+        "scale_factor": scale_factor,
+        "worker_init": worker_init,
+        "task_submission": task_submission,
+        "warm_pool": warm_pool_section,
+        "scaling": scaling,
     }
 
 
@@ -314,7 +522,11 @@ def bench_observability_overhead(
         "repeats": repeats,
         "disabled": {"p50_ms": off_p50, "p95_ms": off_p95},
         "enabled": {"p50_ms": on_p50, "p95_ms": on_p95},
-        "enabled_overhead_pct": (on_p95 / off_p95 - 1.0) * 100.0,
+        # Overhead is judged at the median: with ~ms iterations and tens
+        # of repeats, a single preemption owns the p95 on a small box,
+        # and the tail then measures the machine rather than the
+        # instrumentation.  Both percentiles stay reported above.
+        "enabled_overhead_pct": (on_p50 / off_p50 - 1.0) * 100.0,
     }
 
 
@@ -507,7 +719,15 @@ def run_benchmarks(
     seconds total); the full run is sized for a dev box and takes on the
     order of a minute.
     """
+    # data_plane runs first: its worker-init microbenchmark compares a
+    # 27 MB unpickle against a shared-memory attach, and the unpickle
+    # side reads artificially fast once the other sections have warmed
+    # the allocator.
     if quick:
+        data_plane = bench_data_plane(
+            scale_factor=0.15, n_tasks=64, chunk_size=16,
+            init_repeats=3, n_queries=12,
+        )
         corpus = bench_corpus_build(
             n_queries=16, scale_factor=0.05, jobs_list=(1, jobs)
         )
@@ -528,6 +748,7 @@ def run_benchmarks(
             workloads=("tpcds", "oltp"), n_queries=32
         )
     else:
+        data_plane = bench_data_plane()
         corpus = bench_corpus_build(jobs_list=(1, jobs))
         kcca = bench_kcca_fit()
         predict = bench_predict_latency()
@@ -542,6 +763,7 @@ def run_benchmarks(
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "machine": machine_info(),
         "corpus_build": corpus,
+        "data_plane": data_plane,
         "kcca_fit": kcca,
         "predict_latency": predict,
         "observability": observability,
@@ -579,10 +801,51 @@ def format_report(report: dict) -> str:
             f"  jobs={effective:<3} {run['seconds']:8.2f}s  "
             f"{run['queries_per_second']:7.1f} q/s{note}"
         )
-    lines.append(
-        f"  speedup at max jobs: "
-        f"{report['corpus_build']['speedup_at_max_jobs']:.2f}x"
-    )
+    if report["corpus_build"].get("scaling_valid", True):
+        lines.append(
+            f"  speedup at max jobs: "
+            f"{report['corpus_build']['speedup_at_max_jobs']:.2f}x"
+        )
+    else:
+        lines.append(
+            "  scaling not measurable on this machine "
+            f"({report['corpus_build'].get('scaling_invalid_reason', '')})"
+        )
+    data_plane = report.get("data_plane")
+    if data_plane is not None:
+        lines.append("")
+        lines.append(
+            f"data plane (catalog scale {data_plane['scale_factor']}):"
+        )
+        init = data_plane["worker_init"]
+        lines.append(
+            f"  worker init  rebuild {init['rebuild_ms']:8.2f}ms  "
+            f"attach {init['attach_ms']:8.2f}ms  "
+            f"{init['speedup']:6.1f}x "
+            f"(catalog {init['catalog_pickle_mb']:.1f}MB pickled, "
+            f"descriptor {init['descriptor_kb']:.1f}KB)"
+        )
+        tasks = data_plane["task_submission"]
+        lines.append(
+            f"  task overhead  single {tasks['per_query_us_single']:8.1f}"
+            f"us/query  chunked({tasks['chunk_size']}) "
+            f"{tasks['per_query_us_chunked']:8.1f}us/query  "
+            f"{tasks['overhead_ratio']:6.1f}x"
+        )
+        warm = data_plane["warm_pool"]
+        lines.append(
+            f"  warm pool  cold {warm['cold_build_s']:7.2f}s  "
+            f"warm {warm['warm_build_s']:7.2f}s  "
+            f"{warm['speedup']:6.2f}x  ({warm['n_queries']} queries)"
+        )
+        scaling = data_plane["scaling"]
+        if scaling["valid"]:
+            lines.append(
+                f"  scaling  speedup at max jobs "
+                f"{scaling['speedup_at_max_jobs']:.2f}x"
+            )
+        else:
+            lines.append(f"  scaling  not measured: {scaling['reason']}")
     lines.append("")
     lines.append("KCCA fit (exact vs nystrom):")
     for row in report["kcca_fit"]:

@@ -16,7 +16,15 @@ Corpus generation fans out across worker processes when ``jobs > 1``
 (``build_corpus(..., jobs=4)``): each query's executor noise stream is
 seeded independently from the pool seed and the query's identity, so a
 parallel build is **bitwise identical** to the serial one regardless of
-worker count or scheduling order.
+worker count, scheduling order or chunking.
+
+The fan-out rides the shared-memory data plane (docs/PERFORMANCE.md):
+the catalog's numpy tables are published once into a shared segment
+(:func:`repro.storage.shared.share_catalog`) and workers *attach*
+zero-copy views at init instead of unpickling and rebuilding every
+table.  Queries ship in chunks (``chunk_size=...``) to amortise task
+overhead, and repeated builds can reuse live workers via the warm pool
+(:mod:`repro.experiments.workerpool`).
 
 Long builds can be made resilient (see docs/ROBUSTNESS.md): pass
 ``retry=RetryPolicy(...)`` to retry transient per-query failures and
@@ -35,7 +43,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +54,7 @@ from repro.errors import CorpusBuildError, ReproError, RetryExhaustedError
 from repro.ioutils import atomic_savez
 from repro.obs.trace import (
     attach_spans,
+    disable_tracing,
     enable_tracing,
     export_trace,
     reset_trace,
@@ -65,8 +74,18 @@ from repro.resilience.retry import RetryPolicy
 from repro.rng import child_generator
 from repro.sql.text_features import sql_text_features
 from repro.storage.catalog import Catalog
+from repro.storage.shared import (
+    AttachedCatalog,
+    CatalogDescriptor,
+    SharedCatalog,
+    attach_catalog,
+    share_catalog,
+)
 from repro.workloads.categories import QueryCategory, categorize
 from repro.workloads.generator import QueryInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.workerpool import CorpusWorkerPool
 
 __all__ = [
     "ExecutedQuery",
@@ -200,72 +219,178 @@ def _execute_instance(
     )
 
 
-#: Per-worker state built once by the pool initializer: the optimizer and
-#: executor are constructed from the (pickled-once) catalog + config at
-#: worker start instead of per query.
+@dataclass(frozen=True)
+class _WorkerContext:
+    """Everything a worker needs to execute corpus queries.
+
+    Exactly one of ``descriptor`` (shared-memory data plane: the worker
+    *attaches* zero-copy table views) and ``catalog`` (legacy pickle
+    path: the worker rebuilds the tables from the pickled catalog) is
+    set.  The ``token`` identifies the prepared worker state — a worker
+    that already holds this token skips re-initialisation entirely,
+    which is what makes the warm pool cheap across repeated builds.
+    """
+
+    token: str
+    config: SystemConfig
+    noise_seed: int
+    trace: bool
+    descriptor: Optional[CatalogDescriptor] = None
+    catalog: Optional[Catalog] = None
+    plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+
+
+_COLD_TOKENS = iter(range(1, 1 << 62))
+
+
+def _make_context(
+    config: SystemConfig,
+    noise_seed: int,
+    trace: bool,
+    descriptor: Optional[CatalogDescriptor],
+    catalog: Optional[Catalog],
+    plan: Optional[FaultPlan],
+    retry: Optional[RetryPolicy],
+    warm: bool,
+) -> _WorkerContext:
+    if warm and descriptor is not None and plan is None and retry is None:
+        # Deterministic token: a warm worker that already prepared this
+        # exact (plane, config, seed, trace) state reuses it wholesale.
+        # Plane names are never reused, so tokens cannot collide across
+        # different catalogs or republished planes.
+        token = hashlib.sha256(
+            f"{descriptor.handle.name}|{config!r}|{noise_seed}|{int(trace)}"
+            .encode()
+        ).hexdigest()[:16]
+    else:
+        # Cold pools (and any fault/retry-carrying context) get a unique
+        # token so worker state is always rebuilt from this context.
+        token = f"cold:{os.getpid()}:{next(_COLD_TOKENS)}"
+    return _WorkerContext(
+        token=token,
+        config=config,
+        noise_seed=noise_seed,
+        trace=trace,
+        descriptor=descriptor,
+        catalog=catalog,
+        plan=plan,
+        retry=retry,
+    )
+
+
+#: Per-worker state: optimizer + executor over the attached (or rebuilt)
+#: catalog, keyed by the context token that produced it.  Single slot —
+#: applying a new context tears down the previous attachment first.
 _WORKER: dict = {}
 
 
-def _worker_init(
-    catalog: Catalog,
-    config: SystemConfig,
-    noise_seed: int,
-    trace: bool = False,
-    plan: Optional[FaultPlan] = None,
-    retry: Optional[RetryPolicy] = None,
-) -> None:
-    _WORKER["optimizer"] = Optimizer(catalog, config)
-    _WORKER["executor"] = Executor(catalog, config)
-    _WORKER["config_name"] = config.name
-    _WORKER["noise_seed"] = noise_seed
-    _WORKER["retry"] = retry
-    if plan is not None:
+def _apply_context(context: _WorkerContext) -> None:
+    """Prepare this process to execute queries under ``context``.
+
+    Idempotent per token: a warm worker that already holds the context's
+    state returns immediately (the attach-vs-rebuild and warm-pool wins
+    measured by the bench ``data_plane`` section both live here).
+    """
+    if _WORKER.get("token") == context.token:
+        return
+    previous: Optional[AttachedCatalog] = _WORKER.pop("attached", None)
+    if previous is not None:
+        previous.close()
+    if context.plan is not None:
         # Each worker counts site invocations from 1 so a plan's firing
         # schedule is per-process deterministic; use ``match`` filters
-        # (e.g. query_id) to target specific work items exactly.
-        plan.reset_counters()
-        _arm_faults(plan)
-    if trace:
+        # (e.g. query_id) to target specific work items exactly.  Armed
+        # before the attach below so plans can target ``artifact.read``.
+        context.plan.reset_counters()
+        _arm_faults(context.plan)
+    if context.descriptor is not None:
+        attached = attach_catalog(context.descriptor)
+        catalog = attached.catalog
+        _WORKER["attached"] = attached
+    else:
+        assert context.catalog is not None
+        catalog = context.catalog
+    _WORKER["optimizer"] = Optimizer(catalog, context.config)
+    _WORKER["executor"] = Executor(catalog, context.config)
+    _WORKER["config_name"] = context.config.name
+    _WORKER["noise_seed"] = context.noise_seed
+    _WORKER["retry"] = context.retry
+    _WORKER["trace"] = context.trace
+    if context.trace:
         # Under spawn the parent's tracing flag does not propagate; under
         # fork the worker inherits the parent's *open* span stack, which
         # would swallow worker spans.  Reset, then enable.
         reset_trace()
         enable_tracing()
+        _WORKER["was_traced"] = True
+    elif _WORKER.pop("was_traced", False):
+        # A warm worker traced by a previous build must not keep tracing.
+        disable_tracing()
+        reset_trace()
+    _WORKER["token"] = context.token
+
+
+def _pool_init_context(context: _WorkerContext) -> None:
+    """Cold-pool initializer: prepare worker state once at spawn."""
+    _apply_context(context)
 
 
 def _worker_execute(instance: QueryInstance) -> ExecutedQuery:
     retry = _WORKER.get("retry")
-    if retry is not None:
-        return retry.call(
-            _execute_instance,
+    try:
+        if retry is not None:
+            return retry.call(
+                _execute_instance,
+                _WORKER["optimizer"],
+                _WORKER["executor"],
+                _WORKER["config_name"],
+                _WORKER["noise_seed"],
+                instance,
+                label=instance.query_id,
+            )
+        return _execute_instance(
             _WORKER["optimizer"],
             _WORKER["executor"],
             _WORKER["config_name"],
             _WORKER["noise_seed"],
             instance,
-            label=instance.query_id,
         )
-    return _execute_instance(
-        _WORKER["optimizer"],
-        _WORKER["executor"],
-        _WORKER["config_name"],
-        _WORKER["noise_seed"],
-        instance,
-    )
+    except RetryExhaustedError as error:
+        # Chunk tasks carry several queries; name the one that failed so
+        # the parent's CorpusBuildError can point at it (the attribute
+        # survives pickling back across the process boundary).
+        error.query_id = instance.query_id  # type: ignore[attr-defined]
+        raise
 
 
-def _worker_execute_traced(
-    instance: QueryInstance,
-) -> tuple[ExecutedQuery, list[dict]]:
-    """Traced worker path: ship the record plus its span dicts back.
+def _pool_run_chunk(
+    payload: "_WorkerContext | str", instances: Sequence[QueryInstance]
+) -> "list[ExecutedQuery] | tuple[list[ExecutedQuery], list[dict]]":
+    """Execute one chunk of queries in a worker process.
 
-    Span objects are not pickled — :func:`export_trace` flattens them to
-    plain dicts, which the parent grafts into its own live trace with
+    ``payload`` is the full context on warm pools (whose workers may
+    hold state from an earlier build) or just the token on cold pools
+    (whose initializer already applied the context — shipping the token
+    instead keeps per-chunk pickling cost independent of catalog size).
+
+    Traced chunks return their span dicts alongside the records —
+    :func:`export_trace` flattens the worker-side spans to plain dicts,
+    which the parent grafts into its own live trace with
     :func:`attach_spans` so a parallel build's trace reads like a serial
     one's.
     """
-    record = _worker_execute(instance)
-    return record, export_trace(drain=True)
+    if isinstance(payload, _WorkerContext):
+        _apply_context(payload)
+    elif _WORKER.get("token") != payload:
+        raise ReproError(
+            "worker received a chunk for an unprepared context; cold pools "
+            "must initialise workers with _pool_init_context"
+        )
+    records = [_worker_execute(instance) for instance in instances]
+    if _WORKER.get("trace"):
+        return records, export_trace(drain=True)
+    return records
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -334,6 +459,12 @@ def _payload_to_record(query_id: str, payload: dict) -> ExecutedQuery:
     )
 
 
+#: Valid ``data_plane`` arguments: the shared-memory plane (with mmap
+#: spill fallback), a forced backend, or the legacy pickle-the-catalog
+#: worker init.
+DATA_PLANES = ("auto", "shm", "mmap", "pickle")
+
+
 def build_corpus(
     catalog: Catalog,
     config: SystemConfig,
@@ -343,6 +474,8 @@ def build_corpus(
     jobs: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     checkpoint: Optional[Path] = None,
+    chunk_size: Optional[int] = None,
+    data_plane: str = "auto",
 ) -> Corpus:
     """Optimize and execute every query in ``pool`` on ``config``.
 
@@ -358,11 +491,25 @@ def build_corpus(
             as they finish, and a rerun with the same checkpoint resumes
             from them instead of re-executing.  The journal is deleted
             once the build completes.
+        chunk_size: queries per worker task.  Default balances load
+            (~8 chunks per worker); raise it to amortise task overhead
+            on uniform pools, lower it when runtimes are heavily skewed.
+        data_plane: how workers get the catalog — ``"auto"`` publishes
+            the tables once to shared memory (``"shm"``) falling back to
+            a memory-mapped spill file (``"mmap"``); ``"pickle"`` ships
+            the whole catalog to every worker (the pre-data-plane
+            behaviour, kept for comparison benchmarks).
 
-    Both knobs are off by default and neither changes the corpus bytes:
-    a retried, resumed or fanned-out build is bitwise identical to an
-    uninterrupted serial one.
+    None of these knobs changes the corpus bytes: a retried, resumed,
+    chunked or fanned-out build — on any data plane — is bitwise
+    identical to an uninterrupted serial one.
     """
+    if data_plane not in DATA_PLANES:
+        raise ValueError(
+            f"data_plane must be one of {DATA_PLANES}, got {data_plane!r}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     pool = list(pool)
     jobs = resolve_jobs(jobs)
     journal: Optional[BuildJournal] = None
@@ -380,14 +527,10 @@ def build_corpus(
             "corpus.build", n=len(pool), jobs=jobs, config=config.name
         ):
             if jobs > 1 and len(pool) > 1:
-                if retry is not None or journal is not None:
-                    executed = _build_parallel_resilient(
-                        catalog, config, pool, noise_seed, progress, jobs,
-                        retry, journal, completed,
-                    )
-                else:
-                    executed = _build_parallel(catalog, config, pool,
-                                               noise_seed, progress, jobs)
+                executed = _build_parallel(
+                    catalog, config, pool, noise_seed, progress, jobs,
+                    retry, journal, completed, chunk_size, data_plane,
+                )
             else:
                 executed = _build_serial(
                     catalog, config, pool, noise_seed, progress,
@@ -442,129 +585,173 @@ def _build_parallel(
     noise_seed: int,
     progress: Optional[Callable[[int, int], None]],
     jobs: int,
-) -> list[ExecutedQuery]:
-    """Fan the pool out over worker processes, preserving pool order."""
-    jobs = min(jobs, len(pool))
-    # Small chunks keep workers balanced (bowling balls take ~1000x a
-    # feather); map() yields results in submission order, so the corpus
-    # layout is independent of completion order.
-    chunksize = max(1, len(pool) // (jobs * 8))
-    traced = tracing_enabled()
-    work = _worker_execute_traced if traced else _worker_execute
-    executed: list[ExecutedQuery] = []
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_worker_init,
-            initargs=(catalog, config, noise_seed, traced),
-        ) as workers:
-            for result in workers.map(work, pool, chunksize=chunksize):
-                if traced:
-                    record, worker_spans = result
-                    attach_spans(worker_spans)
-                else:
-                    record = result
-                executed.append(record)
-                if progress is not None:
-                    progress(len(executed), len(pool))
-    except BrokenProcessPool as error:
-        # map() yields in submission order, so the first unfinished
-        # query is where the pool died.
-        failed = pool[len(executed)].query_id if len(executed) < len(pool) \
-            else None
-        raise CorpusBuildError(
-            f"a worker process died building the {config.name} corpus "
-            f"around query {failed!r} ({len(executed)}/{len(pool)} results "
-            "arrived); pass retry=RetryPolicy(...) to absorb worker crashes",
-            query_id=failed,
-            completed=len(executed),
-        ) from error
-    return executed
-
-
-def _build_parallel_resilient(
-    catalog: Catalog,
-    config: SystemConfig,
-    pool: Sequence[QueryInstance],
-    noise_seed: int,
-    progress: Optional[Callable[[int, int], None]],
-    jobs: int,
     retry: Optional[RetryPolicy],
     journal: Optional[BuildJournal],
     completed: dict[str, ExecutedQuery],
+    chunk_size: Optional[int],
+    data_plane: str,
 ) -> list[ExecutedQuery]:
-    """Fault-tolerant fan-out: one future per query, journal as results
-    land, rebuild the pool when workers die.
+    """Fan the pool out over worker processes on the data plane.
 
-    A hard worker crash poisons the whole ``ProcessPoolExecutor``
-    (``BrokenProcessPool``), so "surviving workers absorb the dead
-    peer's queries" means: keep everything that finished, rebuild the
-    pool, and resubmit only the unfinished remainder.  Rebuild attempts
-    are bounded by ``retry.max_attempts`` and backed off on the same
-    deterministic schedule as per-query retries.
+    One code path serves the plain, retrying, and checkpointed builds:
+    publish the catalog once, submit query chunks, harvest as they
+    complete (journaling each record), and rebuild the worker pool when
+    it dies.  A hard worker crash poisons the whole
+    ``ProcessPoolExecutor`` (``BrokenProcessPool``), so "surviving
+    workers absorb the dead peer's queries" means: keep everything that
+    finished, rebuild the pool, and resubmit only the unfinished
+    remainder.  Rebuild attempts are bounded by ``retry.max_attempts``
+    (one attempt — fail fast — without a retry policy) and backed off on
+    the same deterministic schedule as per-query retries.
+
+    Output order is pool order regardless of harvest order, and every
+    record's noise stream is derived from the query's identity alone, so
+    the result is bitwise identical to the serial build.
     """
+    from repro.experiments.workerpool import warm_pool
+
     traced = tracing_enabled()
-    results: dict[str, ExecutedQuery] = dict(completed)
     plan = armed_plan()
+    results: dict[str, ExecutedQuery] = dict(completed)
+    plain = retry is None and journal is None
     pool_attempts = retry.max_attempts if retry is not None else 1
-    attempt = 0
-    while True:
-        pending = [q for q in pool if q.query_id not in results]
-        if not pending:
-            break
-        attempt += 1
-        worker_plan = plan
-        if plan is not None and attempt > 1:
-            # A hard crash is a process-level event whose deterministic
-            # schedule already fired in the dead worker; replacement
-            # workers must not replay it, or every rebuild would crash
-            # on the same call index forever.
-            worker_plan = plan.without_modes(("exit",))
-        try:
-            _run_resilient_pool(
-                catalog, config, pending, noise_seed, jobs, traced,
-                worker_plan, retry, journal, results, progress, len(pool),
+
+    facility = warm_pool()
+    warm = (
+        facility is not None
+        and plan is None
+        and retry is None
+        and data_plane != "pickle"
+    )
+    shared: Optional[SharedCatalog] = None
+    descriptor: Optional[CatalogDescriptor] = None
+    catalog_arg: Optional[Catalog] = None
+    if data_plane == "pickle":
+        catalog_arg = catalog
+    elif warm and facility is not None:
+        shared = facility.shared_catalog(catalog, backend=data_plane)
+        descriptor = shared.descriptor
+    else:
+        shared = share_catalog(catalog, backend=data_plane)
+        descriptor = shared.descriptor
+    try:
+        attempt = 0
+        while True:
+            pending = [q for q in pool if q.query_id not in results]
+            if not pending:
+                break
+            attempt += 1
+            worker_plan = plan
+            if plan is not None and attempt > 1:
+                # A hard crash is a process-level event whose
+                # deterministic schedule already fired in the dead
+                # worker; replacement workers must not replay it, or
+                # every rebuild would crash on the same call index
+                # forever.
+                worker_plan = plan.without_modes(("exit",))
+            context = _make_context(
+                config, noise_seed, traced, descriptor, catalog_arg,
+                worker_plan, retry, warm,
             )
-        except BrokenProcessPool as error:
-            if attempt >= pool_attempts:
-                raise CorpusBuildError(
-                    f"worker pool for the {config.name} corpus died "
-                    f"{attempt} time(s); {len(results)}/{len(pool)} queries "
-                    "completed",
-                    completed=len(results),
-                ) from error
-            if retry is not None:
-                pause = retry.delay(attempt, label="corpus.pool")
-                if pause > 0.0:
-                    retry.sleep(pause)
+            try:
+                _run_pool(
+                    context, pending, jobs, chunk_size,
+                    facility if warm else None,
+                    journal, results, progress, len(pool),
+                )
+            except BrokenProcessPool as error:
+                if warm and facility is not None:
+                    facility.invalidate()
+                if plain:
+                    failed = next(
+                        (q.query_id for q in pool
+                         if q.query_id not in results),
+                        None,
+                    )
+                    raise CorpusBuildError(
+                        f"a worker process died building the {config.name} "
+                        f"corpus around query {failed!r} "
+                        f"({len(results)}/{len(pool)} results arrived); "
+                        "pass retry=RetryPolicy(...) to absorb worker "
+                        "crashes",
+                        query_id=failed,
+                        completed=len(results),
+                    ) from error
+                if attempt >= pool_attempts:
+                    raise CorpusBuildError(
+                        f"worker pool for the {config.name} corpus died "
+                        f"{attempt} time(s); {len(results)}/{len(pool)} "
+                        "queries completed",
+                        completed=len(results),
+                    ) from error
+                if retry is not None:
+                    pause = retry.delay(attempt, label="corpus.pool")
+                    if pause > 0.0:
+                        retry.sleep(pause)
+    finally:
+        # Warm-pool planes stay published for the next build; one-shot
+        # planes are unlinked here even when the build fails, so a
+        # crashed (or faulted) build never leaks /dev/shm segments.
+        if shared is not None and not warm:
+            shared.close()
     return [results[q.query_id] for q in pool]
 
 
-def _run_resilient_pool(
-    catalog: Catalog,
-    config: SystemConfig,
+def _chunk_pending(
+    pending: Sequence[QueryInstance], jobs: int, chunk_size: Optional[int]
+) -> list[list[QueryInstance]]:
+    """Partition pending queries (in pool order) into worker tasks.
+
+    The default targets ~8 chunks per worker: small enough to keep
+    workers balanced (bowling balls take ~1000x a feather), large
+    enough to amortise per-task submission overhead.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, len(pending) // (max(1, jobs) * 8))
+    return [
+        list(pending[i:i + chunk_size])
+        for i in range(0, len(pending), chunk_size)
+    ]
+
+
+def _run_pool(
+    context: _WorkerContext,
     pending: Sequence[QueryInstance],
-    noise_seed: int,
     jobs: int,
-    traced: bool,
-    plan: Optional[FaultPlan],
-    retry: Optional[RetryPolicy],
+    chunk_size: Optional[int],
+    facility: "Optional[CorpusWorkerPool]",
     journal: Optional[BuildJournal],
     results: dict[str, ExecutedQuery],
     progress: Optional[Callable[[int, int], None]],
     total: int,
 ) -> None:
-    """One worker-pool lifetime: harvest whatever completes into
-    ``results`` (journaling each), and let ``BrokenProcessPool`` escape
-    to the rebuild loop with the harvest intact."""
-    work = _worker_execute_traced if traced else _worker_execute
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(pending)),
-        initializer=_worker_init,
-        initargs=(catalog, config, noise_seed, traced, plan, retry),
-    ) as workers:
+    """One worker-pool lifetime: submit chunks, harvest whatever
+    completes into ``results`` (journaling each), and let
+    ``BrokenProcessPool`` escape to the rebuild loop with the harvest
+    intact.
+
+    Cold pools eagerly prepare workers via the initializer and ship only
+    the context token per chunk; warm pools (which may hold an earlier
+    build's state) ship the full context and let the first chunk per
+    worker apply it.
+    """
+    effective_jobs = min(jobs, len(pending))
+    chunks = _chunk_pending(pending, effective_jobs, chunk_size)
+    owns_pool = facility is None
+    if owns_pool:
+        workers = ProcessPoolExecutor(
+            max_workers=effective_jobs,
+            initializer=_pool_init_context,
+            initargs=(context,),
+        )
+        payload: "_WorkerContext | str" = context.token
+    else:
+        workers = facility.executor(jobs)
+        payload = context
+    try:
         futures = {
-            workers.submit(work, instance): instance for instance in pending
+            workers.submit(_pool_run_chunk, payload, chunk): chunk
+            for chunk in chunks
         }
         remaining = set(futures)
         while remaining:
@@ -572,30 +759,37 @@ def _run_resilient_pool(
                 remaining, return_when=FIRST_COMPLETED
             )
             for future in finished:
-                instance = futures[future]
+                chunk = futures[future]
                 try:
                     result = future.result()
                 except BrokenProcessPool:
                     raise
                 except RetryExhaustedError as error:
+                    failed = getattr(
+                        error, "query_id", chunk[0].query_id
+                    )
                     raise CorpusBuildError(
-                        f"query {instance.query_id} failed after "
+                        f"query {failed} failed after "
                         f"{error.attempts} attempt(s): {error}",
-                        query_id=instance.query_id,
+                        query_id=failed,
                         completed=len(results),
                     ) from error
-                if traced:
-                    record, worker_spans = result
+                if context.trace:
+                    records, worker_spans = result
                     attach_spans(worker_spans)
                 else:
-                    record = result
-                if journal is not None:
-                    journal.record(
-                        instance.query_id, _record_to_payload(record)
-                    )
-                results[instance.query_id] = record
-                if progress is not None:
-                    progress(len(results), total)
+                    records = result
+                for instance, record in zip(chunk, records):
+                    if journal is not None:
+                        journal.record(
+                            instance.query_id, _record_to_payload(record)
+                        )
+                    results[instance.query_id] = record
+                    if progress is not None:
+                        progress(len(results), total)
+    finally:
+        if owns_pool:
+            workers.shutdown(wait=True)
 
 
 # ----------------------------------------------------------------------

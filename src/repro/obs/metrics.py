@@ -338,20 +338,28 @@ def get_registry() -> MetricsRegistry:
 def reset_metrics() -> None:
     """Clear the default registry (test helper)."""
     _REGISTRY.reset()
+    _TIMED_CACHE.clear()
 
 
 class _Timed:
-    """Times a block into a histogram (and a counter) when enabled."""
+    """Times a block into pre-resolved instruments when enabled.
 
-    __slots__ = ("histogram_name", "counter_name", "count", "_start")
+    ``slot`` is the shared ``[histogram, counter]`` cache entry for this
+    name pair.  The histogram is resolved up front (it always records);
+    the counter stays lazy — it must not exist in the registry until a
+    block actually succeeds — and is memoized into the slot on first
+    success.
+    """
+
+    __slots__ = ("slot", "counter_name", "count", "_start")
 
     def __init__(
         self,
-        histogram_name: str,
+        slot: "list",
         counter_name: Optional[str],
         count: int,
     ) -> None:
-        self.histogram_name = histogram_name
+        self.slot = slot
         self.counter_name = counter_name
         self.count = count
         self._start = 0.0
@@ -362,9 +370,13 @@ class _Timed:
 
     def __exit__(self, exc_type, _exc, _tb) -> bool:
         elapsed = time.perf_counter() - self._start
-        _REGISTRY.histogram(self.histogram_name).observe(elapsed)
+        self.slot[0].observe(elapsed)
         if self.counter_name is not None and exc_type is None:
-            _REGISTRY.counter(self.counter_name).inc(self.count)
+            counter = self.slot[1]
+            if counter is None:
+                counter = _REGISTRY.counter(self.counter_name)
+                self.slot[1] = counter
+            counter.inc(self.count)
         return False
 
 
@@ -380,6 +392,14 @@ class _NoopTimed:
 
 _NOOP_TIMED = _NoopTimed()
 
+#: Instrument pairs resolved once per (histogram, counter) name pair.
+#: Every registry lookup takes the registry lock plus a dict probe; on
+#: the batch-predict hot path that happened twice per ``timed()`` exit.
+#: Resolving here also fixes the histogram's bucket bounds up front, so
+#: ``observe`` goes straight to ``bisect``.  Cleared by
+#: :func:`reset_metrics`, which is the only way instruments are dropped.
+_TIMED_CACHE: dict[tuple[str, Optional[str]], list] = {}
+
 
 def timed(
     histogram_name: str,
@@ -394,4 +414,9 @@ def timed(
     """
     if not _ENABLED:
         return _NOOP_TIMED
-    return _Timed(histogram_name, counter_name, count)
+    key = (histogram_name, counter_name)
+    slot = _TIMED_CACHE.get(key)
+    if slot is None:
+        slot = [_REGISTRY.histogram(histogram_name), None]
+        _TIMED_CACHE[key] = slot
+    return _Timed(slot, counter_name, count)

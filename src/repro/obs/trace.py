@@ -92,6 +92,7 @@ class Span:
         "error",
         "_wall_start",
         "_cpu_start",
+        "_stack",
     )
 
     def __init__(self, name: str, attributes: Optional[dict] = None) -> None:
@@ -104,11 +105,19 @@ class Span:
         self.error: Optional[str] = None
         self._wall_start: float = 0.0
         self._cpu_start: float = 0.0
+        self._stack: Optional[list[Span]] = None
 
     # -- context manager -------------------------------------------------
 
     def __enter__(self) -> "Span":
-        _STATE.stack.append(self)
+        # Resolve the thread-local stack once and pin it for __exit__ —
+        # each ``_STATE.<attr>`` access is a dict lookup, and on the
+        # batch-predict hot path the extra lookup per span was a
+        # measurable slice of tracing overhead (bench ``observability``
+        # section).
+        stack = _STATE.stack
+        self._stack = stack
+        stack.append(self)
         self._wall_start = time.perf_counter()
         self._cpu_start = time.process_time()
         return self
@@ -119,7 +128,7 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.error = f"{exc_type.__name__}: {exc}"
-        stack = _STATE.stack
+        stack = self._stack if self._stack is not None else _STATE.stack
         # Pop self; tolerate a foreign top if user code misnests spans.
         if stack and stack[-1] is self:
             stack.pop()

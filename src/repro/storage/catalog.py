@@ -100,6 +100,31 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
 
+    @classmethod
+    def from_parts(
+        cls,
+        tables: Iterable[Table],
+        stats: Optional[dict[str, TableStats]] = None,
+    ) -> "Catalog":
+        """Assemble a catalog from already-built tables and statistics.
+
+        The attach path of the shared-memory data plane (see
+        :mod:`repro.storage.shared`): statistics computed once by the
+        publisher are installed verbatim instead of re-running
+        :meth:`analyze` over every column in every worker.  Tables
+        without an entry in ``stats`` are analyzed lazily on first
+        :meth:`stats` lookup, as usual.
+        """
+        catalog = cls()
+        catalog.register_all(tables, analyze=False)
+        for name, table_stats in (stats or {}).items():
+            if name not in catalog._tables:
+                raise CatalogError(
+                    f"statistics supplied for unregistered table {name!r}"
+                )
+            catalog._stats[name] = table_stats
+        return catalog
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

@@ -1,0 +1,9 @@
+"""RD011 violation: raw SharedMemory outside repro/ioutils.py."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name

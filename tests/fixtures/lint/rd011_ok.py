@@ -1,0 +1,14 @@
+"""RD011 clean: shared segments go through the ioutils ArrayPlane API."""
+
+import numpy as np
+
+from repro.ioutils import attach_arrays, publish_arrays
+
+
+def publish(table: np.ndarray):
+    plane = publish_arrays({"table": table})
+    return plane.handle
+
+
+def attach(handle):
+    return attach_arrays(handle)

@@ -62,6 +62,7 @@ PAIRS = [
     ("rd008", "RD008", CORE_PATH),
     ("rd009", "RD009", CORE_PATH),
     ("rd010", "RD010", NEUTRAL_PATH),
+    ("rd011", "RD011", NEUTRAL_PATH),
 ]
 
 
@@ -122,6 +123,10 @@ class TestRuleScoping:
 
     def test_rd005_exempts_ioutils(self):
         source = (FIXTURES / "rd005_bad.py").read_text()
+        assert lint_source(source, "repro/ioutils.py", CODE_RULES) == []
+
+    def test_rd011_exempts_ioutils(self):
+        source = (FIXTURES / "rd011_bad.py").read_text()
         assert lint_source(source, "repro/ioutils.py", CODE_RULES) == []
 
     def test_rd006_ignores_on_without_resilience_import(self):
