@@ -536,6 +536,60 @@ class RawSharedMemory(CodeRule):
             )
 
 
+#: Modules the network boundary (RD012) confines socket/HTTP stack
+#: imports to.
+NETWORK_ALLOWLIST = ("repro/serve/",)
+
+#: Module roots whose import drags in the socket/HTTP serving stack.
+_NETWORK_MODULES = ("socket", "socketserver", "http.server", "http.client")
+
+
+class NetworkOutsideServe(CodeRule):
+    """RD012: the socket/HTTP stack is confined to ``repro/serve/``.
+
+    The serving daemon is the repo's single network boundary: it owns
+    binding, timeouts, structured error responses and shutdown
+    draining.  A ``socket`` or ``http.server`` import anywhere else
+    means a second, untested network surface — one that would bypass
+    the daemon's micro-batching, admission control and drain
+    guarantees.  Keep network I/O behind ``repro.serve`` (the library
+    layers stay pure functions of their inputs, which is also what
+    keeps them deterministic and corpus builds reproducible).
+    """
+
+    info = register(
+        RuleInfo(
+            id="RD012",
+            name="network-outside-serve",
+            severity="error",
+            pack="code",
+            summary="socket/http.server import outside repro/serve/",
+        )
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, context: LintContext) -> None:
+        if context.in_dir(*NETWORK_ALLOWLIST):
+            return
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            names = [node.module or ""]
+        for name in names:
+            if name in _NETWORK_MODULES or any(
+                name.startswith(module + ".") for module in _NETWORK_MODULES
+            ):
+                self.report(
+                    context,
+                    node,
+                    f"network module {name!r} imported outside repro/serve/; "
+                    "all socket and HTTP I/O belongs to the serving daemon "
+                    "(docs/SERVING.md)",
+                )
+                return
+
+
 #: Pack A, in rule-ID order (classes; instantiated per linted file).
 CODE_RULES = (
     UnseededDefaultRng,
@@ -549,4 +603,5 @@ CODE_RULES = (
     UntypedDefInStrictModule,
     QueryTemplateLiteral,
     RawSharedMemory,
+    NetworkOutsideServe,
 )

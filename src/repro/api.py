@@ -84,6 +84,9 @@ __all__ = [
     "get_metrics_text",
     "arm_faults",
     "disarm_faults",
+    "artifact_fingerprint",
+    "resolve_artifact",
+    "clear_artifact_cache",
     "set_warm_pool",
     "warm_pool_enabled",
     "shutdown_warm_pool",
@@ -234,6 +237,10 @@ class QueryPerformancePredictor:
         self._pipeline: Optional[PredictionPipeline] = None
         self._corpus: Optional[Corpus] = None
         self._catalog_spec: Optional[dict] = None
+        #: Content digest of the artifact this service was loaded
+        #: from (set by :func:`resolve_artifact`); None when trained
+        #: in-process.
+        self.artifact_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Training
@@ -605,3 +612,67 @@ class QueryPerformancePredictor:
     @property
     def training_corpus(self) -> Optional[Corpus]:
         return self._corpus
+
+
+# ----------------------------------------------------------------------
+# Artifact resolution (shared by the CLI cache and the serving daemon)
+# ----------------------------------------------------------------------
+
+#: Loaded services keyed by resolved artifact path.  Each entry stores
+#: the content fingerprint it was loaded under; a lookup whose on-disk
+#: fingerprint no longer matches reloads instead of serving stale bytes
+#: (the retrain-then-predict footgun).
+_ARTIFACT_CACHE: dict[str, tuple[str, "QueryPerformancePredictor"]] = {}
+
+
+def artifact_fingerprint(path: Path) -> str:
+    """Content digest of a model artifact file (sha256, 16 hex chars).
+
+    This is the single source of truth for "which model is this":
+    the CLI's in-process cache, the serving daemon's ``model_version``
+    and hot-reload checks all compare this value, so the same bytes get
+    the same identity everywhere.
+
+    Raises:
+        ModelError: when the artifact file does not exist.
+    """
+    import hashlib
+
+    resolved = Path(path)
+    if not resolved.is_file():
+        raise ModelError(f"model artifact not found: {resolved}")
+    digest = hashlib.sha256()
+    with open(resolved, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+def resolve_artifact(
+    path: Path, cache: bool = True
+) -> tuple[str, "QueryPerformancePredictor"]:
+    """Load a model artifact, deduplicated by content fingerprint.
+
+    Returns ``(fingerprint, service)``.  With ``cache=True`` (default)
+    repeated calls for unchanged bytes return the already-loaded
+    service; when the file changed on disk — e.g. a retrain overwrote
+    it — the stale entry is evicted and the artifact is reloaded, so a
+    cached service can never outlive its bytes.  The loaded service
+    carries the fingerprint as ``service.artifact_fingerprint``.
+    """
+    resolved = str(Path(path).resolve())
+    fingerprint = artifact_fingerprint(Path(resolved))
+    if cache:
+        entry = _ARTIFACT_CACHE.get(resolved)
+        if entry is not None and entry[0] == fingerprint:
+            return entry
+    service = QueryPerformancePredictor.load(Path(resolved))
+    service.artifact_fingerprint = fingerprint
+    if cache:
+        _ARTIFACT_CACHE[resolved] = (fingerprint, service)
+    return fingerprint, service
+
+
+def clear_artifact_cache() -> None:
+    """Drop every cached artifact service (test helper)."""
+    _ARTIFACT_CACHE.clear()

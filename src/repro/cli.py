@@ -22,6 +22,9 @@ Commands:
 * ``pools``    — run a workload and print the Figure 2 pool table;
 * ``metrics``  — print the process metrics registry (with ``--demo``
   to populate it first);
+* ``serve``    — run the long-lived prediction daemon: HTTP/JSON,
+  micro-batched forecasts, prediction-driven admission control, hot
+  reload on SIGHUP (see docs/SERVING.md);
 * ``workload`` — inspect declarative workload specs:
   ``validate`` (schema + vocabulary checks, exit 1 on errors),
   ``describe`` (families, weights, templates) and ``sample``
@@ -56,7 +59,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import obs
-from repro.api import QueryPerformancePredictor
+from repro.api import QueryPerformancePredictor, resolve_artifact
 from repro.engine import Executor
 from repro.engine.system import production_32node, research_4node
 from repro.errors import ReproError, WorkloadSpecError
@@ -252,6 +255,69 @@ def build_parser() -> argparse.ArgumentParser:
              "registry has something to show",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the prediction serving daemon (docs/SERVING.md)"
+    )
+    serve.add_argument(
+        "--model", metavar="ARTIFACT",
+        help="model artifact to serve (hot-reloadable via SIGHUP or "
+             "/admin/reload); omit to train an in-memory model first",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks an ephemeral port (default 8765)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="micro-batch size cap (default 32)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch collection window in ms (default 2.0)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=512,
+        help="queued-statement cap before shedding 503s (default 512)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=None, metavar="PRED_S_PER_S",
+        help="per-client admission quota in predicted seconds of query "
+             "work per wall second (default: quotas off)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="per-client quota burst (default 60x the rate)",
+    )
+    serve.add_argument(
+        "--heavy-seconds", type=float, default=None,
+        help="predicted elapsed time above which a query is a bowling "
+             "ball eligible for shedding under load (default: off)",
+    )
+    serve.add_argument(
+        "--shed-inflight", type=int, default=32,
+        help="shed bowling balls while more requests than this are in "
+             "flight (default 32)",
+    )
+    serve.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="p99 latency target reported at /admin/status",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=200,
+        help="training workload size when no --model (default 200)",
+    )
+    serve.add_argument(
+        "--two-step", action="store_true",
+        help="use type-specific two-step models when training in-memory",
+    )
+    serve.add_argument(
+        "--fallback", action="store_true",
+        help="serve through a degrading fallback chain",
+    )
+
     workload = sub.add_parser(
         "workload", help="validate, describe or sample workload specs"
     )
@@ -302,7 +368,9 @@ def _service(args, config) -> QueryPerformancePredictor:
     """A trained service: loaded from ``--model``, cached, or trained."""
     artifact = getattr(args, "model", None)
     if artifact:
-        return QueryPerformancePredictor.load(Path(artifact))
+        # Fingerprint-validated: a retrain that overwrote the file is
+        # picked up instead of serving the stale cached model.
+        return resolve_artifact(Path(artifact))[1]
     print(_NO_ARTIFACT_HINT, file=sys.stderr)
     fallback = getattr(args, "fallback", False)
     key = (args.workload, args.scale, args.seed, args.system, args.queries,
@@ -355,7 +423,7 @@ def _lint_command(args, config) -> int:
         return 2
     vocabulary = None
     if args.model:
-        service = QueryPerformancePredictor.load(Path(args.model))
+        service = resolve_artifact(Path(args.model))[1]
         optimizer = service.optimizer
         vocabulary = service.pipeline.metadata.get("operator_vocabulary")
     else:
@@ -472,7 +540,49 @@ def _workload_command(args) -> int:
     return 0
 
 
+def _serve_command(args, config) -> int:
+    """``repro serve``: run the prediction daemon until interrupted."""
+    import threading
+
+    from repro.serve import PredictionDaemon, ServeConfig
+
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        heavy_seconds=args.heavy_seconds,
+        shed_inflight=args.shed_inflight,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+    if args.model:
+        daemon = PredictionDaemon(
+            artifact=Path(args.model), config=serve_config
+        )
+    else:
+        daemon = PredictionDaemon(
+            service=_service(args, config), config=serve_config
+        )
+    host, port = daemon.start()
+    print(f"serving on http://{host}:{port}  (model {daemon.model_version})")
+    print("endpoints: /healthz /metrics /admin/status /v1/forecast "
+          "/v1/forecast_batch /admin/reload; SIGHUP reloads the artifact",
+          file=sys.stderr)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("draining and shutting down...", file=sys.stderr)
+    finally:
+        daemon.stop()
+    return 0
+
+
 def _dispatch(args, config) -> int:
+    if args.command == "serve":
+        return _serve_command(args, config)
     if args.command == "workload":
         return _workload_command(args)
     if args.command == "plan":

@@ -142,3 +142,33 @@ class CorpusBuildError(ReproError):
         super().__init__(message)
         self.query_id = query_id
         self.completed = completed
+
+
+class ServeError(ReproError):
+    """Raised for prediction-serving daemon failures (bad config, no
+    artifact to reload, shutdown races)."""
+
+
+class ServeRejectedError(ServeError):
+    """Client-side error for an admission-control rejection (429/503).
+
+    Carries the machine-readable retry hints the daemon returned, so a
+    caller can back off without parsing the response body itself.
+
+    Attributes:
+        status: the HTTP status code (429 quota, 503 shed/overload).
+        retry_after_s: the daemon's suggested backoff in seconds.
+        payload: the full decoded JSON error body.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 503,
+        retry_after_s: float = 0.0,
+        payload: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+        self.payload = payload or {}

@@ -51,6 +51,7 @@ __all__ = [
     "bench_fault_site_overhead",
     "bench_plan_lint_overhead",
     "bench_workload_families",
+    "bench_serving",
     "run_benchmarks",
     "format_report",
 ]
@@ -63,7 +64,11 @@ __all__ = [
 #: scaling, only overhead) and the report gained the ``data_plane``
 #: section (attach-vs-rebuild worker init, chunked task overhead, warm
 #: pool reuse).
-BENCH_SCHEMA_VERSION = 3
+#: v4: the report gained the ``serving`` section — seeded load drills
+#: against the live HTTP daemon at several micro-batch sizes, reporting
+#: p50/p99 request latency, the request→batch collapse factor and
+#: rejected/dropped counts (docs/SERVING.md).
+BENCH_SCHEMA_VERSION = 4
 
 
 def machine_info() -> dict:
@@ -703,6 +708,78 @@ def bench_workload_families(
 
 
 # ----------------------------------------------------------------------
+# Serving daemon: batch-size vs latency tradeoff
+# ----------------------------------------------------------------------
+
+
+def bench_serving(
+    n_requests: int = 120,
+    batch_sizes: Sequence[int] = (1, 8, 32),
+    n_train: int = 120,
+    scale: float = 0.05,
+    seed: int = 31,
+    max_workers: int = 16,
+    max_wait_ms: float = 25.0,
+) -> dict:
+    """Measure the serving daemon's micro-batching tradeoff.
+
+    One service is trained once; for each ``max_batch`` a fresh daemon
+    is started on an ephemeral port and the *same* seeded request
+    schedule (:func:`repro.serve.generate_load`) is replayed against it
+    unpaced through ``max_workers`` concurrent clients.  Reported per
+    batch size: p50/p99 request latency, how many kernel-cross batches
+    the requests collapsed into, and rejected/dropped counts (a healthy
+    drill drops nothing).  ``max_batch=1`` is the no-batching baseline.
+    """
+    from repro.api import QueryPerformancePredictor
+    from repro.serve import PredictionDaemon, ServeConfig, generate_load, run_load
+
+    service = QueryPerformancePredictor.train_on_workload(
+        n_queries=n_train, scale=scale, seed=seed
+    )
+    schedule = generate_load(n_requests, seed=seed)
+    rows = []
+    for max_batch in batch_sizes:
+        config = ServeConfig(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms if max_batch > 1 else 0.0,
+            metrics=False,
+        )
+        daemon = PredictionDaemon(service=service, config=config)
+        address = daemon.start()
+        try:
+            report = run_load(address, schedule, max_workers=max_workers)
+            stats = daemon.batcher.stats()
+        finally:
+            daemon.stop()
+        batches = stats["batches"]
+        rows.append(
+            {
+                "max_batch": max_batch,
+                "requests": report.total,
+                "ok": report.ok,
+                "rejected": report.rejected,
+                "dropped": report.dropped,
+                "batches": batches,
+                "mean_batch_size": stats["mean_batch_size"],
+                "collapse_factor": (
+                    round(report.total / batches, 3) if batches else None
+                ),
+                "p50_ms": report.percentile_ms(50),
+                "p99_ms": report.percentile_ms(99),
+            }
+        )
+    return {
+        "n_requests": n_requests,
+        "n_train": n_train,
+        "scale": scale,
+        "max_workers": max_workers,
+        "max_wait_ms": max_wait_ms,
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -747,6 +824,9 @@ def run_benchmarks(
         workload_families = bench_workload_families(
             workloads=("tpcds", "oltp"), n_queries=32
         )
+        serving = bench_serving(
+            n_requests=40, batch_sizes=(1, 8), n_train=60, max_workers=8
+        )
     else:
         data_plane = bench_data_plane()
         corpus = bench_corpus_build(jobs_list=(1, jobs))
@@ -756,6 +836,7 @@ def run_benchmarks(
         resilience = bench_fault_site_overhead()
         static_analysis = bench_plan_lint_overhead()
         workload_families = bench_workload_families()
+        serving = bench_serving()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -770,6 +851,7 @@ def run_benchmarks(
         "resilience": resilience,
         "static_analysis": static_analysis,
         "workloads": workload_families,
+        "serving": serving,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -932,4 +1014,20 @@ def format_report(report: dict) -> str:
                     f"    {family:<14} n={stats['n']:<3} "
                     f"within-20% {stats['within_20pct_elapsed']:.2f}"
                 )
+    serving = report.get("serving")
+    if serving is not None:
+        lines.append("")
+        lines.append(
+            f"serving daemon ({serving['n_requests']} requests, "
+            f"{serving['max_workers']} concurrent clients, seeded load):"
+        )
+        for row in serving["rows"]:
+            collapse = row["collapse_factor"]
+            lines.append(
+                f"  max_batch={row['max_batch']:<4} "
+                f"p50 {row['p50_ms']:7.2f}ms  p99 {row['p99_ms']:7.2f}ms  "
+                f"{row['requests']} req -> {row['batches']} batches "
+                f"({collapse if collapse is not None else '?'}x collapse, "
+                f"{row['rejected']} rejected, {row['dropped']} dropped)"
+            )
     return "\n".join(lines)

@@ -68,6 +68,8 @@ REGISTERED_SITES = frozenset(
         "artifact.read",
         "artifact.write",
         "optimizer.optimize",
+        "serve.handler",
+        "serve.batch",
     }
 )
 

@@ -1,0 +1,35 @@
+"""Prediction serving: HTTP daemon, micro-batching, admission control.
+
+The operational layer over :class:`repro.api.QueryPerformancePredictor`
+(ROADMAP item 1): a stdlib-only HTTP/JSON daemon that micro-batches
+concurrent clients onto the one-kernel-cross ``forecast_many`` path,
+meters clients with prediction-driven admission control, hot-reloads
+artifacts without dropping requests, and exposes Prometheus metrics +
+SLO reporting.  See docs/SERVING.md.
+
+This package is the only place in the codebase allowed to import
+``socket`` / ``http.server`` / ``http.client`` (lint rule RD012).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.serve.batcher import MicroBatcher, QueueFullError
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import PredictionDaemon, forecast_payload
+from repro.serve.loadgen import LoadReport, LoadRequest, generate_load, run_load
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "MicroBatcher",
+    "QueueFullError",
+    "ServeClient",
+    "ServeConfig",
+    "PredictionDaemon",
+    "forecast_payload",
+    "LoadReport",
+    "LoadRequest",
+    "generate_load",
+    "run_load",
+]

@@ -1,0 +1,224 @@
+"""Micro-batching collector for the serving daemon.
+
+Handler threads :meth:`~MicroBatcher.submit` their statements and block
+on an event; a single collector thread coalesces everything in flight
+into one batch — up to ``max_batch`` statements, waiting at most
+``max_wait_s`` for stragglers — and runs the daemon's batch predict
+function **once** per batch.  That is the whole point: N concurrent
+requests cost one kernel cross through ``forecast_many`` instead of N
+(the property ``tests/test_serve.py`` asserts by counting crosses).
+
+The batcher knows nothing about HTTP or models; it moves lists of SQL
+between threads.  Failure of a batch fans the exception out to every
+pending request in it, and :meth:`stop` drains the queue FIFO before
+the collector exits so shutdown never strands a waiting handler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ServeError
+
+__all__ = ["PendingRequest", "MicroBatcher", "QueueFullError"]
+
+
+class QueueFullError(ServeError):
+    """The batcher's submission queue is at capacity (shed with 503)."""
+
+
+class PendingRequest:
+    """One submitted request waiting for its slice of a batch result."""
+
+    __slots__ = ("sqls", "client", "event", "results", "error")
+
+    def __init__(self, sqls: Sequence[str], client: str) -> None:
+        self.sqls = list(sqls)
+        self.client = client
+        self.event = threading.Event()
+        self.results: Optional[list] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, results: list) -> None:
+        self.results = results
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into single batch-predict calls.
+
+    Args:
+        predict_fn: called once per batch with the concatenated SQL
+            list; returns one result per statement, in order.  The
+            daemon passes a closure that snapshots the current model
+            runtime, so a hot reload mid-batch is atomic per batch.
+        max_batch: close a batch at this many statements.
+        max_wait_s: after the first statement arrives, wait at most
+            this long for more before predicting.
+        max_queue: cap on queued statements; beyond it submissions
+            raise :class:`QueueFullError`.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[list[str]], list],
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_queue: int = 512,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._predict_fn = predict_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.max_queue = int(max_queue)
+        self._clock = clock
+        self._queue: deque[PendingRequest] = deque()
+        self._queued_statements = 0
+        self._cond = threading.Condition()
+        self._stopping = False
+        self.batches = 0
+        self.batched_statements = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._collect, name="repro-serve-batcher", daemon=True
+        )
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    # -- producer side ---------------------------------------------------
+
+    def submit(self, sqls: Sequence[str], client: str = "") -> PendingRequest:
+        """Queue ``sqls`` for the next batch; returns the pending handle.
+
+        Raises:
+            QueueFullError: the queue is at ``max_queue`` statements.
+            ServeError: the batcher is stopping.
+        """
+        pending = PendingRequest(sqls, client)
+        with self._cond:
+            if self._stopping:
+                raise ServeError("batcher is stopping; submission refused")
+            if self._queued_statements + len(pending.sqls) > self.max_queue:
+                raise QueueFullError(
+                    f"serve queue full ({self._queued_statements} statements "
+                    f"queued, cap {self.max_queue})"
+                )
+            self._queue.append(pending)
+            self._queued_statements += len(pending.sqls)
+            self._cond.notify_all()
+        return pending
+
+    def depth(self) -> int:
+        """Statements currently queued (not yet handed to predict)."""
+        with self._cond:
+            return self._queued_statements
+
+    # -- collector side --------------------------------------------------
+
+    def _take_batch(self) -> Optional[list[PendingRequest]]:
+        """Block until a batch is ready; None when stopped and drained."""
+        with self._cond:
+            while not self._queue and not self._stopping:
+                self._cond.wait()
+            if not self._queue:
+                return None  # stopping and drained
+            batch = [self._queue.popleft()]
+            size = len(batch[0].sqls)
+            deadline = self._clock() + self.max_wait_s
+            while size < self.max_batch and not self._stopping:
+                if self._queue:
+                    if size + len(self._queue[0].sqls) > self.max_batch:
+                        break
+                    pending = self._queue.popleft()
+                    batch.append(pending)
+                    size += len(pending.sqls)
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            self._queued_statements -= size
+            return batch
+
+    def _run_batch(self, batch: list[PendingRequest]) -> None:
+        sqls = [sql for pending in batch for sql in pending.sqls]
+        try:
+            results = list(self._predict_fn(sqls))
+        except BaseException as error:  # fan the failure out, keep running
+            for pending in batch:
+                pending.fail(error)
+            return
+        if len(results) != len(sqls):
+            error = ServeError(
+                f"batch predict returned {len(results)} results "
+                f"for {len(sqls)} statements"
+            )
+            for pending in batch:
+                pending.fail(error)
+            return
+        self.batches += 1
+        self.batched_statements += len(sqls)
+        self.largest_batch = max(self.largest_batch, len(sqls))
+        cursor = 0
+        for pending in batch:
+            pending.resolve(results[cursor : cursor + len(pending.sqls)])
+            cursor += len(pending.sqls)
+
+    def _collect(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    # -- shutdown --------------------------------------------------------
+
+    def stop(self, drain: bool = True, timeout_s: float = 10.0) -> bool:
+        """Stop the collector; optionally drain queued requests first.
+
+        With ``drain=True`` the collector keeps batching until the
+        queue is empty, so every already-accepted request still gets a
+        real answer.  With ``drain=False`` queued requests are failed
+        immediately.  Returns True when the collector thread exited
+        within ``timeout_s``.
+        """
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                while self._queue:
+                    pending = self._queue.popleft()
+                    self._queued_statements -= len(pending.sqls)
+                    pending.fail(ServeError("daemon shutting down"))
+            self._cond.notify_all()
+        if not self._started:
+            return True
+        self._thread.join(timeout=timeout_s)
+        return not self._thread.is_alive()
+
+    def stats(self) -> dict:
+        """JSON-able batching counters for ``/admin/status``."""
+        with self._cond:
+            queued = self._queued_statements
+        batches = self.batches
+        statements = self.batched_statements
+        return {
+            "batches": batches,
+            "batched_statements": statements,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": round(statements / batches, 3) if batches else 0.0,
+            "queued_statements": queued,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_s * 1e3,
+        }

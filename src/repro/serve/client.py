@@ -1,0 +1,146 @@
+"""Minimal client for the prediction serving daemon.
+
+A thin ``http.client`` wrapper used by the test suite, the load
+generator and examples — one synchronous request per call, structured
+rejections surfaced as :class:`~repro.errors.ServeRejectedError` so a
+caller backs off on the daemon's own ``retry_after_s`` hint instead of
+parsing response bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Optional
+
+from repro.errors import ServeError, ServeRejectedError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Synchronous JSON client for one daemon address.
+
+    Args:
+        host: daemon host.
+        port: daemon port.
+        timeout_s: per-request socket timeout.
+        client_id: admission-control identity sent with every request
+            (``X-Repro-Client``); defaults to the daemon seeing the
+            peer address.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.client_id = client_id
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple[int, dict]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"}
+            if self.client_id:
+                headers["X-Repro-Client"] = self.client_id
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError):
+                document = {"raw": raw.decode("utf-8", "replace")}
+            return response.status, document
+        finally:
+            connection.close()
+
+    def _request_text(self, method: str, path: str) -> tuple[int, str]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            connection.request(method, path)
+            response = connection.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _raise_for(status: int, document: dict) -> None:
+        if status in (429, 503):
+            raise ServeRejectedError(
+                document.get("error", "rejected"),
+                status=status,
+                retry_after_s=float(document.get("retry_after_s", 0.0)),
+                payload=document,
+            )
+        raise ServeError(
+            f"daemon answered {status}: {document.get('error', document)}"
+        )
+
+    # -- forecasting -----------------------------------------------------
+
+    def forecast(self, sql: str) -> dict:
+        """Predict one statement; returns the decoded success payload.
+
+        Raises:
+            ServeRejectedError: admission/overload rejection (429/503)
+                with the daemon's retry hints attached.
+            ServeError: any other non-200 answer.
+        """
+        status, document = self._request(
+            "POST", "/v1/forecast", {"sql": sql}
+        )
+        if status != 200:
+            self._raise_for(status, document)
+        return document
+
+    def forecast_batch(self, sqls: list[str]) -> dict:
+        """Predict many statements in one request (one micro-batch)."""
+        status, document = self._request(
+            "POST", "/v1/forecast_batch", {"sqls": list(sqls)}
+        )
+        if status != 200:
+            self._raise_for(status, document)
+        return document
+
+    def try_forecast(self, sql: str) -> tuple[int, dict]:
+        """Non-raising variant: returns ``(status, payload)`` as-is."""
+        return self._request("POST", "/v1/forecast", {"sql": sql})
+
+    # -- admin / introspection -------------------------------------------
+
+    def health(self) -> dict:
+        status, document = self._request_text("GET", "/healthz")
+        if status != 200:
+            raise ServeError(f"healthz answered {status}")
+        return json.loads(document)
+
+    def status(self) -> dict:
+        status, document = self._request("GET", "/admin/status")
+        if status != 200:
+            self._raise_for(status, document)
+        return document
+
+    def metrics_text(self) -> str:
+        status, text = self._request_text("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics answered {status}")
+        return text
+
+    def reload(self, artifact: Optional[str] = None) -> dict:
+        body = {"artifact": artifact} if artifact else {}
+        status, document = self._request("POST", "/admin/reload", body)
+        if status != 200:
+            raise ServeError(
+                f"reload failed ({status}): {document.get('detail', document)}"
+            )
+        return document

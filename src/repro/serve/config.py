@@ -1,0 +1,103 @@
+"""Tunable knobs for the prediction serving daemon.
+
+One frozen dataclass holds every serving parameter — network binding,
+micro-batching, admission control, breaker policy and SLO target — so a
+daemon's behaviour is fully described by a single value that tests, the
+CLI and the bench harness can construct and log.  See docs/SERVING.md
+for the operational meaning of each knob and the measured batching
+tradeoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServeError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-daemon configuration.
+
+    Attributes:
+        host: interface to bind (default loopback).
+        port: TCP port; 0 binds an ephemeral port (the daemon reports
+            the actual one via ``address`` after start).
+        max_batch: micro-batch size cap — the collector closes a batch
+            once this many statements are gathered.
+        max_wait_ms: how long the collector holds an open batch waiting
+            for more requests before predicting with what it has.  The
+            batching latency/throughput dial: 0 disables coalescing.
+        max_queue: bound on queued (not yet batched) requests; further
+            submissions are shed with 503 + retry hints.
+        request_timeout_s: how long a handler waits for its batch result
+            before answering 503.
+        drain_timeout_s: how long shutdown waits for in-flight requests
+            to finish after the queue has drained.
+        quota_rate: per-client admission budget refill, in *predicted
+            seconds of query work per wall second*; None disables
+            quotas.  The paper's use case: the predictions themselves
+            meter each client's workload.
+        quota_burst: per-client budget cap (predicted seconds); defaults
+            to ``60 * quota_rate`` when quotas are on.
+        heavy_seconds: predicted elapsed time above which a query is a
+            "bowling ball"; None disables weight classification.
+        shed_inflight: shed bowling balls with 503 while more than this
+            many requests are in flight (feathers always fast-lane).
+        retry_after_s: baseline retry hint attached to shed responses.
+        breaker_failures: consecutive batch-path failures that open the
+            daemon's serving breaker.
+        breaker_reset_s: open time before the serving breaker half-opens.
+        slo_p99_ms: target p99 request latency for the ``/admin/status``
+            SLO section; None reports percentiles without a verdict.
+        metrics: enable the process metrics registry on start so
+            ``/metrics`` has live instruments (serving metrics are
+            always recorded either way).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 512
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    quota_rate: Optional[float] = None
+    quota_burst: Optional[float] = None
+    heavy_seconds: Optional[float] = None
+    shed_inflight: int = 32
+    retry_after_s: float = 1.0
+    breaker_failures: int = 5
+    breaker_reset_s: float = 30.0
+    slo_p99_ms: Optional[float] = None
+    metrics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ServeError("max_wait_ms must be non-negative")
+        if self.max_queue < 1:
+            raise ServeError("max_queue must be >= 1")
+        if self.request_timeout_s <= 0:
+            raise ServeError("request_timeout_s must be positive")
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ServeError("quota_rate must be positive when set")
+        if self.heavy_seconds is not None and self.heavy_seconds <= 0:
+            raise ServeError("heavy_seconds must be positive when set")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1e3
+
+    @property
+    def effective_quota_burst(self) -> Optional[float]:
+        """The burst cap actually applied when quotas are enabled."""
+        if self.quota_rate is None:
+            return None
+        if self.quota_burst is not None:
+            return self.quota_burst
+        return 60.0 * self.quota_rate

@@ -1,0 +1,645 @@
+"""The prediction serving daemon: HTTP/JSON over the batch predict path.
+
+``PredictionDaemon`` wraps a trained
+:class:`~repro.api.QueryPerformancePredictor` in a stdlib
+``ThreadingHTTPServer`` and multiplexes every concurrent client onto
+the one-kernel-cross ``forecast_many`` path through a
+:class:`~repro.serve.batcher.MicroBatcher`.  After each prediction an
+:class:`~repro.serve.admission.AdmissionController` reviews the
+forecast — per-client quotas and bowling-ball shedding, the paper's own
+workload-management use case — and rejections come back as 429/503 with
+machine-readable retry hints, never bare 500s.
+
+Model artifacts hot-reload on SIGHUP or ``POST /admin/reload`` by
+swapping an immutable ``_Runtime`` snapshot; in-flight batches hold the
+old snapshot, so a reload never drops or mixes responses (every
+response names the ``model_version`` that produced it).
+
+Endpoints::
+
+    GET  /healthz             liveness + model version
+    GET  /metrics             Prometheus text exposition
+    GET  /admin/status        batching/admission/breaker/SLO snapshot
+    POST /v1/forecast         {"sql": "...", "client": "..."}
+    POST /v1/forecast_batch   {"sqls": [...], "client": "..."}
+    POST /admin/reload        {"artifact": "path"}  (optional body)
+
+See docs/SERVING.md for the operational guide.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.engine.metrics import METRIC_NAMES
+from repro.errors import InjectedFault, ReproError, ServeError
+from repro.obs.metrics import Histogram, enable_metrics, get_registry
+from repro.obs.trace import span
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_site
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import MicroBatcher, QueueFullError
+from repro.serve.config import ServeConfig
+
+__all__ = ["PredictionDaemon", "forecast_payload"]
+
+
+def forecast_payload(forecast) -> dict:
+    """JSON-able view of a :class:`~repro.api.Forecast`.
+
+    Floats pass through ``json`` at full ``repr`` precision, so a
+    decoded payload compares bitwise-equal to the in-process forecast —
+    the property the black-box identity tests rely on.
+    """
+    confidence = None
+    if forecast.confidence is not None:
+        confidence = {
+            "distance": float(forecast.confidence.distance),
+            "zscore": float(forecast.confidence.zscore),
+            "anomalous": bool(forecast.confidence.anomalous),
+        }
+    return {
+        "metrics": {
+            name: float(getattr(forecast.metrics, name))
+            for name in METRIC_NAMES
+        },
+        "category": forecast.category,
+        "optimizer_cost": float(forecast.optimizer_cost),
+        "confidence": confidence,
+        "served_by": forecast.served_by,
+        "warnings": [
+            {
+                "rule_id": warning.rule_id,
+                "operator": warning.operator,
+                "message": warning.message,
+                "severity": warning.severity,
+            }
+            for warning in forecast.warnings
+        ],
+    }
+
+
+class _Runtime:
+    """An immutable (service, version) snapshot.
+
+    Reload builds a new ``_Runtime`` and swaps the daemon's reference;
+    batches snapshot the reference once, so every statement in a batch
+    is served by exactly one model version.
+    """
+
+    __slots__ = ("service", "version")
+
+    def __init__(self, service, version: str) -> None:
+        self.service = service
+        self.version = version
+
+
+class _Server(ThreadingHTTPServer):
+    """One thread per connection, with a deep accept backlog.
+
+    The stock backlog of 5 resets connections when a burst of clients
+    connects at once — exactly the serving scenario — so it is raised
+    well past the admission layer's own shedding thresholds (the daemon
+    rejects with structured 429/503s, never TCP resets).
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class _Response(Exception):
+    """Control-flow carrier for a non-200 structured response."""
+
+    def __init__(
+        self, status: int, reason: str, retry_after_s: float = 0.0, **extra
+    ) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.payload = {"error": reason, **extra}
+        if retry_after_s > 0:
+            self.payload["retry_after_s"] = round(retry_after_s, 3)
+        self.retry_after_s = retry_after_s
+
+
+class PredictionDaemon:
+    """Long-running serving daemon over a trained predictor.
+
+    Args:
+        service: an already-trained predictor to serve (in-memory mode;
+            hot reload then requires an explicit artifact path).
+        artifact: path to a saved model artifact; loaded through
+            :func:`repro.api.resolve_artifact`, whose content digest
+            becomes the served ``model_version``.
+        config: all serving knobs (:class:`~repro.serve.config.ServeConfig`).
+        clock: monotonic time source, injectable for tests (shared with
+            the admission controller and serving breaker).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        artifact: Optional[Path] = None,
+        config: Optional[ServeConfig] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if service is None and artifact is None:
+            raise ServeError("PredictionDaemon needs a service or an artifact")
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self._artifact_path = Path(artifact) if artifact is not None else None
+        self._generation = 0
+        if service is not None:
+            self._runtime = _Runtime(service, self._memory_version())
+        else:
+            self._runtime = self._load_runtime(self._artifact_path)
+        self._reload_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._stopping = False
+        self._started_at: Optional[float] = None
+        self.reloads = 0
+        self.requests_total = 0
+        self.requests_ok = 0
+        self.requests_rejected = 0
+        self.requests_failed = 0
+        self._latency = Histogram(
+            "serve_request_seconds", "per-request serving latency"
+        )
+        self.breaker = CircuitBreaker(
+            name="serve_batch",
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout=self.config.breaker_reset_s,
+            clock=clock,
+        )
+        self.admission = AdmissionController(
+            quota_rate=self.config.quota_rate,
+            quota_burst=self.config.effective_quota_burst,
+            heavy_seconds=self.config.heavy_seconds,
+            shed_inflight=self.config.shed_inflight,
+            retry_after_s=self.config.retry_after_s,
+            clock=clock,
+        )
+        self.batcher = MicroBatcher(
+            self._predict_batch,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+            max_queue=self.config.max_queue,
+            clock=clock,
+        )
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._previous_sighup = None
+
+    # -- model runtime ---------------------------------------------------
+
+    def _memory_version(self) -> str:
+        self._generation += 1
+        return f"mem-{self._generation}"
+
+    def _load_runtime(self, path: Path) -> _Runtime:
+        from repro.api import resolve_artifact
+
+        fingerprint, service = resolve_artifact(path)
+        return _Runtime(service, fingerprint)
+
+    @property
+    def model_version(self) -> str:
+        return self._runtime.version
+
+    def reload(self, artifact: Optional[Path] = None) -> str:
+        """Atomically swap in a (re)loaded artifact; returns its version.
+
+        In-flight batches keep the runtime they snapshotted, so no
+        request is ever dropped or served by a mix of versions.
+        """
+        with self._reload_lock:
+            path = Path(artifact) if artifact is not None else self._artifact_path
+            if path is None:
+                raise ServeError(
+                    "no artifact to reload: daemon serves an in-memory "
+                    "service; pass an artifact path"
+                )
+            runtime = self._load_runtime(path)
+            self._artifact_path = path
+            self._runtime = runtime
+            self.reloads += 1
+            get_registry().counter(
+                "repro_serve_reloads_total", "model hot reloads"
+            ).inc()
+            return runtime.version
+
+    def swap_service(self, service, version: Optional[str] = None) -> str:
+        """Swap an in-memory service (test/embedding hook); returns its
+        version label."""
+        with self._reload_lock:
+            runtime = _Runtime(service, version or self._memory_version())
+            self._runtime = runtime
+            self.reloads += 1
+            return runtime.version
+
+    def _predict_batch(self, sqls: list[str]) -> list:
+        """One micro-batch → one ``forecast_many`` call (one kernel
+        cross), tagged with the runtime version that served it."""
+        fault_site("serve.batch", n=len(sqls))
+        runtime = self._runtime
+        with span("serve.batch", n=len(sqls)):
+            forecasts = runtime.service.forecast_many(sqls)
+        return [(forecast, runtime.version) for forecast in forecasts]
+
+    # -- request path ----------------------------------------------------
+
+    def handle_forecast(self, sqls: Sequence[str], client: str) -> dict:
+        """Predict ``sqls`` for ``client`` through the batch path.
+
+        Returns the success payload; raises :class:`_Response` for every
+        structured non-200 outcome (shed, quota, breaker, fault).
+        """
+        with self._state_lock:
+            self._inflight += 1
+            inflight = self._inflight
+        try:
+            fault_site("serve.handler", client=client, n=len(sqls))
+            if self._stopping:
+                raise _Response(
+                    503, "shutting_down", retry_after_s=self.config.retry_after_s
+                )
+            if not self.breaker.allow():
+                raise _Response(
+                    503,
+                    "breaker_open",
+                    retry_after_s=max(
+                        self.config.retry_after_s, self.config.breaker_reset_s
+                    ),
+                    breaker=self.breaker.status(),
+                )
+            try:
+                pending = self.batcher.submit(sqls, client)
+            except QueueFullError as error:
+                raise _Response(
+                    503,
+                    "queue_full",
+                    retry_after_s=self.config.retry_after_s,
+                    detail=str(error),
+                ) from error
+            except ServeError as error:
+                raise _Response(
+                    503, "shutting_down", retry_after_s=self.config.retry_after_s
+                ) from error
+            if not pending.event.wait(self.config.request_timeout_s):
+                raise _Response(
+                    503,
+                    "request_timeout",
+                    retry_after_s=self.config.retry_after_s,
+                )
+            if pending.error is not None:
+                self.breaker.record_failure(str(pending.error))
+                if isinstance(pending.error, (InjectedFault, ReproError)):
+                    raise _Response(
+                        503,
+                        "prediction_failed",
+                        retry_after_s=self.config.retry_after_s,
+                        detail=str(pending.error),
+                        breaker=self.breaker.status(),
+                    )
+                raise pending.error
+            self.breaker.record_success()
+            results = pending.results
+            predicted_seconds = sum(
+                float(forecast.metrics.elapsed_time) for forecast, _ in results
+            )
+            decision = self.admission.review(client, predicted_seconds, inflight)
+            if not decision.admitted:
+                raise _Response(
+                    decision.status,
+                    decision.reason,
+                    retry_after_s=decision.retry_after_s,
+                    admission=decision.to_payload(),
+                    predicted_seconds=predicted_seconds,
+                )
+            return {
+                "forecasts": [forecast_payload(f) for f, _ in results],
+                "model_version": results[0][1],
+                "served_by": results[0][0].served_by,
+                "weight_class": decision.weight_class,
+                "predicted_seconds": predicted_seconds,
+                "client": client,
+            }
+        except InjectedFault as error:
+            self.breaker.record_failure(str(error))
+            raise _Response(
+                503,
+                "injected_fault",
+                retry_after_s=self.config.retry_after_s,
+                detail=str(error),
+            ) from error
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+
+    def dispatch_forecast(self, sqls: Sequence[str], client: str) -> tuple[int, dict]:
+        """Full request path with accounting; returns (status, payload)."""
+        start = self._clock()
+        try:
+            payload = self.handle_forecast(sqls, client)
+            status = 200
+        except _Response as response:
+            status, payload = response.status, response.payload
+        except ReproError as error:
+            status = 503
+            payload = {
+                "error": "prediction_failed",
+                "detail": str(error),
+                "retry_after_s": self.config.retry_after_s,
+            }
+        except Exception as error:  # never leak a stack trace as a bare 500
+            status = 500
+            payload = {"error": "internal", "detail": str(error)}
+        elapsed = self._clock() - start
+        self._latency.observe(elapsed)
+        registry = get_registry()
+        registry.histogram(
+            "repro_serve_request_seconds", "serving request latency"
+        ).observe(elapsed)
+        registry.counter("repro_serve_requests_total", "serving requests").inc()
+        with self._state_lock:
+            self.requests_total += 1
+            if status == 200:
+                self.requests_ok += 1
+            elif status in (429, 503):
+                self.requests_rejected += 1
+                registry.counter(
+                    "repro_serve_rejections_total", "rejected requests"
+                ).inc()
+            else:
+                self.requests_failed += 1
+                registry.counter(
+                    "repro_serve_errors_total", "failed requests"
+                ).inc()
+        return status, payload
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``/admin/status`` document."""
+        with self._state_lock:
+            inflight = self._inflight
+            counters = {
+                "total": self.requests_total,
+                "ok": self.requests_ok,
+                "rejected": self.requests_rejected,
+                "failed": self.requests_failed,
+            }
+        percentiles = self._latency.percentiles()
+        p99_ms = percentiles["p99"] * 1e3
+        slo = {
+            "p50_ms": round(percentiles["p50"] * 1e3, 3),
+            "p99_ms": round(p99_ms, 3),
+            "target_p99_ms": self.config.slo_p99_ms,
+            "met": (
+                None
+                if self.config.slo_p99_ms is None or not self.requests_total
+                else p99_ms <= self.config.slo_p99_ms
+            ),
+        }
+        service = self._runtime.service
+        return {
+            "model_version": self.model_version,
+            "artifact": (
+                str(self._artifact_path) if self._artifact_path else None
+            ),
+            "uptime_s": (
+                round(self._clock() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+            "stopping": self._stopping,
+            "inflight": inflight,
+            "reloads": self.reloads,
+            "requests": counters,
+            "slo": slo,
+            "batcher": self.batcher.stats(),
+            "admission": self.admission.status(),
+            "breaker": self.breaker.status(),
+            "resilience": service.resilience_status(),
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise ServeError("daemon is not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start the batcher + HTTP threads, return the address."""
+        if self._server is not None:
+            raise ServeError("daemon already started")
+        if self.config.metrics:
+            enable_metrics()
+        server = _Server((self.config.host, self.config.port), _RequestHandler)
+        server.repro_daemon = self  # type: ignore[attr-defined]
+        self._server = server
+        self.batcher.start()
+        self._server_thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._started_at = self._clock()
+        self._install_sighup()
+        return self.address
+
+    def _install_sighup(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def _on_sighup(signum, frame) -> None:
+            def _reload() -> None:
+                try:
+                    self.reload()
+                except ReproError:
+                    pass  # surfaced via /admin/status reload counter
+
+            threading.Thread(
+                target=_reload, name="repro-serve-sighup", daemon=True
+            ).start()
+
+        self._previous_sighup = signal.signal(signal.SIGHUP, _on_sighup)
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: refuse new work, drain the queue, close the socket."""
+        if self._server is None:
+            return
+        self._stopping = True
+        self.batcher.stop(drain=drain, timeout_s=self.config.drain_timeout_s)
+        deadline = self._clock() + self.config.drain_timeout_s
+        while self._clock() < deadline:
+            with self._state_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.005)
+        self._server.shutdown()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+        self._server.server_close()
+        self._server = None
+        self._server_thread = None
+        if self._previous_sighup is not None:
+            signal.signal(signal.SIGHUP, self._previous_sighup)
+            self._previous_sighup = None
+
+    def __enter__(self) -> "PredictionDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP mechanics; every decision lives in the daemon."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self) -> PredictionDaemon:
+        return self.server.repro_daemon  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the daemon's own metrics replace access logging
+
+    def _send_json(
+        self, status: int, payload: dict, retry_after_s: float = 0.0
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s > 0:
+            self.send_header("Retry-After", str(max(1, round(retry_after_s))))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    def _client_id(self, body: dict) -> str:
+        return str(
+            body.get("client")
+            or self.headers.get("X-Repro-Client")
+            or self.client_address[0]
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            daemon = self.daemon
+            if self.path == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "stopping" if daemon._stopping else "ok",
+                        "model_version": daemon.model_version,
+                    },
+                )
+            elif self.path == "/metrics":
+                self._send_text(
+                    200,
+                    get_registry().render_prometheus(),
+                    "text/plain; version=0.0.4",
+                )
+            elif self.path == "/admin/status":
+                self._send_json(200, daemon.status())
+            else:
+                self._send_json(404, {"error": "not_found", "path": self.path})
+        except Exception as error:
+            self._send_json(500, {"error": "internal", "detail": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            daemon = self.daemon
+            try:
+                body = self._read_json()
+            except (ValueError, UnicodeDecodeError) as error:
+                self._send_json(400, {"error": "bad_json", "detail": str(error)})
+                return
+            if self.path == "/v1/forecast":
+                sql = body.get("sql")
+                if not isinstance(sql, str) or not sql.strip():
+                    self._send_json(
+                        400, {"error": "bad_request", "detail": "missing 'sql'"}
+                    )
+                    return
+                status, payload = daemon.dispatch_forecast(
+                    [sql], self._client_id(body)
+                )
+                if status == 200:
+                    payload = dict(payload)
+                    payload["forecast"] = payload.pop("forecasts")[0]
+                self._send_json(
+                    status, payload, payload.get("retry_after_s", 0.0)
+                )
+            elif self.path == "/v1/forecast_batch":
+                sqls = body.get("sqls")
+                if (
+                    not isinstance(sqls, list)
+                    or not sqls
+                    or not all(isinstance(s, str) and s.strip() for s in sqls)
+                ):
+                    self._send_json(
+                        400,
+                        {
+                            "error": "bad_request",
+                            "detail": "'sqls' must be a non-empty list of SQL",
+                        },
+                    )
+                    return
+                status, payload = daemon.dispatch_forecast(
+                    sqls, self._client_id(body)
+                )
+                self._send_json(
+                    status, payload, payload.get("retry_after_s", 0.0)
+                )
+            elif self.path == "/admin/reload":
+                artifact = body.get("artifact")
+                try:
+                    version = daemon.reload(artifact)
+                except ReproError as error:
+                    self._send_json(
+                        409, {"error": "reload_failed", "detail": str(error)}
+                    )
+                    return
+                self._send_json(
+                    200, {"status": "reloaded", "model_version": version}
+                )
+            else:
+                self._send_json(404, {"error": "not_found", "path": self.path})
+        except Exception as error:
+            try:
+                self._send_json(500, {"error": "internal", "detail": str(error)})
+            except OSError:
+                pass  # client went away mid-response

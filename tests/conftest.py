@@ -55,3 +55,26 @@ def mini_corpus(tpcds_catalog, config):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def serve_service(tpcds_catalog, config, mini_corpus):
+    """A trained predictor for serving tests (fit once per session)."""
+    from repro.api import QueryPerformancePredictor
+
+    service = QueryPerformancePredictor(tpcds_catalog, config=config)
+    service.fit_corpus(mini_corpus)
+    return service
+
+
+@pytest.fixture()
+def load_schedule():
+    """Deterministic request schedules: seeded arrivals, no wall-clock.
+
+    Returns :func:`repro.serve.generate_load` — the same generator
+    ``scripts/bench.py`` drives — so every serve/chaos drill replays an
+    identical request stream for a given ``(n, seed)``.
+    """
+    from repro.serve.loadgen import generate_load
+
+    return generate_load

@@ -1,0 +1,8 @@
+"""RD012 clean: network access goes through the repro.serve client."""
+
+from repro.serve import ServeClient
+
+
+def fetch(host: str, port: int) -> dict:
+    client = ServeClient(host, port)
+    return client.health()

@@ -63,6 +63,7 @@ PAIRS = [
     ("rd009", "RD009", CORE_PATH),
     ("rd010", "RD010", NEUTRAL_PATH),
     ("rd011", "RD011", NEUTRAL_PATH),
+    ("rd012", "RD012", NEUTRAL_PATH),
 ]
 
 
@@ -128,6 +129,10 @@ class TestRuleScoping:
     def test_rd011_exempts_ioutils(self):
         source = (FIXTURES / "rd011_bad.py").read_text()
         assert lint_source(source, "repro/ioutils.py", CODE_RULES) == []
+
+    def test_rd012_exempts_the_serve_package(self):
+        source = (FIXTURES / "rd012_bad.py").read_text()
+        assert lint_source(source, "repro/serve/fixture.py", CODE_RULES) == []
 
     def test_rd006_ignores_on_without_resilience_import(self):
         source = 'plan.on("bogus.site", mode="raise")\n'

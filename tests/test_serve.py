@@ -1,0 +1,734 @@
+"""Black-box tests for the prediction serving daemon.
+
+Every daemon in this file listens on a real loopback socket (port 0 →
+ephemeral) and is exercised through :class:`repro.serve.ServeClient` —
+the same HTTP/JSON surface an external workload manager would use.  The
+headline guarantees:
+
+* concurrent clients land in shared micro-batches (asserted by counting
+  ``gaussian_kernel_cross`` invocations — N requests, < N crosses);
+* a served forecast is bitwise-identical to an in-process
+  ``service.forecast`` call;
+* admission rejections are structured 429/503s with machine-readable
+  retry hints, never bare 500s;
+* hot reload swaps artifacts atomically — responses are never dropped
+  and never mix model versions;
+* shutdown drains the queue before closing the socket.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+import repro.core.predictor as predictor_module
+from repro.api import (
+    QueryPerformancePredictor,
+    artifact_fingerprint,
+    clear_artifact_cache,
+    resolve_artifact,
+)
+from repro.errors import ServeError, ServeRejectedError
+from repro.serve import (
+    AdmissionController,
+    MicroBatcher,
+    PredictionDaemon,
+    QueueFullError,
+    ServeClient,
+    ServeConfig,
+    TokenBucket,
+)
+from repro.serve.loadgen import run_load
+
+SQL_LIGHT = "SELECT count(*) AS c FROM store_sales ss WHERE ss.ss_quantity > 30"
+SQL_JOIN = (
+    "SELECT i.i_category, sum(ss.ss_net_profit) AS total FROM store_sales ss "
+    "JOIN item i ON ss.ss_item_sk = i.i_item_sk GROUP BY i.i_category"
+)
+
+
+def start_daemon(service, **overrides) -> PredictionDaemon:
+    """A daemon on an ephemeral loopback port with test-friendly knobs."""
+    defaults = dict(max_batch=8, max_wait_ms=20.0, metrics=True)
+    defaults.update(overrides)
+    daemon = PredictionDaemon(service=service, config=ServeConfig(**defaults))
+    daemon.start()
+    return daemon
+
+
+def client_for(daemon: PredictionDaemon, client_id="test") -> ServeClient:
+    host, port = daemon.address
+    return ServeClient(host, port, timeout_s=30.0, client_id=client_id)
+
+
+# ----------------------------------------------------------------------
+# Plumbing: health, metrics, error shapes
+# ----------------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_healthz_reports_model_version(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            health = client_for(daemon).health()
+            assert health["status"] == "ok"
+            assert health["model_version"] == daemon.model_version
+        finally:
+            daemon.stop()
+
+    def test_metrics_exposes_prometheus_text(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            client.forecast(SQL_LIGHT)
+            text = client.metrics_text()
+        finally:
+            daemon.stop()
+        assert "repro_serve_requests_total" in text
+        # Valid exposition text: every non-comment line is "name value".
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            assert name and value, line
+            float(value)
+
+    def test_unknown_path_is_structured_404(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            status, payload = client._request("POST", "/v1/nope", {})
+            assert status == 404
+            assert payload["error"] == "not_found"
+        finally:
+            daemon.stop()
+
+    def test_bad_json_and_missing_sql_are_400(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            status, payload = client._request("POST", "/v1/forecast", {})
+            assert (status, payload["error"]) == (400, "bad_request")
+            status, payload = client._request(
+                "POST", "/v1/forecast_batch", {"sqls": []}
+            )
+            assert (status, payload["error"]) == (400, "bad_request")
+        finally:
+            daemon.stop()
+
+    def test_admin_status_shape(self, serve_service):
+        daemon = start_daemon(serve_service, slo_p99_ms=30_000.0)
+        try:
+            client = client_for(daemon)
+            client.forecast(SQL_LIGHT)
+            status = client.status()
+        finally:
+            daemon.stop()
+        for key in (
+            "model_version", "uptime_s", "inflight", "requests", "slo",
+            "batcher", "admission", "breaker", "resilience",
+        ):
+            assert key in status, key
+        assert status["requests"]["ok"] >= 1
+        assert status["slo"]["p99_ms"] >= status["slo"]["p50_ms"] >= 0
+        assert status["slo"]["met"] is True
+        assert status["breaker"]["state"] == "closed"
+
+
+# ----------------------------------------------------------------------
+# Prediction identity and micro-batching
+# ----------------------------------------------------------------------
+
+
+class TestPredictions:
+    def test_served_forecast_bitwise_equals_direct(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            payload = client_for(daemon).forecast(SQL_JOIN)
+        finally:
+            daemon.stop()
+        direct = serve_service.forecast(SQL_JOIN)
+        served = payload["forecast"]["metrics"]
+        for name, value in served.items():
+            assert value == float(getattr(direct.metrics, name)), name
+        assert payload["forecast"]["category"] == direct.category
+        assert payload["forecast"]["optimizer_cost"] == float(
+            direct.optimizer_cost
+        )
+
+    def test_batch_endpoint_bitwise_equals_sequential(self, serve_service):
+        sqls = [SQL_LIGHT, SQL_JOIN, SQL_LIGHT]
+        daemon = start_daemon(serve_service)
+        try:
+            payload = client_for(daemon).forecast_batch(sqls)
+        finally:
+            daemon.stop()
+        assert len(payload["forecasts"]) == 3
+        for served, sql in zip(payload["forecasts"], sqls):
+            direct = serve_service.forecast(sql)
+            for name, value in served["metrics"].items():
+                assert value == float(getattr(direct.metrics, name)), name
+
+    def test_concurrent_requests_share_micro_batches(self, serve_service):
+        n_clients = 12
+        calls = []
+        original = predictor_module.gaussian_kernel_cross
+
+        def counting(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return original(*args, **kwargs)
+
+        daemon = start_daemon(
+            serve_service, max_batch=n_clients, max_wait_ms=250.0
+        )
+        barrier = threading.Barrier(n_clients)
+        results = []
+
+        def one(index: int) -> None:
+            client = client_for(daemon, client_id=f"c{index}")
+            barrier.wait()
+            results.append(client.forecast(SQL_LIGHT))
+
+        predictor_module.gaussian_kernel_cross = counting
+        try:
+            threads = [
+                threading.Thread(target=one, args=(i,))
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            predictor_module.gaussian_kernel_cross = original
+            daemon.stop()
+        assert len(results) == n_clients
+        # The whole point of micro-batching: far fewer kernel crosses
+        # than requests (a full collapse is 1; scheduling may split it).
+        assert 1 <= len(calls) < n_clients
+        assert daemon.batcher.largest_batch > 1
+
+    def test_32_concurrent_clients_all_answered(self, serve_service):
+        n_clients = 32
+        daemon = start_daemon(
+            serve_service, max_batch=16, max_wait_ms=50.0, max_queue=256
+        )
+        barrier = threading.Barrier(n_clients)
+        outcomes = []
+        lock = threading.Lock()
+
+        def one(index: int) -> None:
+            client = client_for(daemon, client_id=f"c{index}")
+            barrier.wait()
+            payload = client.forecast(SQL_LIGHT)
+            with lock:
+                outcomes.append(payload["model_version"])
+
+        try:
+            threads = [
+                threading.Thread(target=one, args=(i,))
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = daemon.batcher.stats()
+        finally:
+            daemon.stop()
+        assert len(outcomes) == n_clients
+        assert set(outcomes) == {daemon.model_version}
+        assert stats["batches"] < n_clients
+        assert stats["largest_batch"] > 1
+
+    def test_single_and_batched_results_identical(self, serve_service):
+        """The same statement answered solo and inside a shared batch
+        must produce byte-identical numbers (batching is pure routing)."""
+        daemon = start_daemon(serve_service, max_batch=1, max_wait_ms=0.0)
+        try:
+            solo = client_for(daemon).forecast(SQL_JOIN)["forecast"]
+        finally:
+            daemon.stop()
+        daemon = start_daemon(serve_service, max_batch=8, max_wait_ms=100.0)
+        try:
+            batched = client_for(daemon).forecast_batch(
+                [SQL_LIGHT, SQL_JOIN, SQL_LIGHT]
+            )["forecasts"][1]
+        finally:
+            daemon.stop()
+        assert solo["metrics"] == batched["metrics"]
+        assert solo["optimizer_cost"] == batched["optimizer_cost"]
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_quota_exhaustion_returns_429_with_retry_hint(self, serve_service):
+        daemon = start_daemon(
+            serve_service, quota_rate=0.001, quota_burst=0.001
+        )
+        try:
+            client = client_for(daemon, client_id="greedy")
+            with pytest.raises(ServeRejectedError) as excinfo:
+                for _ in range(50):
+                    client.forecast(SQL_JOIN)
+        finally:
+            daemon.stop()
+        rejection = excinfo.value
+        assert rejection.status == 429
+        assert rejection.retry_after_s > 0
+        assert rejection.payload["error"] == "quota_exhausted"
+        assert rejection.payload["admission"]["reason"] == "quota_exhausted"
+
+    def test_quota_is_per_client(self, serve_service):
+        daemon = start_daemon(
+            serve_service, quota_rate=0.001, quota_burst=0.001
+        )
+        try:
+            greedy = client_for(daemon, client_id="greedy")
+            with pytest.raises(ServeRejectedError):
+                for _ in range(50):
+                    greedy.forecast(SQL_JOIN)
+            # A different client still has its own full bucket.
+            fresh = client_for(daemon, client_id="fresh")
+            assert fresh.forecast(SQL_LIGHT)["weight_class"] == "feather"
+            status = daemon.admission.status()
+        finally:
+            daemon.stop()
+        assert status["quota_rejections"] >= 1
+        assert "greedy" in status["clients"] and "fresh" in status["clients"]
+
+    def test_heavy_queries_are_classified_bowling_ball(self, serve_service):
+        predicted = serve_service.forecast(SQL_JOIN).metrics.elapsed_time
+        daemon = start_daemon(
+            serve_service, heavy_seconds=predicted / 2.0, shed_inflight=64
+        )
+        try:
+            payload = client_for(daemon).forecast(SQL_JOIN)
+        finally:
+            daemon.stop()
+        assert payload["weight_class"] == "bowling_ball"
+        assert payload["predicted_seconds"] > predicted / 2.0
+
+    def test_retry_after_header_on_rejection(self, serve_service):
+        daemon = start_daemon(
+            serve_service, quota_rate=0.001, quota_burst=0.001,
+            retry_after_s=7.0,
+        )
+        try:
+            client = client_for(daemon, client_id="greedy")
+            status = 200
+            for _ in range(50):
+                status, payload = client.try_forecast(SQL_JOIN)
+                if status != 200:
+                    break
+            assert status == 429
+            assert payload["retry_after_s"] >= 7.0
+        finally:
+            daemon.stop()
+
+
+class TestAdmissionUnits:
+    """Sleep-free unit coverage via the injectable clock."""
+
+    def test_token_bucket_refills_on_fake_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=10.0, clock=lambda: now[0])
+        ok, _ = bucket.try_charge(10.0)
+        assert ok
+        ok, retry = bucket.try_charge(4.0)
+        assert not ok
+        assert retry == pytest.approx(2.0)
+        now[0] += 2.0  # 4 tokens refilled
+        ok, _ = bucket.try_charge(4.0)
+        assert ok
+
+    def test_controller_sheds_heavy_only_under_load(self):
+        controller = AdmissionController(
+            heavy_seconds=10.0, shed_inflight=4, clock=lambda: 0.0
+        )
+        light = controller.review("c", 1.0, inflight=100)
+        assert light.admitted and light.weight_class == "feather"
+        heavy_idle = controller.review("c", 60.0, inflight=1)
+        assert heavy_idle.admitted
+        heavy_busy = controller.review("c", 60.0, inflight=5)
+        assert not heavy_busy.admitted
+        assert heavy_busy.status == 503
+        assert heavy_busy.reason == "shed_heavy"
+        assert heavy_busy.retry_after_s >= 60.0
+
+    def test_shed_does_not_charge_quota(self):
+        controller = AdmissionController(
+            quota_rate=1.0, quota_burst=100.0, heavy_seconds=10.0,
+            shed_inflight=0, clock=lambda: 0.0,
+        )
+        controller.review("c", 50.0, inflight=1)  # shed, not charged
+        decision = controller.review("c", 50.0, inflight=0)  # admitted
+        assert decision.admitted
+        assert controller._bucket("c").balance() == pytest.approx(50.0)
+
+
+# ----------------------------------------------------------------------
+# Batcher units (fake clock, no daemon)
+# ----------------------------------------------------------------------
+
+
+class TestBatcherUnits:
+    def test_queue_full_raises(self):
+        batcher = MicroBatcher(lambda sqls: sqls, max_queue=2)
+        # Collector not started: submissions just queue up.
+        batcher.submit(["a"])
+        batcher.submit(["b"])
+        with pytest.raises(QueueFullError):
+            batcher.submit(["c"])
+
+    def test_submit_after_stop_is_refused(self):
+        batcher = MicroBatcher(lambda sqls: sqls)
+        batcher.start()
+        assert batcher.stop()
+        with pytest.raises(ServeError):
+            batcher.submit(["a"])
+
+    def test_stop_drains_queued_requests(self):
+        batcher = MicroBatcher(lambda sqls: [s.upper() for s in sqls])
+        first = batcher.submit(["a", "b"])
+        second = batcher.submit(["c"])
+        batcher.start()
+        assert batcher.stop(drain=True)
+        assert first.results == ["A", "B"]
+        assert second.results == ["C"]
+
+    def test_stop_without_drain_fails_queued_pendings(self):
+        # Collector never started: the pending is provably still queued
+        # when the no-drain stop clears the queue.
+        batcher = MicroBatcher(lambda sqls: sqls)
+        pending = batcher.submit(["a"])
+        assert batcher.stop(drain=False)
+        assert pending.event.is_set()
+        assert isinstance(pending.error, ServeError)
+        assert batcher.depth() == 0
+
+    def test_batch_error_fans_out_to_all_pendings(self):
+        def boom(sqls):
+            raise ValueError("model fell over")
+
+        batcher = MicroBatcher(boom, max_batch=8, max_wait_s=0.0)
+        first = batcher.submit(["a"])
+        second = batcher.submit(["b"])
+        batcher.start()
+        assert first.event.wait(5) and second.event.wait(5)
+        assert isinstance(first.error, ValueError)
+        assert isinstance(second.error, ValueError)
+        batcher.stop()
+
+    def test_result_length_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda sqls: [1], max_wait_s=0.0)
+        pending = batcher.submit(["a", "b"])
+        batcher.start()
+        assert pending.event.wait(5)
+        assert isinstance(pending.error, ServeError)
+        batcher.stop()
+
+
+# ----------------------------------------------------------------------
+# Hot reload
+# ----------------------------------------------------------------------
+
+
+def train_artifact(tmp_path, name, tpcds_catalog, config, mini_corpus, **kw):
+    service = QueryPerformancePredictor(tpcds_catalog, config=config, **kw)
+    # Embed the session catalog's recipe (set before fit_corpus, which
+    # snapshots it into the pipeline metadata) so load()/resolve_artifact
+    # can rebuild the environment from the artifact alone.
+    service._catalog_spec = {
+        "kind": "tpcds", "scale_factor": 0.15, "seed": 123,
+    }
+    service.fit_corpus(mini_corpus)
+    path = tmp_path / name
+    service.save(path)
+    return path, service
+
+
+class TestHotReload:
+    def test_admin_reload_swaps_model_version(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        path_a, _ = train_artifact(
+            tmp_path, "a.npz", tpcds_catalog, config, mini_corpus
+        )
+        path_b, _ = train_artifact(
+            tmp_path, "b.npz", tpcds_catalog, config, mini_corpus,
+            k_neighbors=5,
+        )
+        daemon = PredictionDaemon(
+            artifact=path_a, config=ServeConfig(max_batch=4)
+        )
+        daemon.start()
+        try:
+            client = client_for(daemon)
+            version_a = client.health()["model_version"]
+            assert version_a == artifact_fingerprint(path_a)
+            reloaded = client.reload(str(path_b))
+            assert reloaded["model_version"] == artifact_fingerprint(path_b)
+            assert client.health()["model_version"] != version_a
+        finally:
+            daemon.stop()
+
+    def test_reload_without_artifact_is_structured_409(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            status, payload = client._request("POST", "/admin/reload", {})
+            assert status == 409
+            assert payload["error"] == "reload_failed"
+        finally:
+            daemon.stop()
+
+    def test_sighup_triggers_reload(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        path_a, service_a = train_artifact(
+            tmp_path, "a.npz", tpcds_catalog, config, mini_corpus
+        )
+        path_b, _ = train_artifact(
+            tmp_path, "b.npz", tpcds_catalog, config, mini_corpus,
+            k_neighbors=5,
+        )
+        daemon = PredictionDaemon(artifact=path_a, config=ServeConfig())
+        daemon.start()
+        try:
+            # Repoint the daemon's artifact path, then poke it with
+            # SIGHUP — the operational "new model dropped" signal.
+            daemon._artifact_path = path_b
+            signal.raise_signal(signal.SIGHUP)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if daemon.model_version == artifact_fingerprint(path_b):
+                    break
+                time.sleep(0.01)
+            assert daemon.model_version == artifact_fingerprint(path_b)
+        finally:
+            daemon.stop()
+
+    def test_reload_under_load_never_drops_or_mixes(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        path_a, service_a = train_artifact(
+            tmp_path, "a.npz", tpcds_catalog, config, mini_corpus
+        )
+        path_b, service_b = train_artifact(
+            tmp_path, "b.npz", tpcds_catalog, config, mini_corpus,
+            k_neighbors=5,
+        )
+        version_a = artifact_fingerprint(path_a)
+        version_b = artifact_fingerprint(path_b)
+        expected = {
+            version_a: float(service_a.forecast(SQL_JOIN).metrics.elapsed_time),
+            version_b: float(service_b.forecast(SQL_JOIN).metrics.elapsed_time),
+        }
+        daemon = PredictionDaemon(
+            artifact=path_a,
+            config=ServeConfig(max_batch=4, max_wait_ms=10.0),
+        )
+        host, port = daemon.start()
+        outcomes = []
+        lock = threading.Lock()
+        stop_firing = threading.Event()
+
+        def fire(index: int) -> None:
+            client = ServeClient(host, port, client_id=f"c{index}")
+            while not stop_firing.is_set():
+                payload = client.forecast(SQL_JOIN)
+                with lock:
+                    outcomes.append(
+                        (
+                            payload["model_version"],
+                            payload["forecast"]["metrics"]["elapsed_time"],
+                        )
+                    )
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            reload_client = ServeClient(host, port)
+            for _ in range(20):
+                if len(outcomes) >= 8:
+                    break
+                time.sleep(0.05)
+            reload_client.reload(str(path_b))
+            for _ in range(40):
+                with lock:
+                    if any(v == version_b for v, _ in outcomes):
+                        break
+                time.sleep(0.05)
+            stop_firing.set()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            stop_firing.set()
+            daemon.stop()
+        assert outcomes, "no responses collected"
+        versions = {version for version, _ in outcomes}
+        assert versions <= {version_a, version_b}
+        assert version_b in versions, "reload never took effect"
+        # No mixed responses: every answer matches the exact numbers of
+        # the version that claims to have served it.
+        for version, elapsed in outcomes:
+            assert elapsed == expected[version], (version, elapsed)
+
+
+# ----------------------------------------------------------------------
+# Shutdown
+# ----------------------------------------------------------------------
+
+
+class TestShutdown:
+    def test_stop_drains_inflight_requests(self, serve_service):
+        # A huge batch window: the collector holds the batch open, so
+        # the requests are provably still queued when stop() arrives.
+        daemon = start_daemon(serve_service, max_batch=8, max_wait_ms=5000.0)
+        host, port = daemon.address
+        results = []
+        lock = threading.Lock()
+
+        def one(index: int) -> None:
+            client = ServeClient(host, port, client_id=f"c{index}")
+            payload = client.forecast(SQL_LIGHT)
+            with lock:
+                results.append(payload["model_version"])
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if daemon.batcher.stats()["queued_statements"] >= 4:
+                break
+            time.sleep(0.005)
+        assert daemon.batcher.stats()["queued_statements"] >= 4
+        daemon.stop(drain=True)  # must answer the held batch, not drop it
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 4
+
+    def test_stopped_daemon_refuses_politely(self, serve_service):
+        daemon = start_daemon(serve_service)
+        daemon.stop()
+        with pytest.raises(ServeError):
+            daemon.address  # noqa: B018 (property raises once stopped)
+
+    def test_context_manager_lifecycle(self, serve_service):
+        with PredictionDaemon(
+            service=serve_service, config=ServeConfig()
+        ) as daemon:
+            payload = client_for(daemon).forecast(SQL_LIGHT)
+            assert payload["model_version"] == daemon.model_version
+        with pytest.raises(ServeError):
+            daemon.address  # noqa: B018
+
+
+# ----------------------------------------------------------------------
+# Load generator + drills
+# ----------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_schedule_is_deterministic(self, load_schedule):
+        first = load_schedule(50, seed=11, n_clients=3)
+        second = load_schedule(50, seed=11, n_clients=3)
+        assert first == second
+        assert [r.offset_s for r in first] == sorted(
+            r.offset_s for r in first
+        )
+        assert {r.client for r in first} <= {f"client-{i}" for i in range(3)}
+
+    def test_different_seeds_differ(self, load_schedule):
+        a = load_schedule(30, seed=1)
+        b = load_schedule(30, seed=2)
+        assert [r.sql for r in a] != [r.sql for r in b]
+
+    def test_load_drill_zero_drops(self, serve_service, load_schedule):
+        daemon = start_daemon(
+            serve_service, max_batch=16, max_wait_ms=10.0, max_queue=512
+        )
+        try:
+            schedule = load_schedule(60, seed=5, n_clients=4)
+            report = run_load(daemon.address, schedule, max_workers=8)
+            stats = daemon.batcher.stats()
+        finally:
+            daemon.stop()
+        assert report.total == 60
+        assert report.dropped == 0
+        assert report.ok == 60
+        assert stats["batches"] < 60  # micro-batching collapsed requests
+        summary = report.summary()
+        assert summary["p99_ms"] >= summary["p50_ms"] > 0
+
+
+# ----------------------------------------------------------------------
+# Artifact resolution (shared CLI/daemon fingerprint cache)
+# ----------------------------------------------------------------------
+
+
+class TestResolveArtifact:
+    def test_cache_hit_returns_same_service(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        clear_artifact_cache()
+        path, _ = train_artifact(
+            tmp_path, "m.npz", tpcds_catalog, config, mini_corpus
+        )
+        fingerprint_a, service_a = resolve_artifact(path)
+        fingerprint_b, service_b = resolve_artifact(path)
+        assert fingerprint_a == fingerprint_b == artifact_fingerprint(path)
+        assert service_a is service_b
+        assert service_a.artifact_fingerprint == fingerprint_a
+
+    def test_stale_cache_after_retrain_is_evicted(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        """Regression: retraining over the same path must invalidate the
+        in-process cache (previously the CLI served the stale model)."""
+        clear_artifact_cache()
+        path, _ = train_artifact(
+            tmp_path, "m.npz", tpcds_catalog, config, mini_corpus
+        )
+        fingerprint_old, service_old = resolve_artifact(path)
+        # Retrain with different hyperparameters and overwrite in place.
+        _, retrained = train_artifact(
+            tmp_path, "m.npz", tpcds_catalog, config, mini_corpus,
+            k_neighbors=5,
+        )
+        fingerprint_new, service_new = resolve_artifact(path)
+        assert fingerprint_new != fingerprint_old
+        assert service_new is not service_old
+        assert (
+            float(service_new.forecast(SQL_JOIN).metrics.elapsed_time)
+            == float(retrained.forecast(SQL_JOIN).metrics.elapsed_time)
+        )
+
+    def test_missing_artifact_is_model_error(self, tmp_path):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            artifact_fingerprint(tmp_path / "nope.npz")
+
+    def test_uncached_resolution_always_reloads(
+        self, tmp_path, tpcds_catalog, config, mini_corpus
+    ):
+        clear_artifact_cache()
+        path, _ = train_artifact(
+            tmp_path, "m.npz", tpcds_catalog, config, mini_corpus
+        )
+        _, service_a = resolve_artifact(path, cache=False)
+        _, service_b = resolve_artifact(path, cache=False)
+        assert service_a is not service_b

@@ -1,0 +1,223 @@
+"""Chaos drills for the serving daemon.
+
+The daemon exposes two registered fault sites — ``serve.handler`` (fires
+before a request enters the batch queue) and ``serve.batch`` (fires
+inside the collector, poisoning a whole micro-batch).  These tests arm
+:class:`~repro.resilience.faults.FaultPlan` against a live daemon on a
+real socket and assert the failure contract:
+
+* injected faults surface as *structured* 503s with retry hints, never
+  bare 500s or TCP resets, and the daemon keeps serving afterwards;
+* repeated batch failures trip the serving circuit breaker, which is
+  visible at ``/admin/status`` and converts later requests into fast
+  ``breaker_open`` rejections;
+* a daemon wrapping a :class:`FallbackChain` degrades *through* the
+  chain — a dead kcca stage means responses say ``served_by:
+  "regression"`` and still return 200;
+* a seeded chaos load drill produces only structured outcomes
+  (``dropped == 0``) even with faults firing mid-stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QueryPerformancePredictor
+from repro.errors import ServeRejectedError
+from repro.resilience.faults import (
+    REGISTERED_SITES,
+    FaultPlan,
+    armed,
+    site_registered,
+)
+from repro.serve.loadgen import run_load
+
+from tests.test_serve import SQL_LIGHT, client_for, start_daemon
+
+
+@pytest.fixture(scope="module")
+def fallback_service(tpcds_catalog, config, mini_corpus):
+    """A predictor serving through a FallbackChain (kcca → regression)."""
+    service = QueryPerformancePredictor(
+        tpcds_catalog, config=config, fallback=True
+    )
+    service.fit_corpus(mini_corpus)
+    return service
+
+
+class TestFaultSites:
+    def test_serve_sites_are_registered(self):
+        assert "serve.handler" in REGISTERED_SITES
+        assert "serve.batch" in REGISTERED_SITES
+        assert site_registered("serve.handler")
+        assert site_registered("serve.batch")
+
+    def test_plan_accepts_serve_sites(self):
+        plan = FaultPlan(seed=1).on("serve.handler", calls={1})
+        plan.on("serve.batch", rate=0.5)
+        assert plan is not None
+
+
+class TestHandlerFaults:
+    def test_handler_fault_is_structured_503_then_recovers(
+        self, serve_service
+    ):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            plan = FaultPlan(seed=7).on(
+                "serve.handler", mode="raise", calls={1}
+            )
+            with armed(plan):
+                with pytest.raises(ServeRejectedError) as excinfo:
+                    client.forecast(SQL_LIGHT)
+                assert excinfo.value.status == 503
+                assert excinfo.value.payload["error"] == "injected_fault"
+                assert excinfo.value.retry_after_s > 0
+                # Call 2 is clean: the daemon survived the fault.
+                payload = client.forecast(SQL_LIGHT)
+            assert payload["model_version"] == daemon.model_version
+            assert daemon.status()["inflight"] == 0
+        finally:
+            daemon.stop()
+
+    def test_handler_fault_never_becomes_a_500(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            plan = FaultPlan(seed=7).on(
+                "serve.handler", mode="raise", rate=1.0
+            )
+            with armed(plan):
+                for _ in range(3):
+                    status, payload = client.try_forecast(SQL_LIGHT)
+                    assert status == 503
+                    assert payload["error"] == "injected_fault"
+        finally:
+            daemon.stop()
+
+
+class TestBatchFaults:
+    def test_batch_fault_is_503_not_500_then_recovers(self, serve_service):
+        daemon = start_daemon(serve_service)
+        try:
+            client = client_for(daemon)
+            plan = FaultPlan(seed=3).on("serve.batch", mode="raise", calls={1})
+            with armed(plan):
+                status, payload = client.try_forecast(SQL_LIGHT)
+                assert status == 503
+                assert payload["error"] == "prediction_failed"
+                assert "retry_after_s" in payload
+                # The poisoned batch is gone; the next one predicts.
+                recovered = client.forecast(SQL_LIGHT)
+            assert recovered["forecast"]["metrics"]["elapsed_time"] > 0
+        finally:
+            daemon.stop()
+
+    def test_repeated_batch_faults_open_the_breaker(self, serve_service):
+        daemon = start_daemon(serve_service, breaker_failures=2)
+        try:
+            client = client_for(daemon)
+            plan = FaultPlan(seed=3).on("serve.batch", mode="raise", rate=1.0)
+            with armed(plan):
+                for _ in range(2):
+                    status, payload = client.try_forecast(SQL_LIGHT)
+                    assert status == 503
+                    assert payload["error"] == "prediction_failed"
+                # Threshold reached: the breaker now rejects up front,
+                # without paying for a doomed batch.
+                batches_before = daemon.batcher.stats()["batches"]
+                status, payload = client.try_forecast(SQL_LIGHT)
+                assert status == 503
+                assert payload["error"] == "breaker_open"
+                assert payload["breaker"]["state"] == "open"
+                assert daemon.batcher.stats()["batches"] == batches_before
+            assert daemon.status()["breaker"]["state"] == "open"
+        finally:
+            daemon.stop()
+
+    def test_breaker_state_visible_at_admin_status(self, serve_service):
+        daemon = start_daemon(serve_service, breaker_failures=1)
+        try:
+            client = client_for(daemon)
+            assert client.status()["breaker"]["state"] == "closed"
+            plan = FaultPlan(seed=3).on("serve.batch", mode="raise", calls={1})
+            with armed(plan):
+                status, _ = client.try_forecast(SQL_LIGHT)
+            assert status == 503
+            breaker = client.status()["breaker"]
+            assert breaker["state"] == "open"
+            assert breaker["open_count"] == 1
+            assert breaker["trip_reason"]
+        finally:
+            daemon.stop()
+
+
+class TestFallbackDegradation:
+    def test_dead_kcca_stage_degrades_to_regression(self, fallback_service):
+        daemon = start_daemon(fallback_service)
+        try:
+            client = client_for(daemon)
+            healthy = client.forecast(SQL_LIGHT)
+            assert healthy["served_by"] == "kcca"
+            plan = FaultPlan(seed=1).on(
+                "fallback.kcca", mode="raise", rate=1.0
+            )
+            with armed(plan):
+                degraded = client.forecast(SQL_LIGHT)
+            # Still a 200 — the chain absorbed the failure.
+            assert degraded["served_by"] == "regression"
+            assert degraded["forecast"]["served_by"] == "regression"
+            assert degraded["forecast"]["metrics"]["elapsed_time"] >= 0
+        finally:
+            daemon.stop()
+            fallback_service.resilience_status()  # chain is still alive
+
+    def test_fallback_breaker_reported_in_resilience_section(
+        self, fallback_service
+    ):
+        daemon = start_daemon(fallback_service, breaker_failures=50)
+        try:
+            client = client_for(daemon)
+            plan = FaultPlan(seed=1).on(
+                "fallback.kcca", mode="raise", rate=1.0
+            )
+            with armed(plan):
+                # FallbackChain defaults trip the kcca breaker after a
+                # few consecutive stage failures.
+                for _ in range(4):
+                    client.forecast(SQL_LIGHT)
+            resilience = client.status()["resilience"]
+            assert resilience is not None
+            assert resilience["last_served"] == "regression"
+            assert "kcca" in resilience["stages"]
+            # The serving breaker itself never tripped: every request
+            # was answered 200 by the chain.
+            assert client.status()["breaker"]["state"] == "closed"
+        finally:
+            daemon.stop()
+
+
+class TestChaosLoadDrill:
+    def test_faulty_load_is_all_structured_outcomes(
+        self, serve_service, load_schedule
+    ):
+        """With batch faults firing mid-stream, every request still gets
+        a structured answer: ok or rejected, never a dropped socket."""
+        daemon = start_daemon(serve_service, max_batch=4, max_wait_ms=5.0)
+        try:
+            schedule = load_schedule(40, seed=11, n_clients=3)
+            plan = FaultPlan(seed=5).on("serve.batch", mode="raise", rate=0.3)
+            with armed(plan):
+                report = run_load(daemon.address, schedule, max_workers=6)
+        finally:
+            daemon.stop()
+        summary = report.summary()
+        assert summary["total"] == 40
+        assert summary["dropped"] == 0
+        assert summary["ok"] + summary["rejected"] == 40
+        # The plan really fired — some requests were rejected…
+        assert summary["rejected"] > 0
+        assert summary["statuses"].get("503", 0) == summary["rejected"]
+        # …and the daemon still answers afterwards.
+        assert daemon.status()["stopping"] is True
