@@ -590,6 +590,61 @@ class NetworkOutsideServe(CodeRule):
                 return
 
 
+#: Files/dirs allowed to manage processes and signal dispositions
+#: (RD013): the serving supervisor and the resilience package.
+PROCESS_CONTROL_ALLOWLIST = (
+    "repro/serve/supervisor.py",
+    "repro/resilience/",
+)
+
+#: Calls that fork, kill or rebind signal handlers.
+_PROCESS_CONTROL_CALLS = frozenset(
+    {"os.kill", "os.fork", "os.forkpty", "signal.signal"}
+)
+
+
+class ProcessControlOutsideSupervisor(CodeRule):
+    """RD013: process control is confined to the serving supervisor.
+
+    ``os.fork``/``os.kill``/``signal.signal`` are global, process-wide
+    levers: a stray fork duplicates every thread-owned lock in an
+    undefined state, a stray signal handler silently replaces the
+    supervisor's SIGTERM drain or the daemon's SIGHUP reload, and a
+    stray kill bypasses the crash journal.  All of it belongs to
+    ``repro/serve/supervisor.py`` (which exposes
+    ``install_signal_handler`` for the one sanctioned use elsewhere)
+    and the resilience package's chaos machinery.
+    """
+
+    info = register(
+        RuleInfo(
+            id="RD013",
+            name="process-control-outside-supervisor",
+            severity="error",
+            pack="code",
+            summary="os.kill/os.fork/signal.signal outside the supervisor "
+            "and resilience packages",
+        )
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, context: LintContext) -> None:
+        assert isinstance(node, ast.Call)
+        if context.in_dir(*PROCESS_CONTROL_ALLOWLIST):
+            return
+        name = dotted_name(node.func)
+        if name in _PROCESS_CONTROL_CALLS:
+            self.report(
+                context,
+                node,
+                f"process-control call {name}() outside "
+                "repro/serve/supervisor.py and repro/resilience/; route "
+                "signal handling through "
+                "repro.serve.supervisor.install_signal_handler "
+                "(docs/SERVING.md)",
+            )
+
+
 #: Pack A, in rule-ID order (classes; instantiated per linted file).
 CODE_RULES = (
     UnseededDefaultRng,
@@ -604,4 +659,5 @@ CODE_RULES = (
     QueryTemplateLiteral,
     RawSharedMemory,
     NetworkOutsideServe,
+    ProcessControlOutsideSupervisor,
 )

@@ -63,6 +63,7 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.optimizer import Optimizer
 from repro.pipeline import PredictionPipeline
+from repro.resilience import deadline as _resilience_deadline
 from repro.resilience import fallback as _resilience_fallback
 from repro.resilience import faults as _resilience_faults
 from repro.storage.catalog import Catalog
@@ -483,25 +484,43 @@ class QueryPerformancePredictor:
         """Predict metrics plus category, confidence and optimizer cost."""
         return self.forecast_many([sql])[0]
 
-    def forecast_many(self, sqls: Sequence[str]) -> list[Forecast]:
+    def forecast_many(
+        self, sqls: Sequence[str], lint: bool = True
+    ) -> list[Forecast]:
         """Batched forecasts: N queries, one kernel-cross per model.
 
         The batch path end-to-end: plan all statements, build one feature
         matrix, project it once, and derive predictions and confidence
-        from the same projection.
+        from the same projection.  Each stage boundary is a cooperative
+        cancellation point against the caller's installed
+        :class:`~repro.resilience.deadline.Deadline` (the serving daemon
+        turns an expired budget into a structured 504), and each stage's
+        wall time is charged to the deadline's per-stage accounting.
+
+        Args:
+            sqls: the statements to forecast.
+            lint: run plan lint + vocabulary checks; the serving
+                degradation ladder disables them under pressure.
         """
         self._require_trained()
         with _obs_trace.span("api.forecast_many", n=len(sqls)) as current:
-            optimized = self.optimizer.optimize_many(sqls)
-            with _obs_trace.span("api.featurize", n=len(optimized)):
+            with _resilience_deadline.stage_scope("optimize"):
+                optimized = self.optimizer.optimize_many(sqls, lint=lint)
+            with _obs_trace.span("api.featurize", n=len(optimized)), \
+                    _resilience_deadline.stage_scope("featurize"):
                 features = plan_feature_matrix(
                     [opt.plan for opt in optimized]
                 )
             costs = np.array([opt.cost for opt in optimized])
-            scored = self._pipeline.score_many(features, optimizer_costs=costs)
+            with _resilience_deadline.stage_scope("predict"):
+                scored = self._pipeline.score_many(
+                    features, optimizer_costs=costs
+                )
             if scored and scored[0].stage is not None:
                 current.set(served_by=scored[0].stage)
-        vocabulary = self._pipeline.metadata.get("operator_vocabulary")
+        vocabulary = (
+            self._pipeline.metadata.get("operator_vocabulary") if lint else None
+        )
         forecasts = []
         for opt, score in zip(optimized, scored):
             metrics = PerformanceMetrics.from_vector(score.prediction)
@@ -570,6 +589,16 @@ class QueryPerformancePredictor:
         model = self._pipeline.model
         if isinstance(model, _resilience_fallback.FallbackChain):
             return model.status()
+        return None
+
+    def fallback_chain(self) -> Optional[_resilience_fallback.FallbackChain]:
+        """The serving :class:`FallbackChain`, or None for plain
+        predictors.  The serving daemon's degradation ladder uses this
+        to floor the chain at its cheaper stages under pressure."""
+        self._require_trained()
+        model = self._pipeline.model
+        if isinstance(model, _resilience_fallback.FallbackChain):
+            return model
         return None
 
     def measure(self, sql: str) -> PerformanceMetrics:

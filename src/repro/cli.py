@@ -24,7 +24,10 @@ Commands:
   to populate it first);
 * ``serve``    — run the long-lived prediction daemon: HTTP/JSON,
   micro-batched forecasts, prediction-driven admission control, hot
-  reload on SIGHUP (see docs/SERVING.md);
+  reload on SIGHUP; ``--supervised`` adds crash recovery on a shared
+  socket, ``--degrade`` the tiered degradation ladder, and
+  ``--default-deadline-ms`` end-to-end deadline budgets
+  (see docs/SERVING.md);
 * ``workload`` — inspect declarative workload specs:
   ``validate`` (schema + vocabulary checks, exit 1 on errors),
   ``describe`` (families, weights, templates) and ``sample``
@@ -317,6 +320,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--fallback", action="store_true",
         help="serve through a degrading fallback chain",
     )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="deadline budget for requests that carry none; spent "
+             "budgets answer 504 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--degrade", action="store_true",
+        help="enable the tiered degradation ladder (step service "
+             "quality down under sustained pressure, back up when calm)",
+    )
+    serve.add_argument(
+        "--degrade-force-tier", type=int, default=None, metavar="TIER",
+        help="pin the degradation ladder to one tier 0..3 (testing)",
+    )
+    serve.add_argument(
+        "--stale-cache-size", type=int, default=256,
+        help="bound on the tier-3 stale-prediction cache (default 256)",
+    )
+    serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the daemon as a supervised child: crash -> restart "
+             "with backoff on the same socket, crash loops give up "
+             "with a journal (docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="supervised restarts tolerated per window before giving "
+             "up (default 5)",
+    )
+    serve.add_argument(
+        "--restart-window-s", type=float, default=30.0,
+        help="crash-loop detection window in seconds (default 30)",
+    )
+    serve.add_argument(
+        "--crash-journal", metavar="PATH", default=None,
+        help="JSONL crash journal the supervisor appends spawn/exit/"
+             "restart/give-up events to",
+    )
 
     workload = sub.add_parser(
         "workload", help="validate, describe or sample workload specs"
@@ -544,7 +585,12 @@ def _serve_command(args, config) -> int:
     """``repro serve``: run the prediction daemon until interrupted."""
     import threading
 
-    from repro.serve import PredictionDaemon, ServeConfig
+    from repro.serve import (
+        PredictionDaemon,
+        ServeConfig,
+        Supervisor,
+        SupervisorConfig,
+    )
 
     serve_config = ServeConfig(
         host=args.host,
@@ -557,15 +603,54 @@ def _serve_command(args, config) -> int:
         heavy_seconds=args.heavy_seconds,
         shed_inflight=args.shed_inflight,
         slo_p99_ms=args.slo_p99_ms,
+        default_deadline_ms=args.default_deadline_ms,
+        degrade=args.degrade,
+        degrade_force_tier=args.degrade_force_tier,
+        stale_cache_size=args.stale_cache_size,
     )
-    if args.model:
-        daemon = PredictionDaemon(
-            artifact=Path(args.model), config=serve_config
-        )
-    else:
-        daemon = PredictionDaemon(
+
+    def build_daemon() -> PredictionDaemon:
+        if args.model:
+            return PredictionDaemon(
+                artifact=Path(args.model), config=serve_config
+            )
+        return PredictionDaemon(
             service=_service(args, config), config=serve_config
         )
+
+    if args.supervised:
+        supervisor = Supervisor(
+            build_daemon,
+            serve_config,
+            SupervisorConfig(
+                max_restarts=args.max_restarts,
+                restart_window_s=args.restart_window_s,
+                crash_journal=(
+                    Path(args.crash_journal) if args.crash_journal else None
+                ),
+            ),
+        )
+        host, port = supervisor.start()
+        print(
+            f"supervising on http://{host}:{port}  "
+            f"(child pid {supervisor.child_pid})"
+        )
+        print(
+            "crashes restart with backoff on the same socket; "
+            f"> {args.max_restarts} restarts/"
+            f"{args.restart_window_s:g}s gives up"
+            + (f"; journal: {args.crash_journal}" if args.crash_journal else ""),
+            file=sys.stderr,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("stopping supervisor and child...", file=sys.stderr)
+        finally:
+            supervisor.stop()
+        return 0
+
+    daemon = build_daemon()
     host, port = daemon.start()
     print(f"serving on http://{host}:{port}  (model {daemon.model_version})")
     print("endpoints: /healthz /metrics /admin/status /v1/forecast "

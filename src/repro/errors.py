@@ -144,19 +144,52 @@ class CorpusBuildError(ReproError):
         self.completed = completed
 
 
+class DeadlineExceededError(ReproError):
+    """Raised when a request's deadline budget is spent mid-pipeline.
+
+    Cooperative cancellation: raised at stage boundaries by
+    :meth:`repro.resilience.deadline.Deadline.check`, never by killing a
+    thread.  The serving daemon maps it to a structured 504.
+
+    Attributes:
+        stage: the pipeline stage at whose boundary the budget ran out
+            (``queue``, ``optimize``, ``featurize``, ``predict``, ...).
+        budget_ms: the request's total deadline budget.
+        elapsed_ms: how much wall time had elapsed at the check.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: str = "",
+        budget_ms: float = 0.0,
+        elapsed_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+
+
 class ServeError(ReproError):
     """Raised for prediction-serving daemon failures (bad config, no
     artifact to reload, shutdown races)."""
 
 
+class SupervisorError(ServeError):
+    """Raised for supervisor lifecycle failures (double start, fork
+    errors, crash-loop give-up)."""
+
+
 class ServeRejectedError(ServeError):
-    """Client-side error for an admission-control rejection (429/503).
+    """Client-side error for a structured rejection (429/503/504).
 
     Carries the machine-readable retry hints the daemon returned, so a
     caller can back off without parsing the response body itself.
 
     Attributes:
-        status: the HTTP status code (429 quota, 503 shed/overload).
+        status: the HTTP status code (429 quota, 503 shed/overload,
+            504 deadline expired).
         retry_after_s: the daemon's suggested backoff in seconds.
         payload: the full decoded JSON error body.
     """
@@ -172,3 +205,29 @@ class ServeRejectedError(ServeError):
         self.status = status
         self.retry_after_s = retry_after_s
         self.payload = payload or {}
+
+
+class ServeUnavailableError(ServeError):
+    """Client-side error for a transport-level failure reaching the
+    daemon (connection refused/reset, timeout) — the signature of a
+    supervisor restarting its child.
+
+    Unlike :class:`ServeRejectedError` (the daemon *answered* with a
+    structured rejection), this error means no structured response
+    arrived at all.  It still carries a ``retry_after_s`` hint so
+    callers can back off and retry against the supervised endpoint.
+
+    Attributes:
+        retry_after_s: suggested backoff before retrying.
+        cause: the underlying ``OSError`` (or None for timeouts).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.5,
+        cause: OSError | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.cause = cause

@@ -68,7 +68,10 @@ __all__ = [
 #: against the live HTTP daemon at several micro-batch sizes, reporting
 #: p50/p99 request latency, the request→batch collapse factor and
 #: rejected/dropped counts (docs/SERVING.md).
-BENCH_SCHEMA_VERSION = 4
+#: v5: serving rows gained ``degraded``/``degrade_tier`` and the drill
+#: gained a forced tier-2 (lean) run, so the report shows what the
+#: degradation ladder buys in p99 when the daemon sheds work.
+BENCH_SCHEMA_VERSION = 5
 
 
 def machine_info() -> dict:
@@ -730,6 +733,11 @@ def bench_serving(
     batch size: p50/p99 request latency, how many kernel-cross batches
     the requests collapsed into, and rejected/dropped counts (a healthy
     drill drops nothing).  ``max_batch=1`` is the no-batching baseline.
+
+    The final row replays the same schedule with the degradation ladder
+    pinned at tier 2 ("lean": no batch wait, no plan lint, regression
+    fallback floor) so the report quantifies what stepping down buys in
+    p99 relative to the full-fidelity tier-0 rows.
     """
     from repro.api import QueryPerformancePredictor
     from repro.serve import PredictionDaemon, ServeConfig, generate_load, run_load
@@ -739,11 +747,14 @@ def bench_serving(
     )
     schedule = generate_load(n_requests, seed=seed)
     rows = []
-    for max_batch in batch_sizes:
+
+    def drill(max_batch: int, force_tier: Optional[int]) -> dict:
         config = ServeConfig(
             max_batch=max_batch,
             max_wait_ms=max_wait_ms if max_batch > 1 else 0.0,
             metrics=False,
+            degrade=force_tier is not None,
+            degrade_force_tier=force_tier,
         )
         daemon = PredictionDaemon(service=service, config=config)
         address = daemon.start()
@@ -753,22 +764,26 @@ def bench_serving(
         finally:
             daemon.stop()
         batches = stats["batches"]
-        rows.append(
-            {
-                "max_batch": max_batch,
-                "requests": report.total,
-                "ok": report.ok,
-                "rejected": report.rejected,
-                "dropped": report.dropped,
-                "batches": batches,
-                "mean_batch_size": stats["mean_batch_size"],
-                "collapse_factor": (
-                    round(report.total / batches, 3) if batches else None
-                ),
-                "p50_ms": report.percentile_ms(50),
-                "p99_ms": report.percentile_ms(99),
-            }
-        )
+        return {
+            "max_batch": max_batch,
+            "degraded": force_tier is not None,
+            "degrade_tier": force_tier if force_tier is not None else 0,
+            "requests": report.total,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "dropped": report.dropped,
+            "batches": batches,
+            "mean_batch_size": stats["mean_batch_size"],
+            "collapse_factor": (
+                round(report.total / batches, 3) if batches else None
+            ),
+            "p50_ms": report.percentile_ms(50),
+            "p99_ms": report.percentile_ms(99),
+        }
+
+    for max_batch in batch_sizes:
+        rows.append(drill(max_batch, force_tier=None))
+    rows.append(drill(max(batch_sizes), force_tier=2))
     return {
         "n_requests": n_requests,
         "n_train": n_train,
@@ -1023,11 +1038,17 @@ def format_report(report: dict) -> str:
         )
         for row in serving["rows"]:
             collapse = row["collapse_factor"]
+            tier = (
+                f" [degraded tier {row['degrade_tier']}]"
+                if row.get("degraded")
+                else ""
+            )
             lines.append(
                 f"  max_batch={row['max_batch']:<4} "
                 f"p50 {row['p50_ms']:7.2f}ms  p99 {row['p99_ms']:7.2f}ms  "
                 f"{row['requests']} req -> {row['batches']} batches "
                 f"({collapse if collapse is not None else '?'}x collapse, "
                 f"{row['rejected']} rejected, {row['dropped']} dropped)"
+                f"{tier}"
             )
     return "\n".join(lines)

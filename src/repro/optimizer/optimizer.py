@@ -30,6 +30,7 @@ from repro.engine.system import SystemConfig
 from repro.errors import OptimizerError
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import span
+from repro.resilience.deadline import check_deadline
 from repro.resilience.faults import fault_site
 from repro.optimizer.cardinality import (
     RelEstimate,
@@ -109,15 +110,23 @@ class Optimizer:
 
     # ------------------------------------------------------------------
 
-    def optimize(self, query: Query | str) -> OptimizedQuery:
-        """Plan ``query`` (AST or SQL text) into a physical plan."""
+    def optimize(self, query: Query | str, lint: bool = True) -> OptimizedQuery:
+        """Plan ``query`` (AST or SQL text) into a physical plan.
+
+        Args:
+            query: the statement (AST or SQL text).
+            lint: run the Pack-B plan lint on the compiled plan.  The
+                serving daemon's degradation ladder disables it under
+                sustained pressure (docs/SERVING.md).
+        """
         with span("optimizer.optimize") as current:
+            check_deadline("optimize")
             fault_site("optimizer.optimize")
             if isinstance(query, str):
                 query = parse(query)
             plan, estimate, qualified = self._plan_block(query, top_level=True)
             cost = plan_cost(plan, self.catalog)
-            warnings = tuple(lint_plan(plan))
+            warnings = tuple(lint_plan(plan)) if lint else ()
             current.set(
                 tables=len(qualified.tables),
                 cost=float(cost),
@@ -139,16 +148,17 @@ class Optimizer:
             )
 
     def optimize_many(
-        self, queries: Sequence[Query | str]
+        self, queries: Sequence[Query | str], lint: bool = True
     ) -> list[OptimizedQuery]:
         """Plan a batch of queries against the same catalog snapshot.
 
         The batch entry point behind ``predict_many``/``forecast_many``:
         all plans are produced against one consistent view of the catalog
-        statistics, and callers get them in input order.
+        statistics, and callers get them in input order.  Each query is a
+        cooperative cancellation point for the caller's deadline.
         """
         with span("optimizer.optimize_many", n=len(queries)):
-            return [self.optimize(query) for query in queries]
+            return [self.optimize(query, lint=lint) for query in queries]
 
     # ------------------------------------------------------------------
     # Block planning

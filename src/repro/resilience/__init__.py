@@ -15,6 +15,12 @@ Four zero-dependency building blocks (see docs/ROBUSTNESS.md):
 * :mod:`repro.resilience.checkpoint` — :class:`BuildJournal`: an
   append-only journal that lets a killed ``build_corpus`` resume where
   it died, bitwise-identically;
+* :mod:`repro.resilience.deadline` — :class:`Deadline`: an end-to-end
+  request time budget threaded through ``optimize → featurize →
+  predict`` on a thread-local, checked cooperatively at stage
+  boundaries (a spent budget is a structured
+  :class:`~repro.errors.DeadlineExceededError`, never a killed thread)
+  with per-stage wall-time accounting;
 * :mod:`repro.resilience.fallback` — :class:`FallbackChain`: KCCA →
   per-metric regression → calibrated optimizer-cost heuristic, one
   :class:`CircuitBreaker` per stage, every prediction labelled with the
@@ -27,6 +33,13 @@ per site and existing outputs are byte-for-byte unchanged.
 
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.resilience.checkpoint import JOURNAL_FORMAT_VERSION, BuildJournal
+from repro.resilience.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    stage_scope,
+)
 from repro.resilience.fallback import (
     STAGE_NAMES,
     CostHeuristicPredictor,
@@ -62,6 +75,12 @@ __all__ = [
     "RetryPolicy",
     "DEFAULT_RETRYABLE",
     "DEFAULT_FATAL",
+    # deadlines
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+    "stage_scope",
     # circuit breaker
     "CircuitBreaker",
     "CLOSED",

@@ -1,0 +1,209 @@
+"""End-to-end deadline budgets with cooperative cancellation.
+
+A :class:`Deadline` is a monotonic budget attached to one request (or
+one serving micro-batch): it remembers when it started, how much wall
+time it was given, and how that time was spent per pipeline stage.  The
+production hot path never kills a thread — instead the stage boundaries
+(``optimize`` → ``featurize`` → ``predict``) call :func:`check_deadline`
+and a spent budget surfaces as a structured
+:class:`~repro.errors.DeadlineExceededError` which the serving daemon
+maps to a 504 (*never* a silently late answer).
+
+The current deadline travels on a thread-local, mirroring the
+``repro.obs`` span stack: :func:`deadline_scope` installs one for a
+block, :func:`current_deadline` reads it, and with no deadline installed
+every helper is a thread-local load plus a ``None`` check — the
+machinery lives in the hot path permanently at ~zero cost.
+
+Usage (what the serving batcher does)::
+
+    deadline = Deadline(budget_s=0.250, clock=clock)
+    with deadline_scope(deadline):
+        forecasts = service.forecast_many(sqls)   # stages check + account
+    print(deadline.stage_ms)   # {"optimize": 1.7, "featurize": 0.1, ...}
+
+The clock is injectable so tier transitions and expiry are unit-testable
+without sleeping (``tests/test_serve_degrade.py`` drives a fake clock).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.errors import DeadlineExceededError
+
+__all__ = [
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+    "stage_scope",
+]
+
+#: Canonical stage names, in hot-path order (for status rendering).
+STAGE_NAMES = ("queue", "optimize", "featurize", "predict")
+
+
+class Deadline:
+    """A monotonic time budget with per-stage accounting.
+
+    Args:
+        budget_s: total wall-time budget in seconds; ``None`` means
+            unbounded (accounting still accrues, checks never raise).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("budget_s", "_clock", "_started", "stage_ms", "_lock")
+
+    def __init__(
+        self,
+        budget_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s is not None and budget_s < 0:
+            budget_s = 0.0
+        self.budget_s = budget_s
+        self._clock = clock
+        self._started = clock()
+        self.stage_ms: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def after_ms(
+        cls,
+        budget_ms: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now (None = unbounded)."""
+        return cls(
+            budget_s=None if budget_ms is None else budget_ms / 1e3,
+            clock=clock,
+        )
+
+    # -- time queries ----------------------------------------------------
+
+    @property
+    def budget_ms(self) -> Optional[float]:
+        return None if self.budget_s is None else self.budget_s * 1e3
+
+    def elapsed_s(self) -> float:
+        """Wall time spent since the deadline started."""
+        return max(0.0, self._clock() - self._started)
+
+    def remaining_s(self) -> float:
+        """Budget left (``inf`` when unbounded; negative never returned)."""
+        if self.budget_s is None:
+            return float("inf")
+        return max(0.0, self.budget_s - self.elapsed_s())
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.budget_s is not None and self.elapsed_s() >= self.budget_s
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent.
+
+        The cooperative cancellation point: called at stage boundaries,
+        so a request never burns compute its caller has already given
+        up on — and no thread is ever killed.
+        """
+        if self.budget_s is None:
+            return
+        elapsed = self.elapsed_s()
+        if elapsed >= self.budget_s:
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_s * 1e3:.1f} ms spent before "
+                f"stage {stage!r} ({elapsed * 1e3:.1f} ms elapsed)",
+                stage=stage,
+                budget_ms=self.budget_s * 1e3,
+                elapsed_ms=elapsed * 1e3,
+            )
+
+    # -- accounting ------------------------------------------------------
+
+    def account(self, stage: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to ``stage``."""
+        with self._lock:
+            self.stage_ms[stage] = (
+                self.stage_ms.get(stage, 0.0) + max(0.0, seconds) * 1e3
+            )
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Check expiry on entry, charge the stage's elapsed time on exit."""
+        self.check(name)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.account(name, self._clock() - start)
+
+    def to_payload(self) -> dict:
+        """JSON-able snapshot (responses, status pages, test assertions)."""
+        return {
+            "budget_ms": (
+                None if self.budget_s is None else round(self.budget_s * 1e3, 3)
+            ),
+            "elapsed_ms": round(self.elapsed_s() * 1e3, 3),
+            "stage_ms": {
+                name: round(ms, 3) for name, ms in sorted(self.stage_ms.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# The thread-local current deadline (mirrors the obs span stack)
+# ----------------------------------------------------------------------
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed on this thread, or None."""
+    return getattr(_LOCAL, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as this thread's current deadline for a block.
+
+    Scopes nest: the previous deadline is restored on exit.  Passing
+    ``None`` explicitly clears the scope for the block (used by code
+    that must not inherit a caller's budget).
+    """
+    previous = getattr(_LOCAL, "deadline", None)
+    _LOCAL.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _LOCAL.deadline = previous
+
+
+def check_deadline(stage: str) -> None:
+    """Check the current deadline (no-op when none is installed).
+
+    The call production stage boundaries make; disarmed cost is one
+    thread-local load and a ``None`` test.
+    """
+    deadline = getattr(_LOCAL, "deadline", None)
+    if deadline is not None:
+        deadline.check(stage)
+
+
+@contextmanager
+def stage_scope(name: str) -> Iterator[None]:
+    """Stage boundary helper: check + account against the current deadline.
+
+    With no deadline installed this is a plain passthrough; with one it
+    checks expiry on entry and charges the stage's wall time on exit —
+    the per-stage numbers surface in ``/admin/status`` and spans.
+    """
+    deadline = getattr(_LOCAL, "deadline", None)
+    if deadline is None:
+        yield
+        return
+    with deadline.stage(name):
+        yield

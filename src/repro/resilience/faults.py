@@ -55,7 +55,7 @@ __all__ = [
     "site_registered",
 ]
 
-_MODES = ("raise", "delay", "corrupt", "exit")
+_MODES = ("raise", "delay", "corrupt", "exit", "hang")
 
 #: The fixed fault-site vocabulary.  Production code may only declare
 #: sites named here (or under a registered prefix); the static analysis
@@ -70,6 +70,7 @@ REGISTERED_SITES = frozenset(
         "optimizer.optimize",
         "serve.handler",
         "serve.batch",
+        "serve.supervisor",
     }
 )
 
@@ -91,9 +92,15 @@ class FaultSpec:
         site: fault-site name the spec is armed at.
         mode: ``raise`` (throw :class:`InjectedFault`), ``delay`` (sleep
             ``delay`` seconds), ``corrupt`` (the site's payload is
-            overwritten with NaNs via :func:`corrupt_array`), or ``exit``
+            overwritten with NaNs via :func:`corrupt_array`), ``exit``
             (kill the process with ``os._exit`` — simulates a crashed
-            worker; the parent sees ``BrokenProcessPool``).
+            worker; the parent sees ``BrokenProcessPool`` and a
+            supervisor sees a SIGKILL-shaped child death), or ``hang``
+            (stall until just past the caller's current
+            :class:`~repro.resilience.deadline.Deadline` — ``delay`` is
+            the margin past expiry, or the absolute stall when no
+            bounded deadline is installed — so deadline enforcement is
+            testable under injected stalls).
         calls: explicit 1-based invocation indices to fire on.  Mutually
             composable with ``rate``; when both are unset the spec never
             fires.
@@ -249,6 +256,9 @@ class FaultPlan:
             if spec.mode == "delay":
                 time.sleep(spec.delay)
                 return None
+            if spec.mode == "hang":
+                time.sleep(_hang_stall(spec.delay))
+                return None
             if spec.mode == "corrupt":
                 return spec
             if spec.mode == "exit":
@@ -284,6 +294,24 @@ class FaultPlan:
         self._calls = dict(state["calls"])
         self.fired = dict(state["fired"])
         self._lock = threading.Lock()
+
+
+def _hang_stall(margin_s: float) -> float:
+    """How long a ``hang`` fault sleeps.
+
+    With a bounded :class:`~repro.resilience.deadline.Deadline` installed
+    on the calling thread, the stall lands just past its expiry (the
+    remaining budget plus ``margin_s``); otherwise ``margin_s`` is the
+    absolute stall.  Either way the sleep is capped so a mis-armed plan
+    cannot wedge a test run indefinitely.
+    """
+    from repro.resilience.deadline import current_deadline
+
+    stall = margin_s
+    deadline = current_deadline()
+    if deadline is not None and deadline.budget_s is not None:
+        stall = deadline.remaining_s() + max(margin_s, 0.02)
+    return min(max(stall, 0.0), 30.0)
 
 
 # ----------------------------------------------------------------------

@@ -7,8 +7,16 @@ meters clients with prediction-driven admission control, hot-reloads
 artifacts without dropping requests, and exposes Prometheus metrics +
 SLO reporting.  See docs/SERVING.md.
 
+Self-healing (this PR's layer): ``repro.serve.supervisor`` runs the
+daemon as a health-checked child with crash recovery on an inherited
+socket; requests carry end-to-end ``deadline_ms`` budgets enforced
+cooperatively through the pipeline; and ``repro.serve.degrade`` steps
+service quality down (and hysteretically back up) under pressure.
+
 This package is the only place in the codebase allowed to import
-``socket`` / ``http.server`` / ``http.client`` (lint rule RD012).
+``socket`` / ``http.server`` / ``http.client`` (lint rule RD012), and
+``repro/serve/supervisor.py`` is the only serving file allowed to use
+``os.fork`` / ``os.kill`` / ``signal.signal`` (rule RD013).
 """
 
 from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
@@ -16,7 +24,9 @@ from repro.serve.batcher import MicroBatcher, QueueFullError
 from repro.serve.client import ServeClient
 from repro.serve.config import ServeConfig
 from repro.serve.daemon import PredictionDaemon, forecast_payload
+from repro.serve.degrade import DegradeController, StalePredictionCache
 from repro.serve.loadgen import LoadReport, LoadRequest, generate_load, run_load
+from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "AdmissionController",
@@ -28,6 +38,10 @@ __all__ = [
     "ServeConfig",
     "PredictionDaemon",
     "forecast_payload",
+    "DegradeController",
+    "StalePredictionCache",
+    "Supervisor",
+    "SupervisorConfig",
     "LoadReport",
     "LoadRequest",
     "generate_load",

@@ -21,7 +21,8 @@ import time
 from collections import deque
 from typing import Callable, Optional, Sequence
 
-from repro.errors import ServeError
+from repro.errors import DeadlineExceededError, ServeError
+from repro.resilience.deadline import Deadline, deadline_scope
 
 __all__ = ["PendingRequest", "MicroBatcher", "QueueFullError"]
 
@@ -31,16 +32,36 @@ class QueueFullError(ServeError):
 
 
 class PendingRequest:
-    """One submitted request waiting for its slice of a batch result."""
+    """One submitted request waiting for its slice of a batch result.
 
-    __slots__ = ("sqls", "client", "event", "results", "error")
+    Carries the request's :class:`Deadline` (or None for unbounded):
+    the collector refuses to spend compute on a request whose budget is
+    already gone, and never resolves a late result silently.
+    """
 
-    def __init__(self, sqls: Sequence[str], client: str) -> None:
+    __slots__ = (
+        "sqls",
+        "client",
+        "event",
+        "results",
+        "error",
+        "deadline",
+        "submitted_at",
+    )
+
+    def __init__(
+        self,
+        sqls: Sequence[str],
+        client: str,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         self.sqls = list(sqls)
         self.client = client
         self.event = threading.Event()
         self.results: Optional[list] = None
         self.error: Optional[BaseException] = None
+        self.deadline = deadline
+        self.submitted_at = 0.0
 
     def resolve(self, results: list) -> None:
         self.results = results
@@ -87,6 +108,8 @@ class MicroBatcher:
         self.batches = 0
         self.batched_statements = 0
         self.largest_batch = 0
+        self.expired_requests = 0
+        self.stage_ms_total: dict[str, float] = {}
         self._thread = threading.Thread(
             target=self._collect, name="repro-serve-batcher", daemon=True
         )
@@ -99,14 +122,20 @@ class MicroBatcher:
 
     # -- producer side ---------------------------------------------------
 
-    def submit(self, sqls: Sequence[str], client: str = "") -> PendingRequest:
+    def submit(
+        self,
+        sqls: Sequence[str],
+        client: str = "",
+        deadline: Optional[Deadline] = None,
+    ) -> PendingRequest:
         """Queue ``sqls`` for the next batch; returns the pending handle.
 
         Raises:
             QueueFullError: the queue is at ``max_queue`` statements.
             ServeError: the batcher is stopping.
         """
-        pending = PendingRequest(sqls, client)
+        pending = PendingRequest(sqls, client, deadline=deadline)
+        pending.submitted_at = self._clock()
         with self._cond:
             if self._stopping:
                 raise ServeError("batcher is stopping; submission refused")
@@ -152,12 +181,60 @@ class MicroBatcher:
             self._queued_statements -= size
             return batch
 
+    def _expire(self, pending: PendingRequest, stage: str) -> None:
+        """Fail ``pending`` with a structured deadline error (→ 504)."""
+        deadline = pending.deadline
+        self.expired_requests += 1
+        pending.fail(
+            DeadlineExceededError(
+                f"deadline of {deadline.budget_ms:.1f} ms spent at stage "
+                f"{stage!r} ({deadline.elapsed_s() * 1e3:.1f} ms elapsed)",
+                stage=stage,
+                budget_ms=deadline.budget_ms or 0.0,
+                elapsed_ms=deadline.elapsed_s() * 1e3,
+            )
+        )
+
+    @staticmethod
+    def _batch_deadline(batch: list[PendingRequest]) -> Optional[Deadline]:
+        """The deadline a batch predicts under: the *loosest* member's.
+
+        A batch is aborted mid-pipeline only when nobody in it can still
+        be served; members whose own (tighter) budget lapses while the
+        batch runs are expired individually at resolve time.  Any
+        unbounded member makes the whole batch unbounded.
+        """
+        loosest: Optional[Deadline] = None
+        for pending in batch:
+            deadline = pending.deadline
+            if deadline is None or deadline.budget_s is None:
+                return None
+            if loosest is None or deadline.remaining_s() > loosest.remaining_s():
+                loosest = deadline
+        return loosest
+
     def _run_batch(self, batch: list[PendingRequest]) -> None:
-        sqls = [sql for pending in batch for sql in pending.sqls]
+        # Refuse to burn compute on requests whose budget is already
+        # spent: they are expired here (→ 504), before predict runs.
+        live: list[PendingRequest] = []
+        now = self._clock()
+        for pending in batch:
+            deadline = pending.deadline
+            if deadline is not None:
+                deadline.account("queue", now - pending.submitted_at)
+            if deadline is not None and deadline.expired():
+                self._expire(pending, "queue")
+            else:
+                live.append(pending)
+        if not live:
+            return
+        sqls = [sql for pending in live for sql in pending.sqls]
+        batch_deadline = self._batch_deadline(live)
         try:
-            results = list(self._predict_fn(sqls))
+            with deadline_scope(batch_deadline):
+                results = list(self._predict_fn(sqls))
         except BaseException as error:  # fan the failure out, keep running
-            for pending in batch:
+            for pending in live:
                 pending.fail(error)
             return
         if len(results) != len(sqls):
@@ -165,16 +242,29 @@ class MicroBatcher:
                 f"batch predict returned {len(results)} results "
                 f"for {len(sqls)} statements"
             )
-            for pending in batch:
+            for pending in live:
                 pending.fail(error)
             return
         self.batches += 1
         self.batched_statements += len(sqls)
         self.largest_batch = max(self.largest_batch, len(sqls))
+        if batch_deadline is not None:
+            with self._cond:
+                for stage, ms in batch_deadline.stage_ms.items():
+                    self.stage_ms_total[stage] = (
+                        self.stage_ms_total.get(stage, 0.0) + ms
+                    )
         cursor = 0
-        for pending in batch:
-            pending.resolve(results[cursor : cursor + len(pending.sqls)])
+        for pending in live:
+            slice_ = results[cursor : cursor + len(pending.sqls)]
             cursor += len(pending.sqls)
+            deadline = pending.deadline
+            if deadline is not None and deadline.expired():
+                # The answer exists but arrived after the caller's
+                # budget: a late result is never delivered silently.
+                self._expire(pending, "resolve")
+            else:
+                pending.resolve(slice_)
 
     def _collect(self) -> None:
         while True:
@@ -211,6 +301,10 @@ class MicroBatcher:
         """JSON-able batching counters for ``/admin/status``."""
         with self._cond:
             queued = self._queued_statements
+            stage_ms = {
+                stage: round(ms, 3)
+                for stage, ms in sorted(self.stage_ms_total.items())
+            }
         batches = self.batches
         statements = self.batched_statements
         return {
@@ -221,4 +315,6 @@ class MicroBatcher:
             "queued_statements": queued,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_s * 1e3,
+            "expired_requests": self.expired_requests,
+            "stage_ms": stage_ms,
         }

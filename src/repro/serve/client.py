@@ -5,15 +5,21 @@ generator and examples — one synchronous request per call, structured
 rejections surfaced as :class:`~repro.errors.ServeRejectedError` so a
 caller backs off on the daemon's own ``retry_after_s`` hint instead of
 parsing response bodies.
+
+Transport failures get the same treatment: a connection refused, reset
+or timed out (the signature of a supervisor restarting its child) is a
+typed :class:`~repro.errors.ServeUnavailableError` carrying a
+``retry_after_s`` hint — never a bare ``OSError`` the caller has to
+pattern-match.
 """
 
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from typing import Optional
 
-from repro.errors import ServeError, ServeRejectedError
+from repro.errors import ServeError, ServeRejectedError, ServeUnavailableError
 
 __all__ = ["ServeClient"]
 
@@ -24,10 +30,14 @@ class ServeClient:
     Args:
         host: daemon host.
         port: daemon port.
-        timeout_s: per-request socket timeout.
+        timeout_s: default per-request socket timeout (override per
+            call with ``timeout``).
         client_id: admission-control identity sent with every request
             (``X-Repro-Client``); defaults to the daemon seeing the
             peer address.
+        retry_after_s: backoff hint attached to
+            :class:`ServeUnavailableError` when the daemon cannot be
+            reached at all (no response to take a hint from).
     """
 
     def __init__(
@@ -36,26 +46,54 @@ class ServeClient:
         port: int,
         timeout_s: float = 30.0,
         client_id: Optional[str] = None,
+        retry_after_s: float = 0.5,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
         self.client_id = client_id
+        self.retry_after_s = float(retry_after_s)
 
     # -- transport -------------------------------------------------------
 
+    def _connect(self, timeout: Optional[float]) -> HTTPConnection:
+        return HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout_s if timeout is None else float(timeout),
+        )
+
+    def _unavailable(self, error: Exception) -> ServeUnavailableError:
+        cause = error if isinstance(error, OSError) else None
+        return ServeUnavailableError(
+            f"daemon unreachable at {self.host}:{self.port} "
+            f"({type(error).__name__}: {error})",
+            retry_after_s=self.retry_after_s,
+            cause=cause,
+        )
+
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
     ) -> tuple[int, dict]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        connection = self._connect(timeout)
         try:
             headers = {"Content-Type": "application/json"}
             if self.client_id:
                 headers["X-Repro-Client"] = self.client_id
             payload = json.dumps(body).encode("utf-8") if body is not None else None
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, HTTPException) as error:
+                # Refused (no listener), reset (child died mid-request),
+                # timeout, or a torn response: the supervisor-restart
+                # signature.  Surface it typed, with a backoff hint.
+                raise self._unavailable(error) from error
             try:
                 document = json.loads(raw.decode("utf-8")) if raw else {}
             except (ValueError, UnicodeDecodeError):
@@ -64,18 +102,23 @@ class ServeClient:
         finally:
             connection.close()
 
-    def _request_text(self, method: str, path: str) -> tuple[int, str]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+    def _request_text(
+        self, method: str, path: str, timeout: Optional[float] = None
+    ) -> tuple[int, str]:
+        connection = self._connect(timeout)
         try:
-            connection.request(method, path)
-            response = connection.getresponse()
-            return response.status, response.read().decode("utf-8")
+            try:
+                connection.request(method, path)
+                response = connection.getresponse()
+                return response.status, response.read().decode("utf-8")
+            except (OSError, HTTPException) as error:
+                raise self._unavailable(error) from error
         finally:
             connection.close()
 
     @staticmethod
     def _raise_for(status: int, document: dict) -> None:
-        if status in (429, 503):
+        if status in (429, 503, 504):
             raise ServeRejectedError(
                 document.get("error", "rejected"),
                 status=status,
@@ -88,38 +131,74 @@ class ServeClient:
 
     # -- forecasting -----------------------------------------------------
 
-    def forecast(self, sql: str) -> dict:
+    def forecast(
+        self,
+        sql: str,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
         """Predict one statement; returns the decoded success payload.
 
+        Args:
+            sql: the statement.
+            deadline_ms: end-to-end budget shipped to the daemon; a
+                spent budget comes back as a structured 504.
+            timeout: per-call socket timeout override.
+
         Raises:
-            ServeRejectedError: admission/overload rejection (429/503)
-                with the daemon's retry hints attached.
+            ServeRejectedError: structured rejection (429/503/504) with
+                the daemon's retry hints attached.
+            ServeUnavailableError: the daemon could not be reached
+                (refused/reset/timeout — e.g. a supervisor restart).
             ServeError: any other non-200 answer.
         """
+        body: dict = {"sql": sql}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
         status, document = self._request(
-            "POST", "/v1/forecast", {"sql": sql}
+            "POST", "/v1/forecast", body, timeout=timeout
         )
         if status != 200:
             self._raise_for(status, document)
         return document
 
-    def forecast_batch(self, sqls: list[str]) -> dict:
+    def forecast_batch(
+        self,
+        sqls: list[str],
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
         """Predict many statements in one request (one micro-batch)."""
+        body: dict = {"sqls": list(sqls)}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
         status, document = self._request(
-            "POST", "/v1/forecast_batch", {"sqls": list(sqls)}
+            "POST", "/v1/forecast_batch", body, timeout=timeout
         )
         if status != 200:
             self._raise_for(status, document)
         return document
 
-    def try_forecast(self, sql: str) -> tuple[int, dict]:
-        """Non-raising variant: returns ``(status, payload)`` as-is."""
-        return self._request("POST", "/v1/forecast", {"sql": sql})
+    def try_forecast(
+        self,
+        sql: str,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple[int, dict]:
+        """Non-raising variant: returns ``(status, payload)`` as-is.
+
+        Transport failures still raise :class:`ServeUnavailableError` —
+        there is no status code to return when nothing answered.
+        """
+        body: dict = {"sql": sql}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._request("POST", "/v1/forecast", body, timeout=timeout)
 
     # -- admin / introspection -------------------------------------------
 
-    def health(self) -> dict:
-        status, document = self._request_text("GET", "/healthz")
+    def health(self, timeout: Optional[float] = None) -> dict:
+        status, document = self._request_text("GET", "/healthz", timeout=timeout)
         if status != 200:
             raise ServeError(f"healthz answered {status}")
         return json.loads(document)

@@ -56,6 +56,28 @@ class ServeConfig:
         metrics: enable the process metrics registry on start so
             ``/metrics`` has live instruments (serving metrics are
             always recorded either way).
+        default_deadline_ms: deadline budget applied to requests that
+            do not carry their own ``deadline_ms``; None leaves such
+            requests unbounded.  An expired budget is a structured 504,
+            never a silently late answer (docs/SERVING.md).
+        degrade: run the tiered degradation ladder — under sustained
+            pressure the daemon steps down explicit service tiers
+            (shrink batch wait, skip plan lint, force the cheap
+            fallback stage, serve stale cached predictions) and steps
+            back up hysteretically.
+        degrade_queue_depth: queued statements above which the ladder
+            counts the daemon as under pressure.
+        degrade_p99_factor: pressure also when observed p99 exceeds
+            ``slo_p99_ms`` times this factor (needs ``slo_p99_ms``).
+        degrade_down_after_s: pressure must be sustained this long
+            before the ladder steps down one tier.
+        degrade_up_after_s: calm must be sustained this long before the
+            ladder steps back up one tier (hysteresis: recovering is
+            deliberately slower than degrading).
+        degrade_force_tier: pin the ladder to one tier (testing and the
+            bench's degraded-mode measurement); None runs it freely.
+        stale_cache_size: bound on the tier-3 stale-prediction cache
+            (entries); 0 disables stale serving even at tier 3.
     """
 
     host: str = "127.0.0.1"
@@ -74,6 +96,14 @@ class ServeConfig:
     breaker_reset_s: float = 30.0
     slo_p99_ms: Optional[float] = None
     metrics: bool = True
+    default_deadline_ms: Optional[float] = None
+    degrade: bool = False
+    degrade_queue_depth: int = 64
+    degrade_p99_factor: float = 1.5
+    degrade_down_after_s: float = 0.25
+    degrade_up_after_s: float = 1.0
+    degrade_force_tier: Optional[int] = None
+    stale_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -88,6 +118,18 @@ class ServeConfig:
             raise ServeError("quota_rate must be positive when set")
         if self.heavy_seconds is not None and self.heavy_seconds <= 0:
             raise ServeError("heavy_seconds must be positive when set")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ServeError("default_deadline_ms must be positive when set")
+        if self.degrade_force_tier is not None and not (
+            0 <= self.degrade_force_tier <= 3
+        ):
+            raise ServeError("degrade_force_tier must be a tier in 0..3")
+        if self.degrade_queue_depth < 1:
+            raise ServeError("degrade_queue_depth must be >= 1")
+        if self.degrade_down_after_s < 0 or self.degrade_up_after_s < 0:
+            raise ServeError("degrade hysteresis windows must be non-negative")
+        if self.stale_cache_size < 0:
+            raise ServeError("stale_cache_size must be non-negative")
 
     @property
     def max_wait_s(self) -> float:

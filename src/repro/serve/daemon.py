@@ -15,13 +15,22 @@ swapping an immutable ``_Runtime`` snapshot; in-flight batches hold the
 old snapshot, so a reload never drops or mixes responses (every
 response names the ``model_version`` that produced it).
 
+Requests may carry a ``deadline_ms`` budget, threaded as a
+:class:`~repro.resilience.deadline.Deadline` through
+``optimize → featurize → predict``; a spent budget is a structured 504
+(*never* a silently late answer).  Under sustained pressure a
+:class:`~repro.serve.degrade.DegradeController` steps the daemon down
+explicit service tiers — and back up hysteretically — trading quality
+for survival; and ``repro.serve.supervisor`` runs the whole daemon as a
+health-checked child with crash recovery on an inherited socket.
+
 Endpoints::
 
     GET  /healthz             liveness + model version
     GET  /metrics             Prometheus text exposition
-    GET  /admin/status        batching/admission/breaker/SLO snapshot
-    POST /v1/forecast         {"sql": "...", "client": "..."}
-    POST /v1/forecast_batch   {"sqls": [...], "client": "..."}
+    GET  /admin/status        batching/admission/breaker/SLO/degrade snapshot
+    POST /v1/forecast         {"sql": "...", "client": "...", "deadline_ms": 250}
+    POST /v1/forecast_batch   {"sqls": [...], "client": "...", "deadline_ms": 250}
     POST /admin/reload        {"artifact": "path"}  (optional body)
 
 See docs/SERVING.md for the operational guide.
@@ -30,7 +39,7 @@ See docs/SERVING.md for the operational guide.
 from __future__ import annotations
 
 import json
-import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,14 +47,21 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.engine.metrics import METRIC_NAMES
-from repro.errors import InjectedFault, ReproError, ServeError
+from repro.errors import (
+    DeadlineExceededError,
+    InjectedFault,
+    ReproError,
+    ServeError,
+)
 from repro.obs.metrics import Histogram, enable_metrics, get_registry
 from repro.obs.trace import span
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
 from repro.resilience.faults import fault_site
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher, QueueFullError
 from repro.serve.config import ServeConfig
+from repro.serve.degrade import DegradeController, StalePredictionCache
 
 __all__ = ["PredictionDaemon", "forecast_payload"]
 
@@ -168,6 +184,8 @@ class PredictionDaemon:
         self.requests_ok = 0
         self.requests_rejected = 0
         self.requests_failed = 0
+        self.requests_expired = 0
+        self.served_stale = 0
         self._latency = Histogram(
             "serve_request_seconds", "per-request serving latency"
         )
@@ -192,6 +210,18 @@ class PredictionDaemon:
             max_queue=self.config.max_queue,
             clock=clock,
         )
+        self.degrade: Optional[DegradeController] = None
+        if self.config.degrade or self.config.degrade_force_tier is not None:
+            self.degrade = DegradeController(
+                queue_depth=self.config.degrade_queue_depth,
+                slo_p99_ms=self.config.slo_p99_ms,
+                p99_factor=self.config.degrade_p99_factor,
+                down_after_s=self.config.degrade_down_after_s,
+                up_after_s=self.config.degrade_up_after_s,
+                force_tier=self.config.degrade_force_tier,
+                clock=clock,
+            )
+        self.stale_cache = StalePredictionCache(self.config.stale_cache_size)
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._previous_sighup = None
@@ -245,20 +275,128 @@ class PredictionDaemon:
 
     def _predict_batch(self, sqls: list[str]) -> list:
         """One micro-batch → one ``forecast_many`` call (one kernel
-        cross), tagged with the runtime version that served it."""
+        cross), tagged with the runtime version that served it.
+
+        Applies the current degradation tier's quality levers: tier 2+
+        drops plan lint and floors the fallback chain at the cheap
+        regression stage for this batch.
+        """
         fault_site("serve.batch", n=len(sqls))
         runtime = self._runtime
-        with span("serve.batch", n=len(sqls)):
-            forecasts = runtime.service.forecast_many(sqls)
-        return [(forecast, runtime.version) for forecast in forecasts]
+        lint = True
+        floor = None
+        if self.degrade is not None:
+            lint = self.degrade.lint_enabled()
+            floor = self.degrade.fallback_floor()
+        chain_method = getattr(runtime.service, "fallback_chain", None)
+        chain = chain_method() if chain_method is not None else None
+        if chain is not None:
+            chain.set_floor(floor)
+        try:
+            with span("serve.batch", n=len(sqls)):
+                forecasts = runtime.service.forecast_many(sqls, lint=lint)
+        finally:
+            if chain is not None:
+                chain.set_floor(None)
+        results = [(forecast, runtime.version) for forecast in forecasts]
+        if self.degrade is not None and self.stale_cache.max_entries > 0:
+            for sql, result in zip(sqls, results):
+                self.stale_cache.put(sql, result)
+        return results
+
+    # -- degradation ladder ----------------------------------------------
+
+    def _observe_pressure(self) -> int:
+        """Feed one pressure observation to the ladder; returns the tier.
+
+        Applies the tier-1 lever immediately: at tier >= 1 the batcher
+        stops holding batches open for stragglers.
+        """
+        if self.degrade is None:
+            return 0
+        p99_ms: Optional[float] = None
+        if self.requests_total:
+            p99_ms = self._latency.percentiles()["p99"] * 1e3
+        tier = self.degrade.evaluate(
+            queue_depth=self.batcher.depth(),
+            p99_ms=p99_ms,
+            breaker_open=self.breaker.state == "open",
+        )
+        self.batcher.max_wait_s = (
+            0.0 if self.degrade.skip_batch_wait() else self.config.max_wait_s
+        )
+        return tier
+
+    def _serve_stale(
+        self, sqls: Sequence[str], client: str, tier: int
+    ) -> Optional[dict]:
+        """A full response from the stale cache, or None on any miss.
+
+        Tier 3 only: every statement must hit; a partial hit goes
+        through the real pipeline (a mixed-freshness response would be
+        impossible to reason about).
+        """
+        if self.degrade is None or not self.degrade.stale_ok():
+            return None
+        results = []
+        for sql in sqls:
+            cached = self.stale_cache.get(sql)
+            if cached is None:
+                return None
+            results.append(cached)
+        self.stale_cache.served_stale += len(results)
+        with self._state_lock:
+            self.served_stale += 1
+        if self.config.metrics:
+            get_registry().counter(
+                "repro_serve_stale_served_total",
+                "responses served from the stale-prediction cache",
+            ).inc()
+        return {
+            "forecasts": [forecast_payload(f) for f, _ in results],
+            "model_version": results[0][1],
+            "served_by": "stale_cache",
+            "degrade_tier": tier,
+            "stale": True,
+            "client": client,
+        }
 
     # -- request path ----------------------------------------------------
 
-    def handle_forecast(self, sqls: Sequence[str], client: str) -> dict:
+    def _deadline_for(self, deadline_ms: Optional[float]) -> Optional[Deadline]:
+        """The request's deadline: its own budget, else the configured
+        default, else unbounded (None)."""
+        budget_ms = (
+            deadline_ms
+            if deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        if budget_ms is None:
+            return None
+        return Deadline.after_ms(budget_ms, clock=self._clock)
+
+    def _expired_response(self, error: DeadlineExceededError) -> _Response:
+        """The structured 504 a spent budget maps to."""
+        return _Response(
+            504,
+            "deadline_exceeded",
+            retry_after_s=self.config.retry_after_s,
+            stage=error.stage,
+            budget_ms=round(error.budget_ms, 3),
+            elapsed_ms=round(error.elapsed_ms, 3),
+        )
+
+    def handle_forecast(
+        self,
+        sqls: Sequence[str],
+        client: str,
+        deadline_ms: Optional[float] = None,
+    ) -> dict:
         """Predict ``sqls`` for ``client`` through the batch path.
 
         Returns the success payload; raises :class:`_Response` for every
-        structured non-200 outcome (shed, quota, breaker, fault).
+        structured non-200 outcome (shed, quota, breaker, fault, spent
+        deadline).
         """
         with self._state_lock:
             self._inflight += 1
@@ -269,6 +407,22 @@ class PredictionDaemon:
                 raise _Response(
                     503, "shutting_down", retry_after_s=self.config.retry_after_s
                 )
+            deadline = self._deadline_for(deadline_ms)
+            tier = self._observe_pressure()
+            if deadline is not None and deadline.expired():
+                # The client shipped an already-dead budget: 504 before
+                # any compute is spent on it.
+                raise _Response(
+                    504,
+                    "deadline_exceeded",
+                    retry_after_s=self.config.retry_after_s,
+                    stage="arrival",
+                    budget_ms=round(deadline.budget_ms or 0.0, 3),
+                    elapsed_ms=round(deadline.elapsed_s() * 1e3, 3),
+                )
+            stale = self._serve_stale(sqls, client, tier)
+            if stale is not None:
+                return stale
             if not self.breaker.allow():
                 raise _Response(
                     503,
@@ -279,7 +433,7 @@ class PredictionDaemon:
                     breaker=self.breaker.status(),
                 )
             try:
-                pending = self.batcher.submit(sqls, client)
+                pending = self.batcher.submit(sqls, client, deadline=deadline)
             except QueueFullError as error:
                 raise _Response(
                     503,
@@ -291,13 +445,31 @@ class PredictionDaemon:
                 raise _Response(
                     503, "shutting_down", retry_after_s=self.config.retry_after_s
                 ) from error
-            if not pending.event.wait(self.config.request_timeout_s):
+            timeout_s = self.config.request_timeout_s
+            if deadline is not None and deadline.budget_s is not None:
+                # No point waiting past the caller's own budget; the
+                # margin lets the batcher's own expiry land first.
+                timeout_s = min(timeout_s, deadline.remaining_s() + 0.05)
+            if not pending.event.wait(timeout_s):
+                if deadline is not None and deadline.expired():
+                    raise _Response(
+                        504,
+                        "deadline_exceeded",
+                        retry_after_s=self.config.retry_after_s,
+                        stage="wait",
+                        budget_ms=round(deadline.budget_ms or 0.0, 3),
+                        elapsed_ms=round(deadline.elapsed_s() * 1e3, 3),
+                    )
                 raise _Response(
                     503,
                     "request_timeout",
                     retry_after_s=self.config.retry_after_s,
                 )
             if pending.error is not None:
+                if isinstance(pending.error, DeadlineExceededError):
+                    # The client's budget ran out, not a daemon fault:
+                    # the breaker does not count it.
+                    raise self._expired_response(pending.error)
                 self.breaker.record_failure(str(pending.error))
                 if isinstance(pending.error, (InjectedFault, ReproError)):
                     raise _Response(
@@ -322,7 +494,7 @@ class PredictionDaemon:
                     admission=decision.to_payload(),
                     predicted_seconds=predicted_seconds,
                 )
-            return {
+            payload = {
                 "forecasts": [forecast_payload(f) for f, _ in results],
                 "model_version": results[0][1],
                 "served_by": results[0][0].served_by,
@@ -330,6 +502,11 @@ class PredictionDaemon:
                 "predicted_seconds": predicted_seconds,
                 "client": client,
             }
+            if self.degrade is not None:
+                payload["degrade_tier"] = tier
+            if deadline is not None:
+                payload["deadline"] = deadline.to_payload()
+            return payload
         except InjectedFault as error:
             self.breaker.record_failure(str(error))
             raise _Response(
@@ -342,13 +519,21 @@ class PredictionDaemon:
             with self._state_lock:
                 self._inflight -= 1
 
-    def dispatch_forecast(self, sqls: Sequence[str], client: str) -> tuple[int, dict]:
+    def dispatch_forecast(
+        self,
+        sqls: Sequence[str],
+        client: str,
+        deadline_ms: Optional[float] = None,
+    ) -> tuple[int, dict]:
         """Full request path with accounting; returns (status, payload)."""
         start = self._clock()
         try:
-            payload = self.handle_forecast(sqls, client)
+            payload = self.handle_forecast(sqls, client, deadline_ms=deadline_ms)
             status = 200
         except _Response as response:
+            status, payload = response.status, response.payload
+        except DeadlineExceededError as error:
+            response = self._expired_response(error)
             status, payload = response.status, response.payload
         except ReproError as error:
             status = 503
@@ -371,6 +556,12 @@ class PredictionDaemon:
             self.requests_total += 1
             if status == 200:
                 self.requests_ok += 1
+            elif status == 504:
+                self.requests_expired += 1
+                registry.counter(
+                    "repro_serve_deadline_expired_total",
+                    "requests answered 504: deadline budget spent",
+                ).inc()
             elif status in (429, 503):
                 self.requests_rejected += 1
                 registry.counter(
@@ -394,6 +585,8 @@ class PredictionDaemon:
                 "ok": self.requests_ok,
                 "rejected": self.requests_rejected,
                 "failed": self.requests_failed,
+                "expired": self.requests_expired,
+                "served_stale": self.served_stale,
             }
         percentiles = self._latency.percentiles()
         p99_ms = percentiles["p99"] * 1e3
@@ -427,6 +620,15 @@ class PredictionDaemon:
             "admission": self.admission.status(),
             "breaker": self.breaker.status(),
             "resilience": service.resilience_status(),
+            "degrade": (
+                self.degrade.status() if self.degrade is not None else None
+            ),
+            "stale_cache": self.stale_cache.stats(),
+            "deadline": {
+                "default_deadline_ms": self.config.default_deadline_ms,
+                "expired_requests": self.batcher.expired_requests,
+                "stage_ms": self.batcher.stats()["stage_ms"],
+            },
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -442,9 +644,33 @@ class PredictionDaemon:
         """Bind, start the batcher + HTTP threads, return the address."""
         if self._server is not None:
             raise ServeError("daemon already started")
+        server = _Server((self.config.host, self.config.port), _RequestHandler)
+        return self._start_server(server)
+
+    def start_on_socket(self, sock: socket.socket) -> tuple[str, int]:
+        """Serve on an already-bound, already-listening socket.
+
+        The supervisor's restart path: the parent owns the listening
+        socket and hands it (fork-inherited) to every child generation,
+        so the address never closes across crashes — clients see a
+        structured 503 from the parent during the gap, never a
+        connection reset.
+        """
+        if self._server is not None:
+            raise ServeError("daemon already started")
+        host, port = sock.getsockname()[:2]
+        server = _Server((host, port), _RequestHandler, bind_and_activate=False)
+        server.socket.close()  # replace the unbound stock socket
+        sock.setblocking(True)  # a parent-side timeout must not leak in
+        server.socket = sock
+        server.server_address = sock.getsockname()
+        server.server_name = str(host)
+        server.server_port = int(port)
+        return self._start_server(server)
+
+    def _start_server(self, server: ThreadingHTTPServer) -> tuple[str, int]:
         if self.config.metrics:
             enable_metrics()
-        server = _Server((self.config.host, self.config.port), _RequestHandler)
         server.repro_daemon = self  # type: ignore[attr-defined]
         self._server = server
         self.batcher.start()
@@ -459,8 +685,7 @@ class PredictionDaemon:
         return self.address
 
     def _install_sighup(self) -> None:
-        if threading.current_thread() is not threading.main_thread():
-            return
+        from repro.serve.supervisor import install_signal_handler
 
         def _on_sighup(signum, frame) -> None:
             def _reload() -> None:
@@ -473,7 +698,9 @@ class PredictionDaemon:
                 target=_reload, name="repro-serve-sighup", daemon=True
             ).start()
 
-        self._previous_sighup = signal.signal(signal.SIGHUP, _on_sighup)
+        self._previous_sighup = install_signal_handler(
+            "SIGHUP", _on_sighup
+        )
 
     def stop(self, drain: bool = True) -> None:
         """Shut down: refuse new work, drain the queue, close the socket."""
@@ -494,7 +721,9 @@ class PredictionDaemon:
         self._server = None
         self._server_thread = None
         if self._previous_sighup is not None:
-            signal.signal(signal.SIGHUP, self._previous_sighup)
+            from repro.serve.supervisor import install_signal_handler
+
+            install_signal_handler("SIGHUP", self._previous_sighup)
             self._previous_sighup = None
 
     def __enter__(self) -> "PredictionDaemon":
@@ -555,6 +784,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
             or self.client_address[0]
         )
 
+    def _deadline_ms(self, body: dict) -> Optional[float]:
+        """The request's ``deadline_ms``, validated (ValueError on junk)."""
+        value = body.get("deadline_ms")
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError("'deadline_ms' must be a number")
+        if value <= 0:
+            raise ValueError("'deadline_ms' must be positive")
+        return float(value)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
             daemon = self.daemon
@@ -587,6 +827,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
             except (ValueError, UnicodeDecodeError) as error:
                 self._send_json(400, {"error": "bad_json", "detail": str(error)})
                 return
+            try:
+                deadline_ms = self._deadline_ms(body)
+            except ValueError as error:
+                self._send_json(
+                    400, {"error": "bad_request", "detail": str(error)}
+                )
+                return
             if self.path == "/v1/forecast":
                 sql = body.get("sql")
                 if not isinstance(sql, str) or not sql.strip():
@@ -595,7 +842,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     )
                     return
                 status, payload = daemon.dispatch_forecast(
-                    [sql], self._client_id(body)
+                    [sql], self._client_id(body), deadline_ms=deadline_ms
                 )
                 if status == 200:
                     payload = dict(payload)
@@ -619,7 +866,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     )
                     return
                 status, payload = daemon.dispatch_forecast(
-                    sqls, self._client_id(body)
+                    sqls, self._client_id(body), deadline_ms=deadline_ms
                 )
                 self._send_json(
                     status, payload, payload.get("retry_after_s", 0.0)

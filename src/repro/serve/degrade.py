@@ -1,0 +1,300 @@
+"""Tiered service degradation for the serving daemon.
+
+Under sustained pressure the daemon does not fall over — it sheds
+*quality* before it sheds *requests*, stepping down an explicit ladder
+of service tiers and stepping back up when the pressure clears:
+
+====  ===========  ====================================================
+tier  name         what the daemon gives up
+====  ===========  ====================================================
+0     ``full``     nothing — full batching window, plan lint, KCCA
+1     ``fast``     the batch coalescing wait (batches close immediately)
+2     ``lean``     tier 1, plus plan lint and the KCCA stage (requests
+                   are served by the cheaper fallback regression stage)
+3     ``stale``    tier 2, plus repeated statements may be answered
+                   from a bounded stale-prediction cache without
+                   touching the pipeline at all
+====  ===========  ====================================================
+
+The :class:`DegradeController` decides the tier.  Transitions are a
+*deterministic* function of the injectable clock and the observed
+pressure signals (queue depth, p99 vs SLO, breaker state) — no
+randomness, no wall-clock reads — so tests drive the whole ladder with
+a fake clock (``tests/test_serve_degrade.py``).  Hysteresis is built
+in: stepping down requires pressure sustained for ``down_after_s``,
+stepping up requires calm sustained for the (longer) ``up_after_s``,
+and each transition restarts the window, so the ladder moves one tier
+at a time and never flaps.
+
+Every transition increments a step counter, updates the
+``repro_serve_degrade_tier`` gauge, and is visible per-response via the
+``degrade_tier`` field (plus ``served_by: "stale_cache"`` for tier-3
+cache hits).  See docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.obs.metrics import get_registry, metrics_enabled
+
+__all__ = [
+    "DegradeController",
+    "StalePredictionCache",
+    "TIER_NAMES",
+    "MAX_TIER",
+]
+
+#: Human names for the ladder's tiers, in step-down order.
+TIER_NAMES = ("full", "fast", "lean", "stale")
+
+MAX_TIER = len(TIER_NAMES) - 1
+
+
+class DegradeController:
+    """Hysteretic tier selection from observed pressure signals.
+
+    Args:
+        queue_depth: queued statements at or above which the daemon
+            counts as under pressure.
+        slo_p99_ms: the SLO target; with ``p99_factor`` defines the
+            latency pressure signal.  None disables the p99 signal.
+        p99_factor: pressure when observed p99 exceeds
+            ``slo_p99_ms * p99_factor``.
+        down_after_s: how long pressure must be sustained before one
+            step down.
+        up_after_s: how long calm must be sustained before one step up
+            (should exceed ``down_after_s``: recovery is deliberately
+            the slower direction).
+        force_tier: pin the ladder to a fixed tier (bench degraded-mode
+            measurement, tests); None runs it freely.
+        clock: monotonic time source — injectable so transitions are a
+            pure function of fed timestamps.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int = 64,
+        slo_p99_ms: Optional[float] = None,
+        p99_factor: float = 1.5,
+        down_after_s: float = 0.25,
+        up_after_s: float = 1.0,
+        force_tier: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.queue_depth = int(queue_depth)
+        self.slo_p99_ms = slo_p99_ms
+        self.p99_factor = float(p99_factor)
+        self.down_after_s = float(down_after_s)
+        self.up_after_s = float(up_after_s)
+        self.force_tier = force_tier
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.tier = int(force_tier) if force_tier is not None else 0
+        self._pressure_since: Optional[float] = None
+        self._calm_since: Optional[float] = None
+        self.step_downs = 0
+        self.step_ups = 0
+        self.last_reason = ""
+        self.transitions: list[dict] = []
+        self._record_gauge()
+
+    # -- signals ---------------------------------------------------------
+
+    def _pressure_reason(
+        self,
+        queue_depth: int,
+        p99_ms: Optional[float],
+        breaker_open: bool,
+    ) -> str:
+        """The first pressure signal firing, or '' when calm."""
+        if breaker_open:
+            return "breaker_open"
+        if queue_depth >= self.queue_depth:
+            return "queue_depth"
+        if (
+            self.slo_p99_ms is not None
+            and p99_ms is not None
+            and p99_ms > self.slo_p99_ms * self.p99_factor
+        ):
+            return "p99_slo"
+        return ""
+
+    # -- the ladder ------------------------------------------------------
+
+    def evaluate(
+        self,
+        queue_depth: int,
+        p99_ms: Optional[float] = None,
+        breaker_open: bool = False,
+    ) -> int:
+        """Feed one observation; returns the (possibly updated) tier.
+
+        Deterministic: the resulting tier depends only on the sequence
+        of observations and the clock values at which they were fed.
+        """
+        with self._lock:
+            if self.force_tier is not None:
+                self.tier = int(self.force_tier)
+                return self.tier
+            now = self._clock()
+            reason = self._pressure_reason(queue_depth, p99_ms, breaker_open)
+            if reason:
+                self._calm_since = None
+                if self._pressure_since is None:
+                    self._pressure_since = now
+                elif (
+                    now - self._pressure_since >= self.down_after_s
+                    and self.tier < MAX_TIER
+                ):
+                    self._transition(self.tier + 1, reason, now)
+                    self._pressure_since = now  # next step needs a new window
+            else:
+                self._pressure_since = None
+                if self._calm_since is None:
+                    self._calm_since = now
+                elif (
+                    now - self._calm_since >= self.up_after_s and self.tier > 0
+                ):
+                    self._transition(self.tier - 1, "calm", now)
+                    self._calm_since = now
+            return self.tier
+
+    def _transition(self, to_tier: int, reason: str, now: float) -> None:
+        """Apply one step (lock held); records counters and metrics."""
+        direction = "down" if to_tier > self.tier else "up"
+        if direction == "down":
+            self.step_downs += 1
+        else:
+            self.step_ups += 1
+        self.transitions.append(
+            {
+                "from": self.tier,
+                "to": to_tier,
+                "direction": direction,
+                "reason": reason,
+                "at_s": round(now, 6),
+            }
+        )
+        del self.transitions[:-64]  # bounded history
+        self.tier = to_tier
+        self.last_reason = reason
+        self._record_gauge()
+        if metrics_enabled():
+            get_registry().counter(
+                f"repro_serve_degrade_step_{direction}_total",
+                f"degradation ladder steps {direction}",
+            ).inc()
+
+    def _record_gauge(self) -> None:
+        if metrics_enabled():
+            get_registry().gauge(
+                "repro_serve_degrade_tier",
+                "current degradation tier (0 = full service)",
+            ).set(float(self.tier))
+
+    # -- tier effects ----------------------------------------------------
+
+    @property
+    def tier_name(self) -> str:
+        return TIER_NAMES[self.tier]
+
+    def skip_batch_wait(self) -> bool:
+        """Tier >= 1: close batches immediately, no coalescing hold."""
+        return self.tier >= 1
+
+    def lint_enabled(self) -> bool:
+        """Tier >= 2 drops plan lint + vocabulary checks."""
+        return self.tier < 2
+
+    def fallback_floor(self) -> Optional[str]:
+        """Tier >= 2 forces the cheaper regression fallback stage."""
+        return "regression" if self.tier >= 2 else None
+
+    def stale_ok(self) -> bool:
+        """Tier 3 may answer repeats from the stale-prediction cache."""
+        return self.tier >= MAX_TIER
+
+    def status(self) -> dict:
+        """JSON-able ladder state for ``/admin/status``."""
+        with self._lock:
+            return {
+                "tier": self.tier,
+                "tier_name": self.tier_name,
+                "forced": self.force_tier is not None,
+                "step_downs": self.step_downs,
+                "step_ups": self.step_ups,
+                "last_reason": self.last_reason,
+                "signals": {
+                    "queue_depth": self.queue_depth,
+                    "slo_p99_ms": self.slo_p99_ms,
+                    "p99_factor": self.p99_factor,
+                },
+                "hysteresis": {
+                    "down_after_s": self.down_after_s,
+                    "up_after_s": self.up_after_s,
+                },
+                "transitions": list(self.transitions[-8:]),
+            }
+
+
+class StalePredictionCache:
+    """Bounded LRU of the last forecast served per statement.
+
+    Tier 3's pressure valve: when the ladder bottoms out, a repeated
+    statement can be answered from here without touching the pipeline.
+    Entries are whatever the daemon's batch predict returned (forecast
+    payload + model version); a hit is labelled
+    ``served_by: "stale_cache"`` so staleness is never silent.
+
+    Args:
+        max_entries: LRU bound; 0 disables the cache entirely.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.served_stale = 0
+
+    def put(self, sql: str, value: object) -> None:
+        """Remember the freshest result for ``sql`` (evicts LRU)."""
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._entries[sql] = value
+            self._entries.move_to_end(sql)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get(self, sql: str) -> Optional[object]:
+        """The cached result for ``sql``, or None (counts hit/miss)."""
+        with self._lock:
+            value = self._entries.get(sql)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql)
+            self.hits += 1
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-able counters for ``/admin/status``."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "served_stale": self.served_stale,
+        }

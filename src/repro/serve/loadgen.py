@@ -25,7 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.errors import ServeRejectedError
+from repro.errors import ServeRejectedError, ServeUnavailableError
 from repro.rng import child_generator
 from repro.serve.client import ServeClient
 from repro.workloads.generator import generate_pool
@@ -56,7 +56,9 @@ class LoadReport:
     total: int = 0
     ok: int = 0
     rejected: int = 0
+    expired: int = 0
     dropped: int = 0
+    retried: int = 0
     statuses: dict[int, int] = field(default_factory=dict)
     latencies_s: list[float] = field(default_factory=list)
     served_by: dict[str, int] = field(default_factory=dict)
@@ -69,10 +71,18 @@ class LoadReport:
             self.ok += 1
             if stage:
                 self.served_by[stage] = self.served_by.get(stage, 0) + 1
+        elif status == 504:
+            self.expired += 1
         elif status in (429, 503):
             self.rejected += 1
         elif status == 0:
             self.dropped += 1
+
+    @property
+    def structured(self) -> int:
+        """Requests that got *some* structured answer (everything but
+        transport drops) — the chaos drills' 100% target."""
+        return self.total - self.dropped
 
     def percentile_ms(self, q: float) -> float:
         """Latency percentile in milliseconds (nearest-rank)."""
@@ -87,7 +97,9 @@ class LoadReport:
             "total": self.total,
             "ok": self.ok,
             "rejected": self.rejected,
+            "expired": self.expired,
             "dropped": self.dropped,
+            "retried": self.retried,
             "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
             "served_by": dict(sorted(self.served_by.items())),
             "p50_ms": round(self.percentile_ms(50), 3),
@@ -134,13 +146,29 @@ def run_load(
     pace: bool = False,
     max_workers: int = 8,
     timeout_s: float = 30.0,
+    deadline_ms: Optional[float] = None,
+    retry_unavailable: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> LoadReport:
     """Replay ``schedule`` against a daemon at ``address``.
 
     Every scheduled request produces exactly one observation in the
-    returned :class:`LoadReport`: 200s, structured rejections (429/503)
-    and transport drops (status 0) are all counted, so callers can
-    assert invariants like "zero drops under chaos".
+    returned :class:`LoadReport`: 200s, structured rejections
+    (429/503/504) and transport drops (status 0) are all counted, so
+    callers can assert invariants like "zero drops under chaos".
+
+    Args:
+        address: daemon (or supervisor) host/port.
+        schedule: the seeded request schedule.
+        pace: honour inter-arrival gaps in real time.
+        max_workers: concurrent replay threads.
+        timeout_s: per-request client timeout.
+        deadline_ms: attach this end-to-end budget to every request.
+        retry_unavailable: retries per request on a transport-level
+            failure (:class:`ServeUnavailableError`) — the supervised
+            drill mode, where a restart gap is survivable by backing
+            off briefly; 0 records the failure as a drop immediately.
+        retry_backoff_s: sleep between unavailable retries.
     """
     host, port = address
     report = LoadReport()
@@ -153,13 +181,15 @@ def run_load(
                 if delay > 0:
                     time.sleep(delay)
                 executor.submit(
-                    _replay_one, host, port, timeout_s, request, report, lock
+                    _replay_one, host, port, timeout_s, request, report, lock,
+                    deadline_ms, retry_unavailable, retry_backoff_s,
                 )
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as executor:
             for request in schedule:
                 executor.submit(
-                    _replay_one, host, port, timeout_s, request, report, lock
+                    _replay_one, host, port, timeout_s, request, report, lock,
+                    deadline_ms, retry_unavailable, retry_backoff_s,
                 )
     return report
 
@@ -171,20 +201,34 @@ def _replay_one(
     request: LoadRequest,
     report: LoadReport,
     lock: threading.Lock,
+    deadline_ms: Optional[float] = None,
+    retry_unavailable: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> None:
     """Fire one scheduled request and record its outcome."""
     client = ServeClient(host, port, timeout_s=timeout_s, client_id=request.client)
     start = time.monotonic()
     status = 0
     stage: Optional[str] = None
-    try:
-        payload = client.forecast(request.sql)
-        status = 200
-        stage = payload.get("served_by")
-    except ServeRejectedError as rejection:
-        status = rejection.status
-    except OSError:
-        status = 0
+    attempts = 0
+    while True:
+        try:
+            payload = client.forecast(request.sql, deadline_ms=deadline_ms)
+            status = 200
+            stage = payload.get("served_by")
+        except ServeRejectedError as rejection:
+            status = rejection.status
+        except ServeUnavailableError:
+            if attempts < retry_unavailable:
+                attempts += 1
+                with lock:
+                    report.retried += 1
+                time.sleep(retry_backoff_s)
+                continue
+            status = 0
+        except OSError:
+            status = 0
+        break
     latency = time.monotonic() - start
     with lock:
         report.observe(status, latency, stage)

@@ -6,4 +6,6 @@ plan = (
     FaultPlan(seed=0)
     .on("engine.operator", mode="raise", rate=0.5)
     .on("artifact.write", mode="raise", rate=0.1)
+    .on("serve.supervisor", mode="exit", calls={2})
+    .on("serve.batch", mode="hang", delay=0.05)
 )

@@ -1,0 +1,12 @@
+"""RD013 violation: ad-hoc process control outside the supervisor."""
+
+import os
+import signal
+
+
+def restart_worker(pid: int) -> int:
+    os.kill(pid, signal.SIGTERM)
+    child = os.fork()
+    if child == 0:
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+    return child

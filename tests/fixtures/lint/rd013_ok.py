@@ -1,0 +1,7 @@
+"""RD013 clean: signal handling routed through the supervisor helper."""
+
+from repro.serve.supervisor import install_signal_handler
+
+
+def install_reload_handler(handler) -> None:
+    install_signal_handler("SIGHUP", handler)

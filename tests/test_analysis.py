@@ -64,6 +64,7 @@ PAIRS = [
     ("rd010", "RD010", NEUTRAL_PATH),
     ("rd011", "RD011", NEUTRAL_PATH),
     ("rd012", "RD012", NEUTRAL_PATH),
+    ("rd013", "RD013", NEUTRAL_PATH),
 ]
 
 
@@ -133,6 +134,22 @@ class TestRuleScoping:
     def test_rd012_exempts_the_serve_package(self):
         source = (FIXTURES / "rd012_bad.py").read_text()
         assert lint_source(source, "repro/serve/fixture.py", CODE_RULES) == []
+
+    def test_rd013_exempts_supervisor_and_resilience(self):
+        source = (FIXTURES / "rd013_bad.py").read_text()
+        for allowed in (
+            "repro/serve/supervisor.py",
+            "repro/resilience/faults.py",
+        ):
+            assert lint_source(source, allowed, CODE_RULES) == []
+
+    def test_rd013_flags_each_process_control_call(self):
+        findings = lint_fixture("rd013_bad.py")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "os.kill" in messages
+        assert "os.fork" in messages
+        assert "signal.signal" in messages
 
     def test_rd006_ignores_on_without_resilience_import(self):
         source = 'plan.on("bogus.site", mode="raise")\n'

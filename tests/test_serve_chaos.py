@@ -20,15 +20,32 @@ real socket and assert the failure contract:
 
 from __future__ import annotations
 
+import json
+import os
+import signal
+import threading
+import time
+
 import pytest
 
 from repro.api import QueryPerformancePredictor
-from repro.errors import ServeRejectedError
+from repro.errors import (
+    ServeRejectedError,
+    ServeUnavailableError,
+    SupervisorError,
+)
 from repro.resilience.faults import (
     REGISTERED_SITES,
     FaultPlan,
     armed,
     site_registered,
+)
+from repro.serve import (
+    PredictionDaemon,
+    ServeClient,
+    ServeConfig,
+    Supervisor,
+    SupervisorConfig,
 )
 from repro.serve.loadgen import run_load
 
@@ -221,3 +238,241 @@ class TestChaosLoadDrill:
         assert summary["statuses"].get("503", 0) == summary["rejected"]
         # …and the daemon still answers afterwards.
         assert daemon.status()["stopping"] is True
+
+
+# ----------------------------------------------------------------------
+# Self-healing: the supervisor's kill -9 / crash-loop / full-drill suite
+# ----------------------------------------------------------------------
+
+
+def supervised(service, tmp_path, *, serve_overrides=None, **policy):
+    """A supervisor over a daemon factory, journaling into tmp_path."""
+    serve_kwargs = dict(max_batch=4, max_wait_ms=5.0)
+    serve_kwargs.update(serve_overrides or {})
+    config = ServeConfig(**serve_kwargs)
+    defaults = dict(
+        backoff_initial_s=0.01,
+        backoff_max_s=0.05,
+        health_interval_s=0.02,
+        crash_journal=tmp_path / "crash.jsonl",
+    )
+    defaults.update(policy)
+    return Supervisor(
+        lambda: PredictionDaemon(service=service, config=config),
+        serve_config=config,
+        config=SupervisorConfig(**defaults),
+    )
+
+
+def forecast_with_patience(client, sql, attempts=100, pause_s=0.05) -> dict:
+    """Forecast through restart gaps: retry structured/transport refusals."""
+    last = None
+    for _ in range(attempts):
+        try:
+            return client.forecast(sql)
+        except (ServeRejectedError, ServeUnavailableError) as error:
+            last = error
+            time.sleep(pause_s)
+    raise AssertionError(f"daemon never recovered: {last!r}")
+
+
+class TestSupervisor:
+    def test_kill9_restart_reserves_bitwise_identical_forecast(
+        self, serve_service, tmp_path
+    ):
+        """kill -9 on the child is a blip: the supervisor respawns it on
+        the same socket and the replacement serves the *same bits*."""
+        supervisor = supervised(serve_service, tmp_path)
+        host, port = supervisor.start()
+        try:
+            client = ServeClient(host, port, timeout_s=10.0)
+            before = client.forecast(SQL_LIGHT)["forecast"]
+            victim = supervisor.child_pid
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                status = supervisor.status()
+                if (
+                    status["state"] == "running"
+                    and status["child_pid"] not in (None, victim)
+                ):
+                    break
+                time.sleep(0.02)
+            status = supervisor.status()
+            assert status["child_pid"] not in (None, victim), status
+            assert supervisor.wait_healthy(5.0)
+            after = forecast_with_patience(client, SQL_LIGHT)["forecast"]
+            assert after == before  # bitwise-identical re-serve
+            assert supervisor.restarts >= 1
+        finally:
+            supervisor.stop()
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "crash.jsonl").read_text().splitlines()
+        ]
+        kinds = [event["event"] for event in events]
+        for expected in ("listen", "spawn", "exit", "restart", "stop"):
+            assert expected in kinds, kinds
+        death = next(e for e in events if e["event"] == "exit")
+        assert death["signal"] == signal.SIGKILL
+        offsets = [event["offset_s"] for event in events]
+        assert offsets == sorted(offsets)  # a replayable timeline
+
+    def test_crash_loop_gives_up_with_journal(self, tmp_path):
+        """A deterministically crashing child must not be restarted
+        forever: the supervisor gives up loudly and keeps answering
+        structured 503s from the parent."""
+        journal = tmp_path / "loop.jsonl"
+
+        def bomb():
+            raise RuntimeError("child is doomed")
+
+        supervisor = Supervisor(
+            bomb,
+            serve_config=ServeConfig(),
+            config=SupervisorConfig(
+                max_restarts=2,
+                restart_window_s=30.0,
+                backoff_initial_s=0.01,
+                backoff_max_s=0.02,
+                health_interval_s=0.01,
+                crash_journal=journal,
+            ),
+        )
+        with pytest.raises(SupervisorError):
+            supervisor.start(wait_healthy_s=10.0)
+        try:
+            assert supervisor.gave_up
+            assert supervisor.status()["state"] == "gave_up"
+            assert supervisor.restarts == 2
+            # The address still answers — structurally, not with resets.
+            host, port = supervisor.address
+            client = ServeClient(host, port, timeout_s=2.0)
+            status, payload = client.try_forecast(SQL_LIGHT)
+            assert status == 503
+            assert payload["error"] == "restarting"
+            assert payload["retry_after_s"] > 0
+        finally:
+            supervisor.stop()
+        events = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        kinds = [event["event"] for event in events]
+        assert kinds.count("exit") == 3  # two restarts, then the last straw
+        assert "give_up" in kinds
+        deaths = [e for e in events if e["event"] == "exit"]
+        assert all(e["exit_code"] == 11 for e in deaths)
+        give_up = next(e for e in events if e["event"] == "give_up")
+        assert give_up["restarts_in_window"] == 3
+
+    def test_supervisor_fault_site_is_registered(self):
+        assert "serve.supervisor" in REGISTERED_SITES
+        assert site_registered("serve.supervisor")
+
+
+class TestSelfHealingDrill:
+    def test_chaos_drill_is_fully_structured_with_tier_steps(
+        self, serve_service, load_schedule, tmp_path
+    ):
+        """The acceptance drill: ``exit`` armed at serve.handler and
+        ``hang`` at serve.batch, a 200-request seeded load against the
+        supervised daemon.  Every request must end structured (200, 429,
+        503 or 504 — never a dropped socket), over-deadline answers are
+        504s, the supervisor must have healed at least one crash — and
+        the degradation ladder must be seen stepping down *and* back up.
+        """
+        supervisor = supervised(
+            serve_service,
+            tmp_path,
+            serve_overrides=dict(
+                degrade=True,
+                degrade_queue_depth=4,
+                degrade_down_after_s=0.02,
+                degrade_up_after_s=0.05,
+            ),
+            max_restarts=50,
+            restart_window_s=60.0,
+        )
+        # Armed *before* start so every forked generation inherits the
+        # plan: each child crashes at its 25th handler call and wedges
+        # on its 2nd batch (the stall outlives the request budgets).
+        plan = (
+            FaultPlan(seed=13)
+            .on("serve.handler", mode="exit", calls={25})
+            .on("serve.batch", mode="hang", delay=0.02, calls={2})
+        )
+        with armed(plan):
+            host, port = supervisor.start()
+            try:
+                report = run_load(
+                    (host, port),
+                    load_schedule(200, seed=29, n_clients=8),
+                    max_workers=8,
+                    deadline_ms=400.0,
+                    retry_unavailable=5,
+                    retry_backoff_s=0.05,
+                )
+            finally:
+                supervisor.stop()
+        summary = report.summary()
+        assert summary["total"] == 200
+        assert summary["dropped"] == 0, summary
+        assert report.structured == 200
+        assert set(summary["statuses"]) <= {"200", "429", "503", "504"}
+        assert summary["ok"] > 0, summary
+        # The hang wedged batches past their members' budgets: those
+        # answers were 504s, never silently late 200s.
+        assert summary["expired"] >= 1, summary
+        assert summary["statuses"].get("504", 0) == summary["expired"]
+        # The exit fault really killed children, and the supervisor
+        # really healed them.
+        assert supervisor.restarts >= 1
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "crash.jsonl").read_text().splitlines()
+        ]
+        crashes = [e for e in events if e["event"] == "exit"]
+        assert any(e.get("exit_code") == 13 for e in crashes), crashes
+
+        # Tier observation: the same pressure recipe as the load above,
+        # against an unforked daemon so the ladder counters survive —
+        # the ladder must step down under pressure and climb back.
+        daemon = start_daemon(
+            serve_service,
+            max_batch=2,
+            max_wait_ms=5.0,
+            degrade=True,
+            degrade_queue_depth=2,
+            degrade_down_after_s=0.02,
+            degrade_up_after_s=0.05,
+        )
+        try:
+            client = client_for(daemon)
+
+            def worker():
+                for _ in range(8):
+                    client.try_forecast(SQL_LIGHT)
+
+            slow = FaultPlan(seed=9).on(
+                "serve.batch", mode="delay", delay=0.03, rate=1.0
+            )
+            with armed(slow):
+                threads = [
+                    threading.Thread(target=worker) for _ in range(6)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            assert daemon.status()["degrade"]["step_downs"] >= 1
+            settle = time.monotonic() + 10.0
+            while time.monotonic() < settle:
+                client.forecast(SQL_LIGHT)
+                if daemon.status()["degrade"]["tier"] == 0:
+                    break
+                time.sleep(0.03)
+            degrade = daemon.status()["degrade"]
+            assert degrade["tier"] == 0
+            assert degrade["step_ups"] >= 1
+        finally:
+            daemon.stop()
