@@ -6,9 +6,11 @@ Usage (from the repository root)::
     PYTHONPATH=src python scripts/check.py --format json  # CI / tooling
     PYTHONPATH=src python scripts/check.py --no-mypy      # AST lint only
 
-Runs Pack A (the ``RDnnn`` codebase-contract rules, see
-docs/STATIC_ANALYSIS.md) over ``src/repro`` and then mypy with the
-``pyproject.toml`` configuration.  Exits 0 only when both are clean.
+Runs Pack A (the ``RDnnn`` codebase-contract rules) and the static
+half of Pack C (the ``CCnnn`` concurrency rules, see
+docs/STATIC_ANALYSIS.md and docs/CONCURRENCY.md) over ``src/repro``
+and then mypy with the ``pyproject.toml`` configuration.  Exits 0 only
+when both are clean.
 Environments without mypy still run the full AST lint — including the
 RD009 annotation gate — and report the mypy half as skipped.
 """

@@ -1,6 +1,7 @@
-"""Static analysis: codebase-contract lint and pre-execution plan lint.
+"""Static analysis: codebase-contract lint, plan lint and the
+concurrency pack.
 
-Two rule packs behind one engine (see docs/STATIC_ANALYSIS.md):
+Three rule packs behind one engine (see docs/STATIC_ANALYSIS.md):
 
 * **Pack A** (``RDnnn``, :mod:`repro.analysis.codebase`) — AST rules
   that enforce the repository's determinism/atomicity contracts on
@@ -12,6 +13,12 @@ Two rule packs behind one engine (see docs/STATIC_ANALYSIS.md):
   extrapolation) before a prediction is trusted; every
   ``Optimizer.optimize`` call runs the structural subset and attaches
   the warnings to its output and to :class:`repro.api.Forecast`.
+* **Pack C** (``CCnnn``, :mod:`repro.analysis.concurrency` +
+  :mod:`repro.analysis.sanitizer`) — concurrency correctness for the
+  threaded serving stack: CC0xx are static AST rules (bare locks,
+  unguarded acquires, blocking calls under locks ...), CC1xx are
+  runtime findings from the ``REPRO_SANITIZE=1`` sanitizer (lock-order
+  inversions, Eraser lockset races, hold-time violations).
 """
 
 from repro.analysis.findings import (
@@ -22,6 +29,18 @@ from repro.analysis.findings import (
 from repro.analysis.rules import RuleInfo, all_rules, get, is_known
 from repro.analysis.engine import lint_package, lint_source
 from repro.analysis.codebase import CODE_RULES
+from repro.analysis.concurrency import CONCURRENCY_RULES
+from repro.analysis.sanitizer import (
+    dump_sanitizer_report,
+    guarded_by,
+    make_condition,
+    make_lock,
+    make_rlock,
+    note_access,
+    reset_sanitizer,
+    sanitizer_enabled,
+    sanitizer_findings,
+)
 from repro.analysis.planlint import (
     corpus_vocabulary,
     lint_plan,
@@ -41,6 +60,16 @@ __all__ = [
     "lint_package",
     "lint_source",
     "CODE_RULES",
+    "CONCURRENCY_RULES",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "guarded_by",
+    "note_access",
+    "sanitizer_enabled",
+    "sanitizer_findings",
+    "reset_sanitizer",
+    "dump_sanitizer_report",
     "lint_plan",
     "plan_vocabulary",
     "corpus_vocabulary",

@@ -5,12 +5,15 @@ suppression comments (``# repro: allow[RD001]``), JSON reports, CI logs
 and docs/STATIC_ANALYSIS.md — so they are registered centrally, never
 renumbered, and duplicates are rejected at import time.
 
-Two ID namespaces:
+Three ID namespaces:
 
 * ``RDnnn`` — Pack A, codebase contracts (determinism, atomicity,
   picklability ...), run over ``src/repro`` itself;
 * ``PLnnn`` — Pack B, plan lint, run over compiled plan trees before
-  execution.
+  execution;
+* ``CCnnn`` — Pack C, concurrency: ``CC0xx`` are static AST rules run
+  over ``src/repro``, ``CC1xx`` are runtime sanitizer findings emitted
+  by :mod:`repro.analysis.sanitizer` when ``REPRO_SANITIZE=1``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from repro.analysis.findings import SEVERITIES
 
 __all__ = ["RuleInfo", "register", "get", "all_rules", "is_known"]
 
-_ID_PATTERN = re.compile(r"^(RD|PL)\d{3}$")
+_ID_PATTERN = re.compile(r"^(RD|PL|CC)\d{3}$")
 
 
 @dataclass(frozen=True)
@@ -30,10 +33,12 @@ class RuleInfo:
     """Metadata for one registered rule.
 
     Attributes:
-        id: stable identifier (``RDnnn`` / ``PLnnn``), never reused.
+        id: stable identifier (``RDnnn`` / ``PLnnn`` / ``CCnnn``),
+            never reused.
         name: short kebab-case label (shows up in reports and docs).
         severity: ``error`` (fails ``scripts/check.py``) or ``warning``.
-        pack: ``code`` (Pack A, AST lint) or ``plan`` (Pack B).
+        pack: ``code`` (Pack A, AST lint), ``plan`` (Pack B) or
+            ``concurrency`` (Pack C, static + runtime sanitizer).
         summary: one-line description of the contract being enforced.
     """
 
@@ -55,7 +60,7 @@ def register(info: RuleInfo) -> RuleInfo:
         raise ValueError(
             f"bad severity {info.severity!r} for {info.id}; one of {SEVERITIES}"
         )
-    if info.pack not in ("code", "plan"):
+    if info.pack not in ("code", "plan", "concurrency"):
         raise ValueError(f"bad pack {info.pack!r} for {info.id}")
     if info.id in _REGISTRY:
         raise ValueError(f"duplicate rule id {info.id}")

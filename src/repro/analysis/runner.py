@@ -17,6 +17,8 @@ from importlib import util as _importlib_util
 from pathlib import Path
 from typing import Optional
 
+from repro.analysis.codebase import CODE_RULES
+from repro.analysis.concurrency import CONCURRENCY_RULES
 from repro.analysis.engine import findings_to_report, lint_package
 from repro.analysis.findings import LINT_SCHEMA_VERSION, Finding
 
@@ -92,9 +94,9 @@ def _default_package_root() -> Path:
 
 
 def self_lint(package_root: Optional[Path] = None) -> list[Finding]:
-    """Run Pack A over the installed ``repro`` package sources."""
+    """Run Packs A and C over the installed ``repro`` package sources."""
     root = package_root or _default_package_root()
-    return lint_package(root)
+    return lint_package(root, rules=tuple(CODE_RULES) + CONCURRENCY_RULES)
 
 
 def run_mypy(repo_root: Path) -> MypyResult:

@@ -236,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "json"], default="text",
         help="output format (default text)",
     )
+    lint.add_argument(
+        "--concurrency", metavar="TREE", nargs="?", const="",
+        default=None,
+        help="run static Pack C (CC001-CC008) over a source tree "
+             "instead of plan-linting SQL; TREE defaults to the "
+             "installed repro package; exits 1 on any finding",
+    )
 
     measure = sub.add_parser("measure", help="run the query (ground truth)")
     measure.add_argument("sql")
@@ -417,7 +424,8 @@ def _service(args, config) -> QueryPerformancePredictor:
     key = (args.workload, args.scale, args.seed, args.system, args.queries,
            args.two_step, fallback)
     if key not in _service_cache:
-        _service_cache[key] = QueryPerformancePredictor.train_on_workload(
+        # The CLI process is single-threaded; the cache cannot race.
+        _service_cache[key] = QueryPerformancePredictor.train_on_workload(  # repro: allow[CC003]
             args.workload,
             n_queries=args.queries,
             scale=args.scale,
@@ -448,11 +456,38 @@ def _write_trace(destination: str) -> None:
     print(f"trace written to {destination}", file=sys.stderr)
 
 
+def _concurrency_lint_command(args) -> int:
+    """``repro lint --concurrency``: static Pack C over a source tree."""
+    from repro.analysis.concurrency import CONCURRENCY_RULES
+    from repro.analysis.engine import findings_to_report, lint_package
+
+    if args.concurrency:
+        package_root = Path(args.concurrency)
+    else:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    if not package_root.is_dir():
+        print(f"error: {package_root} is not a directory", file=sys.stderr)
+        return 2
+    findings = lint_package(package_root, rules=CONCURRENCY_RULES)
+    if args.format == "json":
+        print(json.dumps(findings_to_report(findings), indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        label = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"concurrency lint ({package_root}): {label}")
+    return 1 if findings else 0
+
+
 def _lint_command(args, config) -> int:
     """``repro lint``: plan-lint statements; exit 1 when warnings fire."""
     from repro.analysis.findings import LINT_SCHEMA_VERSION
     from repro.analysis.planlint import vocabulary_warnings
 
+    if args.concurrency is not None:
+        return _concurrency_lint_command(args)
     statements: list[str] = []
     for chunk in args.sql:
         statements.extend(_split_statements(chunk))
@@ -631,6 +666,11 @@ def _serve_command(args, config) -> int:
             ),
         )
         host, port = supervisor.start()
+        # Handlers go in before the banner: anyone scripting the CLI
+        # treats the banner as "ready", and ready must include "a
+        # SIGTERM from here on drains instead of killing mid-batch".
+        stop_event = threading.Event()
+        _install_stop_handlers(stop_event)
         print(
             f"supervising on http://{host}:{port}  "
             f"(child pid {supervisor.child_pid})"
@@ -643,7 +683,8 @@ def _serve_command(args, config) -> int:
             file=sys.stderr,
         )
         try:
-            threading.Event().wait()
+            stop_event.wait()
+            print("stopping supervisor and child...", file=sys.stderr)
         except KeyboardInterrupt:
             print("stopping supervisor and child...", file=sys.stderr)
         finally:
@@ -652,17 +693,40 @@ def _serve_command(args, config) -> int:
 
     daemon = build_daemon()
     host, port = daemon.start()
+    stop_event = threading.Event()
+    _install_stop_handlers(stop_event)
     print(f"serving on http://{host}:{port}  (model {daemon.model_version})")
     print("endpoints: /healthz /metrics /admin/status /v1/forecast "
           "/v1/forecast_batch /admin/reload; SIGHUP reloads the artifact",
           file=sys.stderr)
     try:
-        threading.Event().wait()
+        stop_event.wait()
+        print("draining and shutting down...", file=sys.stderr)
     except KeyboardInterrupt:
         print("draining and shutting down...", file=sys.stderr)
     finally:
-        daemon.stop()
+        daemon.stop(drain=True)
     return 0
+
+
+def _install_stop_handlers(stop_event: "threading.Event") -> None:
+    """SIGTERM/SIGINT → set ``stop_event`` so the foreground serve loop
+    drains and exits 0 instead of dying mid-batch.
+
+    A bare ``threading.Event().wait()`` is uninterruptible by SIGTERM on
+    some platforms (CC008): nothing ever sets an anonymous event, and
+    the default handler kills the process with the batcher mid-flight.
+    Keeping a reference and setting it from the shared
+    ``install_signal_handler`` chokepoint mirrors the supervisor's own
+    child shutdown path.
+    """
+    from repro.serve.supervisor import install_signal_handler
+
+    def _on_stop(signum, frame) -> None:
+        stop_event.set()
+
+    for signame in ("SIGTERM", "SIGINT"):
+        install_signal_handler(signame, _on_stop)
 
 
 def _dispatch(args, config) -> int:
@@ -703,7 +767,7 @@ def _dispatch(args, config) -> int:
         predictor.save(path)
         key = (args.workload, args.scale, args.seed, args.system,
                args.queries, args.two_step, args.fallback)
-        _service_cache[key] = predictor
+        _service_cache[key] = predictor  # repro: allow[CC003] single-threaded
         print(f"trained on {args.queries} queries; artifact: {path}")
         return 0
     if args.command in ("predict", "explain"):

@@ -52,6 +52,7 @@ __all__ = [
     "bench_plan_lint_overhead",
     "bench_workload_families",
     "bench_serving",
+    "bench_sanitizer_overhead",
     "run_benchmarks",
     "format_report",
 ]
@@ -71,7 +72,12 @@ __all__ = [
 #: v5: serving rows gained ``degraded``/``degrade_tier`` and the drill
 #: gained a forced tier-2 (lean) run, so the report shows what the
 #: degradation ladder buys in p99 when the daemon sheds work.
-BENCH_SCHEMA_VERSION = 5
+#: v6: the report gained the ``sanitizer`` section — per-op cost of the
+#: tracked-lock wrappers (raw vs disabled vs enabled) and serving
+#: p50/p99 with the runtime concurrency sanitizer off vs on, plus the
+#: measured acquire count per request and the estimated disabled-mode
+#: p99 overhead (budget: < 1%).
+BENCH_SCHEMA_VERSION = 6
 
 
 def machine_info() -> dict:
@@ -795,6 +801,126 @@ def bench_serving(
 
 
 # ----------------------------------------------------------------------
+# Runtime sanitizer: tracked-lock overhead, off vs on
+# ----------------------------------------------------------------------
+
+
+def bench_sanitizer_overhead(
+    n_requests: int = 120,
+    n_train: int = 120,
+    scale: float = 0.05,
+    seed: int = 31,
+    max_workers: int = 16,
+    lock_ops: int = 200_000,
+) -> dict:
+    """What the ``make_lock`` migration costs with the sanitizer off/on.
+
+    Two measurements:
+
+    * a lock microbenchmark — acquire/release pairs on a raw
+      ``threading.Lock``, a tracked lock with the sanitizer disabled
+      (the path production always pays: one module-global flag load and
+      branch per operation), and a tracked lock with the sanitizer
+      enabled (full edge/lockset recording);
+    * a serving drill — the same seeded schedule replayed against a
+      fresh daemon with the sanitizer off and again with it on,
+      reporting p50/p99 for both.  The enabled run also counts tracked
+      acquires, so the disabled-mode per-request cost can be *estimated*
+      from measured numbers: ``acquires/request x disabled per-op
+      penalty`` as a fraction of the off-mode p99.  That estimate is the
+      ``< 1%`` acceptance budget for leaving tracked locks in
+      production permanently.
+    """
+    import threading
+
+    from repro.analysis.sanitizer import (
+        disable_sanitizer,
+        enable_sanitizer,
+        make_lock,
+        reset_sanitizer,
+        sanitizer_acquire_count,
+        sanitizer_enabled,
+    )
+    from repro.api import QueryPerformancePredictor
+    from repro.serve import PredictionDaemon, ServeConfig, generate_load, run_load
+
+    was_enabled = sanitizer_enabled()
+
+    def per_op_ns(lock, ops: int) -> float:
+        start = time.perf_counter()
+        for _ in range(ops):
+            lock.acquire()
+            lock.release()
+        return (time.perf_counter() - start) / ops * 1e9
+
+    disable_sanitizer()
+    reset_sanitizer()
+    raw_ns = per_op_ns(threading.Lock(), lock_ops)
+    tracked_off_ns = per_op_ns(make_lock("bench.sanitizer.off"), lock_ops)
+    enable_sanitizer()
+    tracked_on_ns = per_op_ns(make_lock("bench.sanitizer.on"), lock_ops)
+    disable_sanitizer()
+    reset_sanitizer()
+
+    service = QueryPerformancePredictor.train_on_workload(
+        n_queries=n_train, scale=scale, seed=seed
+    )
+    schedule = generate_load(n_requests, seed=seed)
+
+    def drill() -> dict:
+        config = ServeConfig(max_batch=8, max_wait_ms=2.0, metrics=False)
+        daemon = PredictionDaemon(service=service, config=config)
+        address = daemon.start()
+        try:
+            report = run_load(address, schedule, max_workers=max_workers)
+        finally:
+            daemon.stop()
+        return {
+            "requests": report.total,
+            "ok": report.ok,
+            "dropped": report.dropped,
+            "p50_ms": report.percentile_ms(50),
+            "p99_ms": report.percentile_ms(99),
+        }
+
+    off = drill()
+    enable_sanitizer()
+    reset_sanitizer()
+    on = drill()
+    acquires = sanitizer_acquire_count()
+    reset_sanitizer()
+    if was_enabled:
+        enable_sanitizer()
+    else:
+        disable_sanitizer()
+
+    acquires_per_request = acquires / max(on["requests"], 1)
+    disabled_penalty_ns = max(tracked_off_ns - raw_ns, 0.0)
+    estimated_pct = (
+        acquires_per_request * disabled_penalty_ns
+        / (off["p99_ms"] * 1e6)
+        * 100.0
+    )
+    return {
+        "lock_microbench": {
+            "ops": lock_ops,
+            "raw_ns_per_op": round(raw_ns, 2),
+            "tracked_disabled_ns_per_op": round(tracked_off_ns, 2),
+            "tracked_enabled_ns_per_op": round(tracked_on_ns, 2),
+            "disabled_penalty_ns_per_op": round(disabled_penalty_ns, 2),
+        },
+        "serving_off": off,
+        "serving_on": on,
+        "enabled_p99_overhead_pct": round(
+            (on["p99_ms"] / off["p99_ms"] - 1.0) * 100.0, 2
+        ),
+        "acquires_per_request": round(acquires_per_request, 1),
+        "disabled_p99_overhead_pct_estimate": round(estimated_pct, 4),
+        "disabled_p99_budget_pct": 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -842,6 +968,9 @@ def run_benchmarks(
         serving = bench_serving(
             n_requests=40, batch_sizes=(1, 8), n_train=60, max_workers=8
         )
+        sanitizer = bench_sanitizer_overhead(
+            n_requests=40, n_train=60, max_workers=8, lock_ops=20_000
+        )
     else:
         data_plane = bench_data_plane()
         corpus = bench_corpus_build(jobs_list=(1, jobs))
@@ -852,6 +981,7 @@ def run_benchmarks(
         static_analysis = bench_plan_lint_overhead()
         workload_families = bench_workload_families()
         serving = bench_serving()
+        sanitizer = bench_sanitizer_overhead()
     report = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
@@ -867,6 +997,7 @@ def run_benchmarks(
         "static_analysis": static_analysis,
         "workloads": workload_families,
         "serving": serving,
+        "sanitizer": sanitizer,
     }
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
@@ -1051,4 +1182,27 @@ def format_report(report: dict) -> str:
                 f"{row['rejected']} rejected, {row['dropped']} dropped)"
                 f"{tier}"
             )
+    sanitizer = report.get("sanitizer")
+    if sanitizer is not None:
+        micro = sanitizer["lock_microbench"]
+        lines.append("")
+        lines.append("concurrency sanitizer (tracked locks):")
+        lines.append(
+            f"  lock op  raw {micro['raw_ns_per_op']:7.1f}ns  "
+            f"disabled {micro['tracked_disabled_ns_per_op']:7.1f}ns  "
+            f"enabled {micro['tracked_enabled_ns_per_op']:7.1f}ns"
+        )
+        lines.append(
+            f"  serving  off p50 {sanitizer['serving_off']['p50_ms']:7.2f}ms "
+            f"p99 {sanitizer['serving_off']['p99_ms']:7.2f}ms   "
+            f"on p50 {sanitizer['serving_on']['p50_ms']:7.2f}ms "
+            f"p99 {sanitizer['serving_on']['p99_ms']:7.2f}ms "
+            f"({sanitizer['enabled_p99_overhead_pct']:+.1f}% p99)"
+        )
+        lines.append(
+            f"  disabled-mode p99 overhead estimate "
+            f"{sanitizer['disabled_p99_overhead_pct_estimate']:.4f}% "
+            f"({sanitizer['acquires_per_request']:.0f} acquires/request; "
+            f"budget {sanitizer['disabled_p99_budget_pct']:.0f}%)"
+        )
     return "\n".join(lines)

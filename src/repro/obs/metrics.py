@@ -20,11 +20,11 @@ Design constraints:
 
 from __future__ import annotations
 
-import threading
 import time
 from bisect import bisect_left
 from typing import Optional, Sequence
 
+from repro.analysis.sanitizer import guarded_by, make_lock, note_access
 from repro.errors import ReproError
 
 __all__ = [
@@ -79,7 +79,7 @@ class Counter:
         self.name = name
         self.help = help
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.counter")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -105,7 +105,7 @@ class Gauge:
         self.name = name
         self.help = help
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.gauge")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -157,7 +157,7 @@ class Histogram:
         self._count = 0
         self._min = float("inf")
         self._max = float("-inf")
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.histogram")
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -251,10 +251,12 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.registry")
+        guarded_by("obs.metrics.registry", self._lock)
 
     def _get_or_create(self, name: str, factory, kind: str):
         with self._lock:
+            note_access("obs.metrics.registry")
             existing = self._metrics.get(name)
             if existing is not None:
                 if existing.kind != kind:
@@ -323,6 +325,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every instrument (test helper)."""
         with self._lock:
+            note_access("obs.metrics.registry")
             self._metrics.clear()
 
 
@@ -338,7 +341,8 @@ def get_registry() -> MetricsRegistry:
 def reset_metrics() -> None:
     """Clear the default registry (test helper)."""
     _REGISTRY.reset()
-    _TIMED_CACHE.clear()
+    with _TIMED_CACHE_LOCK:
+        _TIMED_CACHE.clear()
 
 
 class _Timed:
@@ -374,8 +378,13 @@ class _Timed:
         if self.counter_name is not None and exc_type is None:
             counter = self.slot[1]
             if counter is None:
+                # Get-or-create is idempotent under the registry lock,
+                # so concurrent first successes resolve the same
+                # Counter; the memo write is guarded all the same.
                 counter = _REGISTRY.counter(self.counter_name)
-                self.slot[1] = counter
+                with _TIMED_CACHE_LOCK:
+                    if self.slot[1] is None:
+                        self.slot[1] = counter
             counter.inc(self.count)
         return False
 
@@ -400,6 +409,13 @@ _NOOP_TIMED = _NoopTimed()
 #: :func:`reset_metrics`, which is the only way instruments are dropped.
 _TIMED_CACHE: dict[tuple[str, Optional[str]], list] = {}
 
+#: Guards the cache's check-then-insert: two threads hitting the same
+#: call site for the first time used to race it and hand out distinct
+#: slot lists (PR 7); double-checked insertion under this lock keeps
+#: first-call initialization idempotent.  The instruments themselves
+#: are already idempotent (registry get-or-create under its own lock).
+_TIMED_CACHE_LOCK = make_lock("obs.metrics.timed_cache")
+
 
 def timed(
     histogram_name: str,
@@ -417,6 +433,13 @@ def timed(
     key = (histogram_name, counter_name)
     slot = _TIMED_CACHE.get(key)
     if slot is None:
-        slot = [_REGISTRY.histogram(histogram_name), None]
-        _TIMED_CACHE[key] = slot
+        # Resolve the histogram before taking the cache lock: the
+        # registry has its own lock and nesting the two in one order
+        # here and the other elsewhere would invert (CC101).
+        histogram = _REGISTRY.histogram(histogram_name)
+        with _TIMED_CACHE_LOCK:
+            slot = _TIMED_CACHE.get(key)
+            if slot is None:
+                slot = [histogram, None]
+                _TIMED_CACHE[key] = slot
     return _Timed(slot, counter_name, count)

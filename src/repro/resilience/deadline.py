@@ -33,6 +33,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
+from repro.analysis.sanitizer import make_lock
 from repro.errors import DeadlineExceededError
 
 __all__ = [
@@ -69,7 +70,7 @@ class Deadline:
         self._clock = clock
         self._started = clock()
         self.stage_ms: dict[str, float] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("resilience.deadline")
 
     @classmethod
     def after_ms(

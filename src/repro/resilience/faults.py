@@ -30,13 +30,13 @@ Usage::
 from __future__ import annotations
 
 import os
-import threading
 import time
 from contextlib import contextmanager
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizer import make_lock
 from repro.errors import InjectedFault, ReproError
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.rng import child_generator
@@ -182,7 +182,7 @@ class FaultPlan:
         self._specs: dict[str, list[FaultSpec]] = {}
         self._calls: dict[str, int] = {}
         self.fired: dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("resilience.faults.plan")
 
     # -- construction ----------------------------------------------------
 
@@ -293,7 +293,7 @@ class FaultPlan:
         self._specs = state["specs"]
         self._calls = dict(state["calls"])
         self.fired = dict(state["fired"])
-        self._lock = threading.Lock()
+        self._lock = make_lock("resilience.faults.plan")
 
 
 def _hang_stall(margin_s: float) -> float:

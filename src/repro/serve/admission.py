@@ -22,10 +22,11 @@ Both mechanisms take an injectable ``clock`` (like
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+from repro.analysis.sanitizer import guarded_by, make_lock, note_access
 
 __all__ = ["TokenBucket", "AdmissionDecision", "AdmissionController"]
 
@@ -53,9 +54,9 @@ class TokenBucket:
         self._clock = clock
         self._tokens = float(burst)
         self._stamp = clock()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.admission.bucket")
 
-    def _refill(self) -> None:
+    def _refill_locked(self) -> None:
         now = self._clock()
         elapsed = max(0.0, now - self._stamp)
         self._stamp = now
@@ -75,7 +76,7 @@ class TokenBucket:
         charge at the configured refill rate.
         """
         with self._lock:
-            self._refill()
+            self._refill_locked()
             needed = min(amount, self.burst)
             if needed <= self._tokens:
                 self._tokens = max(self._tokens - amount, -self.burst)
@@ -89,7 +90,7 @@ class TokenBucket:
 
     def balance(self) -> float:
         with self._lock:
-            self._refill()
+            self._refill_locked()
             return self._tokens
 
 
@@ -147,13 +148,15 @@ class AdmissionController:
         self.retry_after_s = float(retry_after_s)
         self._clock = clock
         self._buckets: dict[str, TokenBucket] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.admission.controller")
+        guarded_by("serve.admission.buckets", self._lock)
         self.admitted = 0
         self.quota_rejections = 0
         self.shed_rejections = 0
 
     def _bucket(self, client: str) -> TokenBucket:
         with self._lock:
+            note_access("serve.admission.buckets")
             bucket = self._buckets.get(client)
             if bucket is None:
                 bucket = TokenBucket(
@@ -205,6 +208,7 @@ class AdmissionController:
     def status(self) -> dict:
         """JSON-able snapshot for ``/admin/status``."""
         with self._lock:
+            note_access("serve.admission.buckets")
             balances = {
                 client: round(bucket.balance(), 3)
                 for client, bucket in sorted(self._buckets.items())

@@ -21,6 +21,7 @@ import time
 from collections import deque
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.sanitizer import guarded_by, make_condition, note_access
 from repro.errors import DeadlineExceededError, ServeError
 from repro.resilience.deadline import Deadline, deadline_scope
 
@@ -103,7 +104,8 @@ class MicroBatcher:
         self._clock = clock
         self._queue: deque[PendingRequest] = deque()
         self._queued_statements = 0
-        self._cond = threading.Condition()
+        self._cond = make_condition("serve.batcher.cond")
+        guarded_by("serve.batcher.queue", self._cond)
         self._stopping = False
         self.batches = 0
         self.batched_statements = 0
@@ -144,6 +146,7 @@ class MicroBatcher:
                     f"serve queue full ({self._queued_statements} statements "
                     f"queued, cap {self.max_queue})"
                 )
+            note_access("serve.batcher.queue")
             self._queue.append(pending)
             self._queued_statements += len(pending.sqls)
             self._cond.notify_all()
@@ -163,6 +166,7 @@ class MicroBatcher:
                 self._cond.wait()
             if not self._queue:
                 return None  # stopping and drained
+            note_access("serve.batcher.queue")
             batch = [self._queue.popleft()]
             size = len(batch[0].sqls)
             deadline = self._clock() + self.max_wait_s
@@ -287,6 +291,7 @@ class MicroBatcher:
         with self._cond:
             self._stopping = True
             if not drain:
+                note_access("serve.batcher.queue")
                 while self._queue:
                     pending = self._queue.popleft()
                     self._queued_statements -= len(pending.sqls)

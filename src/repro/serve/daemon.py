@@ -46,6 +46,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.analysis.sanitizer import guarded_by, make_lock, note_access
 from repro.engine.metrics import METRIC_NAMES
 from repro.errors import (
     DeadlineExceededError,
@@ -174,8 +175,12 @@ class PredictionDaemon:
             self._runtime = _Runtime(service, self._memory_version())
         else:
             self._runtime = self._load_runtime(self._artifact_path)
-        self._reload_lock = threading.Lock()
-        self._state_lock = threading.Lock()
+        self._reload_lock = make_lock("serve.daemon.reload")
+        self._state_lock = make_lock("serve.daemon.state")
+        # The runtime *swap* is guarded; lock-free reads snapshot the
+        # immutable _Runtime reference atomically (see docs/CONCURRENCY.md).
+        guarded_by("serve.daemon.runtime_swap", self._reload_lock)
+        guarded_by("serve.daemon.state", self._state_lock)
         self._inflight = 0
         self._stopping = False
         self._started_at: Optional[float] = None
@@ -256,6 +261,7 @@ class PredictionDaemon:
                     "service; pass an artifact path"
                 )
             runtime = self._load_runtime(path)
+            note_access("serve.daemon.runtime_swap")
             self._artifact_path = path
             self._runtime = runtime
             self.reloads += 1
@@ -269,6 +275,7 @@ class PredictionDaemon:
         version label."""
         with self._reload_lock:
             runtime = _Runtime(service, version or self._memory_version())
+            note_access("serve.daemon.runtime_swap")
             self._runtime = runtime
             self.reloads += 1
             return runtime.version
@@ -344,8 +351,9 @@ class PredictionDaemon:
             if cached is None:
                 return None
             results.append(cached)
-        self.stale_cache.served_stale += len(results)
+        self.stale_cache.note_served(len(results))
         with self._state_lock:
+            note_access("serve.daemon.state")
             self.served_stale += 1
         if self.config.metrics:
             get_registry().counter(
@@ -399,6 +407,7 @@ class PredictionDaemon:
         deadline).
         """
         with self._state_lock:
+            note_access("serve.daemon.state")
             self._inflight += 1
             inflight = self._inflight
         try:
@@ -517,6 +526,7 @@ class PredictionDaemon:
             ) from error
         finally:
             with self._state_lock:
+                note_access("serve.daemon.state")
                 self._inflight -= 1
 
     def dispatch_forecast(
@@ -553,6 +563,7 @@ class PredictionDaemon:
         ).observe(elapsed)
         registry.counter("repro_serve_requests_total", "serving requests").inc()
         with self._state_lock:
+            note_access("serve.daemon.state")
             self.requests_total += 1
             if status == 200:
                 self.requests_ok += 1
@@ -579,6 +590,7 @@ class PredictionDaemon:
     def status(self) -> dict:
         """The ``/admin/status`` document."""
         with self._state_lock:
+            note_access("serve.daemon.state")
             inflight = self._inflight
             counters = {
                 "total": self.requests_total,
@@ -711,6 +723,7 @@ class PredictionDaemon:
         deadline = self._clock() + self.config.drain_timeout_s
         while self._clock() < deadline:
             with self._state_lock:
+                note_access("serve.daemon.state")
                 if self._inflight == 0:
                     break
             time.sleep(0.005)

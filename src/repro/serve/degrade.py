@@ -34,11 +34,11 @@ cache hits).  See docs/SERVING.md.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Optional
 
+from repro.analysis.sanitizer import guarded_by, make_lock, note_access
 from repro.obs.metrics import get_registry, metrics_enabled
 
 __all__ = [
@@ -92,7 +92,8 @@ class DegradeController:
         self.up_after_s = float(up_after_s)
         self.force_tier = force_tier
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.degrade.ladder")
+        guarded_by("serve.degrade.tier", self._lock)
         self.tier = int(force_tier) if force_tier is not None else 0
         self._pressure_since: Optional[float] = None
         self._calm_since: Optional[float] = None
@@ -137,6 +138,7 @@ class DegradeController:
         of observations and the clock values at which they were fed.
         """
         with self._lock:
+            note_access("serve.degrade.tier")
             if self.force_tier is not None:
                 self.tier = int(self.force_tier)
                 return self.tier
@@ -150,7 +152,7 @@ class DegradeController:
                     now - self._pressure_since >= self.down_after_s
                     and self.tier < MAX_TIER
                 ):
-                    self._transition(self.tier + 1, reason, now)
+                    self._transition_locked(self.tier + 1, reason, now)
                     self._pressure_since = now  # next step needs a new window
             else:
                 self._pressure_since = None
@@ -159,12 +161,12 @@ class DegradeController:
                 elif (
                     now - self._calm_since >= self.up_after_s and self.tier > 0
                 ):
-                    self._transition(self.tier - 1, "calm", now)
+                    self._transition_locked(self.tier - 1, "calm", now)
                     self._calm_since = now
             return self.tier
 
-    def _transition(self, to_tier: int, reason: str, now: float) -> None:
-        """Apply one step (lock held); records counters and metrics."""
+    def _transition_locked(self, to_tier: int, reason: str, now: float) -> None:
+        """Apply one step (caller holds ``_lock``); records counters."""
         direction = "down" if to_tier > self.tier else "up"
         if direction == "down":
             self.step_downs += 1
@@ -221,6 +223,7 @@ class DegradeController:
     def status(self) -> dict:
         """JSON-able ladder state for ``/admin/status``."""
         with self._lock:
+            note_access("serve.degrade.tier")
             return {
                 "tier": self.tier,
                 "tier_name": self.tier_name,
@@ -257,7 +260,8 @@ class StalePredictionCache:
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, object] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.degrade.stale_cache")
+        guarded_by("serve.stale_cache.entries", self._lock)
         self.hits = 0
         self.misses = 0
         self.served_stale = 0
@@ -267,6 +271,7 @@ class StalePredictionCache:
         if self.max_entries <= 0:
             return
         with self._lock:
+            note_access("serve.stale_cache.entries")
             self._entries[sql] = value
             self._entries.move_to_end(sql)
             while len(self._entries) > self.max_entries:
@@ -275,6 +280,7 @@ class StalePredictionCache:
     def get(self, sql: str) -> Optional[object]:
         """The cached result for ``sql``, or None (counts hit/miss)."""
         with self._lock:
+            note_access("serve.stale_cache.entries")
             value = self._entries.get(sql)
             if value is None:
                 self.misses += 1
@@ -283,18 +289,31 @@ class StalePredictionCache:
             self.hits += 1
             return value
 
+    def note_served(self, n: int) -> None:
+        """Count ``n`` statements answered from the cache.
+
+        The daemon calls this from handler threads, so the increment
+        lives under the cache's own lock (it used to be a bare ``+=``
+        from outside the class — exactly the race the lockset checker
+        exists to catch).
+        """
+        with self._lock:
+            self.served_stale += n
+
     def __len__(self) -> int:
         with self._lock:
+            note_access("serve.stale_cache.entries")
             return len(self._entries)
 
     def stats(self) -> dict:
         """JSON-able counters for ``/admin/status``."""
         with self._lock:
+            note_access("serve.stale_cache.entries")
             size = len(self._entries)
-        return {
-            "size": size,
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "served_stale": self.served_stale,
-        }
+            return {
+                "size": size,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "served_stale": self.served_stale,
+            }

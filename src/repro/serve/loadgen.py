@@ -25,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.sanitizer import make_lock
 from repro.errors import ServeRejectedError, ServeUnavailableError
 from repro.rng import child_generator
 from repro.serve.client import ServeClient
@@ -172,7 +173,7 @@ def run_load(
     """
     host, port = address
     report = LoadReport()
-    lock = threading.Lock()
+    lock = make_lock("serve.loadgen.report")
     if pace:
         base = time.monotonic()
         with ThreadPoolExecutor(max_workers=max_workers) as executor:

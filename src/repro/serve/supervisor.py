@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
 
+from repro.analysis.sanitizer import guarded_by, make_lock, note_access
 from repro.errors import ReproError, SupervisorError
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.resilience.faults import fault_site
@@ -153,7 +154,8 @@ class Supervisor:
         self._socket: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
-        self._journal_lock = threading.Lock()
+        self._journal_lock = make_lock("serve.supervisor.journal")
+        guarded_by("serve.supervisor.journal", self._journal_lock)
         self.child_pid: Optional[int] = None
         self.generation = 0
         self.restarts = 0
@@ -178,6 +180,7 @@ class Supervisor:
             **fields,
         }
         with self._journal_lock:
+            note_access("serve.supervisor.journal")
             self.events.append(record)
             del self.events[:-256]  # bounded in-memory history
             path = self.config.crash_journal

@@ -78,3 +78,23 @@ def load_schedule():
     from repro.serve.loadgen import generate_load
 
     return generate_load
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Session-end sanitizer gate for ``REPRO_SANITIZE=1`` runs.
+
+    The CI ``concurrency-sanitizer`` job runs the serve and chaos suites
+    with tracking on; any accumulated CC1xx finding (lock-order
+    inversion, empty lockset, long hold) is printed and fails the run
+    even though every functional assertion passed.
+    """
+    import os
+
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        return
+    from repro.analysis.sanitizer import dump_sanitizer_report
+
+    count, report = dump_sanitizer_report()
+    print(f"\n{report}")
+    if count and session.exitstatus == 0:
+        session.exitstatus = 1

@@ -1,0 +1,9 @@
+"""CC001 violation: raw threading primitives outside the factory."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition()

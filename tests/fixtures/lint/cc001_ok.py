@@ -1,0 +1,9 @@
+"""CC001 clean: locks come from the sanitizer factory."""
+
+from repro.analysis.sanitizer import make_condition, make_lock
+
+
+class Worker:
+    def __init__(self):
+        self.lock = make_lock("serve.fixture.worker")
+        self.cond = make_condition("serve.fixture.worker_cond")

@@ -1,0 +1,14 @@
+"""CC002 violation: bare acquire with no release guard in sight."""
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Box:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.box")
+        self.items = []
+
+    def push(self, item):
+        self._lock.acquire()
+        self.items.append(item)
+        self._lock.release()

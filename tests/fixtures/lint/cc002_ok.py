@@ -1,0 +1,21 @@
+"""CC002 clean: with-statement, or acquire inside a try whose finally
+releases."""
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Box:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.box")
+        self.items = []
+
+    def push(self, item):
+        with self._lock:
+            self.items.append(item)
+
+    def pop(self):
+        try:
+            self._lock.acquire(timeout=1.0)
+            return self.items.pop()
+        finally:
+            self._lock.release()

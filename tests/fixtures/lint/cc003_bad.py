@@ -1,0 +1,17 @@
+"""CC003 violation: module globals mutated bare from functions."""
+
+_CACHE: dict = {}
+_TOTAL = 0
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def bump(n):
+    global _TOTAL
+    _TOTAL += n
+
+
+def forget(key):
+    _CACHE.pop(key, None)

@@ -1,0 +1,25 @@
+"""CC003 clean: globals mutated under a lock; thread-local and
+constant-rebinding forms are exempt."""
+
+import threading
+
+from repro.analysis.sanitizer import make_lock
+
+_CACHE: dict = {}
+_CACHE_LOCK = make_lock("serve.fixture.cache")
+_LOCAL = threading.local()
+_ENABLED = False
+
+
+def remember(key, value):
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+
+
+def stash(value):
+    _LOCAL.value = value
+
+
+def enable():
+    global _ENABLED
+    _ENABLED = True

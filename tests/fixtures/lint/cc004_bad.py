@@ -1,0 +1,15 @@
+"""CC004 violation: if-guarded Condition.wait proceeds on stale state."""
+
+from repro.analysis.sanitizer import make_condition
+
+
+class Queue:
+    def __init__(self):
+        self._cond = make_condition("serve.fixture.queue")
+        self.items = []
+
+    def take(self):
+        with self._cond:
+            if not self.items:
+                self._cond.wait(timeout=1.0)
+            return self.items.pop()

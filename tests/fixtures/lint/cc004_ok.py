@@ -1,0 +1,15 @@
+"""CC004 clean: the wait re-checks its predicate in a while loop."""
+
+from repro.analysis.sanitizer import make_condition
+
+
+class Queue:
+    def __init__(self):
+        self._cond = make_condition("serve.fixture.queue")
+        self.items = []
+
+    def take(self):
+        with self._cond:
+            while not self.items:
+                self._cond.wait(timeout=1.0)
+            return self.items.pop()

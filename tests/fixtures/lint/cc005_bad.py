@@ -1,0 +1,14 @@
+"""CC005 violation: the same non-reentrant lock acquired twice."""
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Account:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.account")
+        self.balance = 0
+
+    def audit(self):
+        with self._lock:
+            with self._lock:
+                return self.balance

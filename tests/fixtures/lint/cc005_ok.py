@@ -1,0 +1,21 @@
+"""CC005 clean: nesting distinct locks, or a re-entrant rlock."""
+
+from repro.analysis.sanitizer import make_lock, make_rlock
+
+
+class Account:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.account")
+        self._audit_lock = make_lock("serve.fixture.audit")
+        self._rlock = make_rlock("serve.fixture.reentrant")
+        self.balance = 0
+
+    def audit(self):
+        with self._audit_lock:
+            with self._lock:
+                return self.balance
+
+    def nested_reentrant(self):
+        with self._rlock:
+            with self._rlock:
+                return self.balance

@@ -1,0 +1,16 @@
+"""CC006 violation: sleeping while holding the lock."""
+
+import time
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Flusher:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.flusher")
+        self.pending = []
+
+    def flush(self):
+        with self._lock:
+            time.sleep(0.1)
+            self.pending = []

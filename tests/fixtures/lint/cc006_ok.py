@@ -1,0 +1,18 @@
+"""CC006 clean: snapshot under the lock, block outside it."""
+
+import time
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Flusher:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.flusher")
+        self.pending = []
+
+    def flush(self):
+        with self._lock:
+            batch = list(self.pending)
+            self.pending = []
+        time.sleep(0.1)
+        return batch

@@ -1,0 +1,16 @@
+"""CC007 violation: tier guarded in one method, bare in another."""
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Ladder:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.ladder")
+        self.tier = 0
+
+    def step(self):
+        with self._lock:
+            self.tier += 1
+
+    def reset(self):
+        self.tier = 0

@@ -1,0 +1,21 @@
+"""CC007 clean: every post-init write is guarded, or lives in a
+``*_locked`` helper (the caller-holds-lock convention)."""
+
+from repro.analysis.sanitizer import make_lock
+
+
+class Ladder:
+    def __init__(self):
+        self._lock = make_lock("serve.fixture.ladder")
+        self.tier = 0
+
+    def step(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self.tier += 1
+
+    def reset(self):
+        with self._lock:
+            self.tier = 0

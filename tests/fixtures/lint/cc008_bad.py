@@ -1,0 +1,7 @@
+"""CC008 violation: waiting on an event nothing can ever set."""
+
+import threading
+
+
+def serve_forever():
+    threading.Event().wait()

@@ -1,0 +1,13 @@
+"""CC008 clean: keep a reference; a signal handler can set it."""
+
+import threading
+
+
+def serve_forever(install_signal_handler):
+    stop = threading.Event()
+
+    def _on_stop(signum, frame):
+        stop.set()
+
+    install_signal_handler("SIGTERM", _on_stop)
+    stop.wait()
